@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Ablation B: L2 capacity vs reuse distance (the paper's Section 4.5
+ * "soft lower bound" argument).
+ *
+ * A replacement miss implies the block was evicted, so blocks
+ * re-referenced more often than roughly one L2-capacity's worth of
+ * misses cannot miss again: the replacement-miss reuse-distance
+ * distribution should shift right as the L2 grows. Coherence misses
+ * have no such bound. This bench sweeps the multi-chip L2 size for
+ * OLTP and reports the reuse-distance mass per decade plus the
+ * replacement/coherence split.
+ */
+
+#include "common.hh"
+
+#include "stats/histogram.hh"
+
+using namespace tstream;
+using namespace tstream::bench;
+
+int
+main(int argc, char **argv)
+{
+    const BenchBudgets budgets = parseBudgets(argc, argv);
+
+    std::printf("Ablation B: L2 size sweep (OLTP, multi-chip)\n");
+    rule();
+    std::printf("%-8s %8s %8s %8s", "L2", "mpki", "repl", "coh");
+    for (int d = 0; d < 7; ++d)
+        std::printf("  1e%d-1e%d", d, d + 1);
+    std::printf("\n");
+    rule();
+
+    for (const std::uint64_t mb : {1ull, 2ull, 4ull, 8ull, 16ull}) {
+        ExperimentConfig cfg;
+        cfg.workload = WorkloadKind::Oltp;
+        cfg.context = SystemContext::MultiChip;
+        cfg.warmupInstructions = budgets.warmup;
+        cfg.measureInstructions = budgets.measure;
+        cfg.scale = budgets.scale;
+        cfg.multiChip.l2 = CacheConfig{mb * 1024 * 1024, 16};
+        ExperimentResult res = runExperiment(cfg);
+
+        std::uint64_t cls[kNumMissClasses] = {};
+        for (const MissRecord &m : res.offChip.misses)
+            cls[m.cls]++;
+        const double tot = std::max<double>(
+            1.0,
+            static_cast<double>(res.offChip.misses.size()));
+
+        StreamStats st = analyzeStreams(res.offChip);
+        LogHistogram h(7, 1);
+        for (const auto &[dist, w] : st.reuseWeighted)
+            h.add(dist == 0 ? 1 : dist, w);
+
+        std::printf("%3lluMB %9.2f %7.1f%% %7.1f%%",
+                    static_cast<unsigned long long>(mb),
+                    res.offChip.mpki(), 100.0 * cls[3] / tot,
+                    100.0 * cls[1] / tot);
+        for (int d = 0; d < 7; ++d)
+            std::printf("  %6.1f%%",
+                        100.0 * h.fraction(static_cast<std::size_t>(d)));
+        std::printf("\n");
+    }
+
+    std::printf("\nReading: larger L2s suppress short-reuse replacement "
+                "misses, pushing the\nreplacement reuse-distance mass "
+                "right, while coherence reuse distances are\ncapacity-"
+                "independent — the paper's storage-sizing argument.\n");
+    return 0;
+}

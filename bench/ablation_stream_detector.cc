@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Ablation A: why arbitrary-length stream detection matters.
+ *
+ * Compares the SEQUITUR analysis against a fixed-depth pair/window
+ * correlation detector (the design point of several prior prefetchers
+ * the paper discusses): for each fixed window size W, a miss is
+ * "covered" if the W-long sequence starting at it recurs. SEQUITUR's
+ * arbitrary-length rules capture both the short and the very long
+ * streams; fixed windows miss the length diversity the paper
+ * documents (median ~8 but tails into the thousands, Section 4.4).
+ */
+
+#include <unordered_map>
+
+#include "common.hh"
+
+using namespace tstream;
+using namespace tstream::bench;
+
+namespace
+{
+
+/** Fraction of misses covered by recurring fixed-length windows. */
+double
+fixedWindowCoverage(const MissTrace &trace, unsigned w)
+{
+    // Group misses per CPU, then hash every W-window; windows seen
+    // more than once cover their misses.
+    std::vector<std::vector<BlockId>> percpu;
+    for (const MissRecord &m : trace.misses) {
+        if (percpu.size() <= m.cpu)
+            percpu.resize(m.cpu + 1);
+        percpu[m.cpu].push_back(m.block);
+    }
+
+    std::unordered_map<std::uint64_t, std::uint32_t> counts;
+    auto hashWindow = [&](const std::vector<BlockId> &seq,
+                          std::size_t i) {
+        std::uint64_t h = 0x9e3779b97f4a7c15ull;
+        for (unsigned k = 0; k < w; ++k)
+            h = (h ^ seq[i + k]) * 0x100000001b3ull;
+        return h;
+    };
+
+    for (const auto &seq : percpu)
+        for (std::size_t i = 0; i + w <= seq.size(); ++i)
+            counts[hashWindow(seq, i)]++;
+
+    std::uint64_t covered = 0, total = 0;
+    for (const auto &seq : percpu) {
+        std::vector<bool> cov(seq.size(), false);
+        for (std::size_t i = 0; i + w <= seq.size(); ++i) {
+            if (counts[hashWindow(seq, i)] >= 2)
+                for (unsigned k = 0; k < w; ++k)
+                    cov[i + k] = true;
+        }
+        for (bool c : cov)
+            covered += c ? 1 : 0;
+        total += seq.size();
+    }
+    return total == 0 ? 0.0
+                      : static_cast<double>(covered) /
+                            static_cast<double>(total);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchBudgets budgets = parseBudgets(argc, argv);
+    auto runs = runGrid({WorkloadKind::Oltp, WorkloadKind::Apache},
+                        budgets);
+
+    std::printf("Ablation A: SEQUITUR vs fixed-window stream "
+                "detection (coverage of misses)\n");
+    rule();
+    std::printf("%-10s %-12s %9s %7s %7s %7s %7s %8s\n", "app",
+                "context", "sequitur", "W=2", "W=4", "W=8", "W=16",
+                "med-len");
+    rule();
+    for (const RunOutput &r : runs) {
+        if (r.kind == TraceKind::IntraChip)
+            continue;
+        std::printf("%-10s %-12s %8.1f%%",
+                    std::string(workloadName(r.workload)).c_str(),
+                    std::string(traceKindName(r.kind)).c_str(),
+                    100.0 * r.streams.inStreamFraction());
+        for (unsigned w : {2u, 4u, 8u, 16u})
+            std::printf(" %6.1f%%", 100.0 * fixedWindowCoverage(
+                                                r.trace, w));
+        std::printf(" %7.0f\n", r.streams.medianStreamLength());
+    }
+
+    std::printf("\nReading: small windows over-fragment long streams "
+                "(repetition is found but\nsplit into pieces a "
+                "prefetcher must re-look-up); large windows lose the\n"
+                "short streams entirely. SEQUITUR's variable-length "
+                "rules adapt, motivating\nthe paper's argument against "
+                "fixed-depth fetch policies.\n");
+    return 0;
+}

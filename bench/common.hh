@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Shared harness for the per-figure/per-table bench binaries: runs the
+ * (workload x context) grid in parallel, with a --quick mode for smoke
+ * runs, and provides the formatting helpers the benches share.
+ */
+
+#ifndef TSTREAM_BENCH_COMMON_HH
+#define TSTREAM_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/module_profile.hh"
+#include "core/stream_analysis.hh"
+#include "sim/experiment.hh"
+
+namespace tstream::bench
+{
+
+/** All six applications in the paper's figure order. */
+inline const std::vector<WorkloadKind> kAllWorkloads = {
+    WorkloadKind::Apache, WorkloadKind::Zeus,   WorkloadKind::Oltp,
+    WorkloadKind::DssQ1,  WorkloadKind::DssQ2,  WorkloadKind::DssQ17,
+};
+
+/** The paper's three analysis contexts. */
+enum class TraceKind
+{
+    MultiChip,  ///< off-chip trace of the 16-node DSM
+    SingleChip, ///< off-chip trace of the 4-core CMP
+    IntraChip,  ///< on-chip-satisfied L1 misses of the CMP
+};
+
+inline std::string_view
+traceKindName(TraceKind k)
+{
+    switch (k) {
+      case TraceKind::MultiChip: return "multi-chip";
+      case TraceKind::SingleChip: return "single-chip";
+      case TraceKind::IntraChip: return "intra-chip";
+    }
+    return "?";
+}
+
+/** Budgets used by every paper bench (calibrated in DESIGN.md). */
+struct BenchBudgets
+{
+    std::uint64_t warmup = 25'000'000;
+    std::uint64_t measure = 30'000'000;
+    double scale = 1.0;
+};
+
+/** Parse --quick / TSTREAM_QUICK=1 into reduced budgets. */
+inline BenchBudgets
+parseBudgets(int argc, char **argv)
+{
+    BenchBudgets b;
+    bool quick = std::getenv("TSTREAM_QUICK") != nullptr;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+    if (quick) {
+        b.warmup = 2'000'000;
+        b.measure = 4'000'000;
+        b.scale = 0.15;
+    }
+    return b;
+}
+
+/** One completed run with its analyses. */
+struct RunOutput
+{
+    WorkloadKind workload;
+    TraceKind kind;
+    MissTrace trace;
+    StreamStats streams;
+    ModuleProfile modules;
+};
+
+/**
+ * Run every requested workload in both system contexts, producing all
+ * three trace kinds, in parallel across workloads.
+ *
+ * @param analyze_streams Run the SEQUITUR analysis per trace.
+ * @param filter_intra Restrict the intra-chip trace to on-chip-
+ *        satisfied misses (the paper's context (3)); pass false to
+ *        keep all L1 misses (Figure 1 right needs the Off-chip bar).
+ */
+inline std::vector<RunOutput>
+runGrid(const std::vector<WorkloadKind> &workloads,
+        const BenchBudgets &budgets, bool analyze_streams = true,
+        bool filter_intra = true)
+{
+    struct WorkloadRuns
+    {
+        RunOutput multi, single, intra;
+    };
+
+    auto runOne = [&](WorkloadKind w) {
+        WorkloadRuns out;
+        for (int pass = 0; pass < 2; ++pass) {
+            ExperimentConfig cfg;
+            cfg.workload = w;
+            cfg.context = pass == 0 ? SystemContext::MultiChip
+                                    : SystemContext::SingleChip;
+            cfg.warmupInstructions = budgets.warmup;
+            cfg.measureInstructions = budgets.measure;
+            cfg.scale = budgets.scale;
+            ExperimentResult res = runExperiment(cfg);
+
+            auto analyze = [&](MissTrace &&trace, TraceKind kind) {
+                RunOutput r;
+                r.workload = w;
+                r.kind = kind;
+                r.trace = std::move(trace);
+                if (analyze_streams) {
+                    r.streams = analyzeStreams(r.trace);
+                    r.modules =
+                        profileModules(r.trace, r.streams, res.registry);
+                }
+                return r;
+            };
+
+            if (pass == 0) {
+                out.multi =
+                    analyze(std::move(res.offChip), TraceKind::MultiChip);
+            } else {
+                out.single = analyze(std::move(res.offChip),
+                                     TraceKind::SingleChip);
+                out.intra = analyze(filter_intra
+                                        ? res.intraChipOnChip()
+                                        : std::move(res.intraChip),
+                                    TraceKind::IntraChip);
+            }
+        }
+        return out;
+    };
+
+    std::vector<std::future<WorkloadRuns>> futs;
+    futs.reserve(workloads.size());
+    for (WorkloadKind w : workloads)
+        futs.push_back(std::async(std::launch::async, runOne, w));
+
+    std::vector<RunOutput> flat;
+    for (auto &f : futs) {
+        WorkloadRuns r = f.get();
+        flat.push_back(std::move(r.multi));
+        flat.push_back(std::move(r.single));
+        flat.push_back(std::move(r.intra));
+    }
+    return flat;
+}
+
+/** Horizontal rule for table output. */
+inline void
+rule(char c = '-')
+{
+    for (int i = 0; i < 78; ++i)
+        std::putchar(c);
+    std::putchar('\n');
+}
+
+} // namespace tstream::bench
+
+#endif // TSTREAM_BENCH_COMMON_HH

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the analysis substrate: SEQUITUR
+ * grammar construction, cache-hierarchy simulation, stride detection,
+ * and the full stream-analysis pipeline.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/sequitur.hh"
+#include "core/stream_analysis.hh"
+#include "core/stride.hh"
+#include "mem/multichip.hh"
+#include "mem/singlechip.hh"
+#include "util/rng.hh"
+
+namespace tstream
+{
+namespace
+{
+
+std::vector<std::uint64_t>
+makeInput(std::size_t n, std::uint64_t alphabet, double repeat_frac)
+{
+    Rng rng(99);
+    // A mix of random symbols and a recurring motif, roughly like a
+    // miss trace with temporal streams.
+    std::vector<std::uint64_t> motif(32);
+    for (auto &v : motif)
+        v = rng.below(alphabet);
+    std::vector<std::uint64_t> out;
+    out.reserve(n);
+    while (out.size() < n) {
+        if (rng.chance(repeat_frac)) {
+            for (auto v : motif)
+                out.push_back(v);
+        } else {
+            out.push_back(rng.below(alphabet));
+        }
+    }
+    out.resize(n);
+    return out;
+}
+
+void
+BM_SequiturAppend(benchmark::State &state)
+{
+    const auto input = makeInput(
+        static_cast<std::size_t>(state.range(0)), 4096, 0.5);
+    for (auto _ : state) {
+        Sequitur g;
+        g.appendAll(input);
+        benchmark::DoNotOptimize(g.ruleCount());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(input.size()));
+}
+BENCHMARK(BM_SequiturAppend)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void
+BM_MultiChipAccess(benchmark::State &state)
+{
+    MultiChipSystem sys;
+    sys.setTracing(true);
+    Rng rng(7);
+    for (auto _ : state) {
+        Access a;
+        a.addr = rng.below(1 << 28) * kBlockSize;
+        a.size = 64;
+        a.cpu = static_cast<CpuId>(rng.below(16));
+        a.type = rng.chance(0.3) ? AccessType::Write : AccessType::Read;
+        sys.accessBlock(a);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MultiChipAccess);
+
+void
+BM_SingleChipAccess(benchmark::State &state)
+{
+    SingleChipSystem sys;
+    sys.setTracing(true);
+    Rng rng(7);
+    for (auto _ : state) {
+        Access a;
+        a.addr = rng.below(1 << 26) * kBlockSize;
+        a.size = 64;
+        a.cpu = static_cast<CpuId>(rng.below(4));
+        a.type = rng.chance(0.3) ? AccessType::Write : AccessType::Read;
+        sys.accessBlock(a);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SingleChipAccess);
+
+void
+BM_StrideDetector(benchmark::State &state)
+{
+    Rng rng(3);
+    StrideDetector det;
+    std::uint64_t base = 0;
+    for (auto _ : state) {
+        base += rng.chance(0.7) ? 1 : rng.below(1000);
+        benchmark::DoNotOptimize(
+            det.observe(static_cast<CpuId>(rng.below(4)), base));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StrideDetector);
+
+void
+BM_FullStreamAnalysis(benchmark::State &state)
+{
+    // Synthesize a plausible trace and time the whole analysis.
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const auto blocks = makeInput(n, 1 << 20, 0.4);
+    MissTrace trace;
+    trace.numCpus = 4;
+    Rng rng(11);
+    for (std::size_t i = 0; i < n; ++i) {
+        trace.misses.push_back(MissRecord{
+            i, blocks[i], static_cast<CpuId>(rng.below(4)), 0, 0});
+    }
+    trace.instructions = n * 100;
+    for (auto _ : state) {
+        StreamStats st = analyzeStreams(trace);
+        benchmark::DoNotOptimize(st.grammarRules);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FullStreamAnalysis)->Arg(100000)->Arg(500000);
+
+} // namespace
+} // namespace tstream
+
+BENCHMARK_MAIN();

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Regenerates the paper's Table 3: temporal stream origins in Web
+ * applications (Apache and Zeus), per category, per context.
+ *
+ * Expected shape (paper Section 5.1): the http server's own code is a
+ * tiny fraction; STREAMS and IP dominate kernel activity multi-chip;
+ * bulk copies grow in the single-chip context; perl input processing
+ * is almost perfectly repetitive; overall in-stream share 75-85%.
+ */
+
+#include "table_origins_common.hh"
+
+using namespace tstream;
+using namespace tstream::bench;
+
+int
+main(int argc, char **argv)
+{
+    return runOriginsTable(
+        "Table 3: temporal stream origins in Web applications",
+        {WorkloadKind::Apache, WorkloadKind::Zeus}, /*web=*/true,
+        /*db=*/false, argc, argv);
+}

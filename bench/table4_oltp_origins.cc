@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Regenerates the paper's Table 4: temporal stream origins in OLTP.
+ *
+ * Expected shape (paper Section 5.2): index/page/tuple accesses are
+ * the largest DB2 category; request control and the runtime
+ * interpreter are highly repetitive; scheduler and synchronization
+ * activity is present multi-chip/intra-chip but vanishes from the
+ * single-chip off-chip profile; MMU traps contribute substantially.
+ */
+
+#include "table_origins_common.hh"
+
+using namespace tstream;
+using namespace tstream::bench;
+
+int
+main(int argc, char **argv)
+{
+    return runOriginsTable(
+        "Table 4: temporal stream origins in OLTP (DB2)",
+        {WorkloadKind::Oltp}, /*web=*/false, /*db=*/true, argc, argv);
+}

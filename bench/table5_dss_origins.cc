@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Regenerates the paper's Table 5: temporal stream origins in DSS.
+ *
+ * Expected shape (paper Section 5.3): bulk memory copies dominate and
+ * are non-repetitive (streaming buffers); index/tuple accesses are
+ * the second contributor and not repetitive off-chip (single-visit
+ * scans); overall in-stream share is the lowest of the suite.
+ */
+
+#include "table_origins_common.hh"
+
+using namespace tstream;
+using namespace tstream::bench;
+
+int
+main(int argc, char **argv)
+{
+    return runOriginsTable(
+        "Table 5: temporal stream origins in DSS (DB2)",
+        {WorkloadKind::DssQ1, WorkloadKind::DssQ2, WorkloadKind::DssQ17},
+        /*web=*/false, /*db=*/true, argc, argv);
+}

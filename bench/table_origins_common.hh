@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Shared driver for the Tables 3/4/5 benches: run one workload class
+ * across the three contexts and print the per-category origin table.
+ */
+
+#ifndef TSTREAM_BENCH_TABLE_ORIGINS_COMMON_HH
+#define TSTREAM_BENCH_TABLE_ORIGINS_COMMON_HH
+
+#include "common.hh"
+
+namespace tstream::bench
+{
+
+/** Print one paper-style origins table for @p workloads. */
+inline int
+runOriginsTable(const char *title,
+                const std::vector<WorkloadKind> &workloads, bool web_rows,
+                bool db_rows, int argc, char **argv)
+{
+    const BenchBudgets budgets = parseBudgets(argc, argv);
+    auto runs = runGrid(workloads, budgets);
+
+    std::printf("%s\n", title);
+    for (const RunOutput &r : runs) {
+        rule();
+        std::printf("%s / %s  (%zu misses)\n",
+                    std::string(workloadName(r.workload)).c_str(),
+                    std::string(traceKindName(r.kind)).c_str(),
+                    r.trace.misses.size());
+        rule();
+        std::printf("%s", renderModuleTable(r.modules, web_rows, db_rows)
+                              .c_str());
+    }
+    return 0;
+}
+
+} // namespace tstream::bench
+
+#endif // TSTREAM_BENCH_TABLE_ORIGINS_COMMON_HH

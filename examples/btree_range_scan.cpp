@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The paper's motivating example one (Section 2.1): overlapping
+ * B+-tree range scans produce temporal streams along the sibling-
+ * linked leaves that no stride prefetcher can capture.
+ *
+ * This example drives the database substrate directly — no workload
+ * driver — and shows that (a) the leaf-visit miss sequence recurs,
+ * and (b) it is non-strided.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "core/stream_analysis.hh"
+#include "db/btree.hh"
+#include "db/table.hh"
+#include "kernel/kernel.hh"
+#include "mem/multichip.hh"
+#include "sim/engine.hh"
+
+int
+main()
+{
+    using namespace tstream;
+
+    Engine eng(std::make_unique<MultiChipSystem>(), /*seed=*/7);
+    Kernel kern(eng);
+
+    // A buffer pool and one index over two hundred thousand keys.
+    BufferPoolConfig bpcfg;
+    bpcfg.frames = 4096;
+    BufferPool pool(kern, bpcfg);
+    // A heap table of records plus the index over its keys. Range
+    // scans read index entries and chase the record ids into the
+    // (scattered) heap pages, as a real engine does.
+    HeapTable records(kern, pool, /*first_page=*/0, /*npages=*/3'000,
+                      /*tuples_per_page=*/16, /*tuple_bytes=*/240);
+    BTree index(kern, pool, /*first_page=*/3'000);
+    index.build(200'000);
+    std::printf("built a height-%u B+-tree over %llu keys (%llu "
+                "pages)\n",
+                index.height(),
+                static_cast<unsigned long long>(index.keyCount()),
+                static_cast<unsigned long long>(index.pagesUsed()));
+
+    // Warm up untraced — and page the leaves in, in *random* order,
+    // so they land in scattered buffer-pool frames: leaves are not
+    // contiguous in memory (paper Section 2.1).
+    eng.setTracing(false);
+    {
+        SysCtx ctx(eng, kern, /*cpu=*/0, nullptr);
+        Rng shuffle(3);
+        for (std::uint64_t i = 0; i < 4000; ++i)
+            index.lookup(ctx, shuffle.below(200'000));
+        index.rangeScan(ctx, 0, 200'000);
+    }
+
+    // Overlapping range scans from four different CPUs: each scan
+    // walks the same sibling-linked leaves in the same order. The
+    // cache-eviction sweeps between scans are not part of the traced
+    // workload.
+    for (unsigned round = 0; round < 6; ++round) {
+        const CpuId cpu = static_cast<CpuId>(round % 4);
+        SysCtx ctx(eng, kern, cpu, nullptr);
+        // Scans overlap: all cover [40k, 120k); starts differ a bit.
+        // Every other entry's record is fetched (a filtered scan), so
+        // leaf reads interleave with scattered heap-page reads.
+        eng.setTracing(true);
+        index.rangeScan(ctx, 40'000 + round * 1'000, 80'000,
+                        [&](SysCtx &c, std::uint64_t rid) {
+                            if (rid % 2 == 0)
+                                records.fetch(c, rid * 7919 % 200'000);
+                        });
+        // Evict the leaves from this CPU's caches between scans by
+        // sweeping an unrelated region through the L2, untraced.
+        eng.setTracing(false);
+        for (Addr a = 0; a < 16 * 1024 * 1024; a += kBlockSize)
+            eng.read(cpu, seg::kKernelText + a, 8, 0);
+    }
+    eng.finalizeTraces();
+
+    const MissTrace &trace = eng.memory().offChipTrace();
+    StreamStats st = analyzeStreams(trace);
+    std::printf("off-chip misses: %zu\n", trace.misses.size());
+    std::printf("in temporal streams: %.1f%% (median length %.0f)\n",
+                100.0 * st.inStreamFraction(),
+                st.medianStreamLength());
+    const double strided =
+        100.0 *
+        (st.stridedRepetitive + st.stridedNonRepetitive) /
+        std::max<double>(1.0, static_cast<double>(st.totalMisses));
+    std::printf("stride-predictable: %.1f%% — the in-page entry reads "
+                "are strided, but the\nleaf-to-leaf transitions and "
+                "record fetches are pointer chases a stride\n"
+                "prefetcher cannot follow; the temporal stream covers "
+                "both.\n",
+                strided);
+    return 0;
+}

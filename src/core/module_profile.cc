@@ -1,0 +1,77 @@
+#include "core/module_profile.hh"
+
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace tstream
+{
+
+ModuleProfile
+profileModules(const MissTrace &trace, const StreamStats &stats,
+               const FunctionRegistry &reg)
+{
+    panicIf(stats.labels.size() != trace.misses.size(),
+            "profileModules: stats do not match trace");
+    ModuleProfile p;
+    p.total = trace.misses.size();
+    for (std::size_t i = 0; i < trace.misses.size(); ++i) {
+        const auto cat =
+            static_cast<std::size_t>(reg.category(trace.misses[i].fn));
+        p.misses[cat]++;
+        if (stats.labels[i] != RepLabel::NonRepetitive)
+            p.inStream[cat]++;
+    }
+    return p;
+}
+
+std::string
+renderModuleTable(const ModuleProfile &p, bool web_rows, bool db_rows)
+{
+    std::string out;
+    char line[160];
+
+    auto emit = [&](Category c) {
+        std::snprintf(line, sizeof(line), "  %-38s %7.1f%% %10.1f%%\n",
+                      std::string(categoryName(c)).c_str(),
+                      p.pctMisses(c), p.pctInStreams(c));
+        out += line;
+    };
+
+    std::snprintf(line, sizeof(line), "  %-38s %8s %11s\n", "Category",
+                  "% misses", "% in streams");
+    out += line;
+
+    emit(Category::Uncategorized);
+    out += "  -- Cross-application categories --\n";
+    emit(Category::BulkMemoryCopies);
+    emit(Category::SystemCalls);
+    emit(Category::KernelScheduler);
+    emit(Category::KernelMmuTrap);
+    emit(Category::KernelSync);
+    emit(Category::KernelOther);
+    if (web_rows) {
+        out += "  -- Web-specific categories --\n";
+        emit(Category::KernelStreams);
+        emit(Category::KernelIpAssembly);
+        emit(Category::WebWorker);
+        emit(Category::CgiPerlInput);
+        emit(Category::CgiPerlEngine);
+        emit(Category::CgiPerlOther);
+    }
+    if (db_rows) {
+        out += "  -- DB2-specific categories --\n";
+        emit(Category::KernelBlockDev);
+        emit(Category::DbIndexPageTuple);
+        emit(Category::DbRequestControl);
+        emit(Category::DbIpc);
+        emit(Category::DbRuntimeInterp);
+        emit(Category::DbOther);
+    }
+    std::snprintf(line, sizeof(line), "  %-38s %8s %10.1f%%\n",
+                  "Overall % in streams", "", p.overallPctInStreams());
+    out += line;
+    return out;
+}
+
+} // namespace tstream

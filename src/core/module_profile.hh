@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Code-module attribution of misses and temporal streams — the
+ * machinery behind the paper's Tables 3, 4 and 5.
+ */
+
+#ifndef TSTREAM_CORE_MODULE_PROFILE_HH
+#define TSTREAM_CORE_MODULE_PROFILE_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/stream_analysis.hh"
+#include "trace/categories.hh"
+#include "trace/record.hh"
+
+namespace tstream
+{
+
+/** Per-category miss and in-stream shares for one (workload, context). */
+struct ModuleProfile
+{
+    /** Misses attributed to each category. */
+    std::array<std::uint64_t, kNumCategories> misses{};
+    /** Of those, misses that are part of a temporal stream. */
+    std::array<std::uint64_t, kNumCategories> inStream{};
+    std::uint64_t total = 0;
+
+    /** Category share of all misses (percent), as in the tables. */
+    double
+    pctMisses(Category c) const
+    {
+        return total == 0 ? 0.0
+                          : 100.0 *
+                                misses[static_cast<std::size_t>(c)] /
+                                static_cast<double>(total);
+    }
+
+    /**
+     * Category's in-stream misses as a percentage of *all* misses
+     * (the tables' "% in streams" column; the columns sum to the
+     * "Overall % in streams" row).
+     */
+    double
+    pctInStreams(Category c) const
+    {
+        return total == 0 ? 0.0
+                          : 100.0 *
+                                inStream[static_cast<std::size_t>(c)] /
+                                static_cast<double>(total);
+    }
+
+    /** The tables' bottom row. */
+    double
+    overallPctInStreams() const
+    {
+        std::uint64_t s = 0;
+        for (auto v : inStream)
+            s += v;
+        return total == 0 ? 0.0 : 100.0 * s / static_cast<double>(total);
+    }
+};
+
+/**
+ * Attribute each miss of @p trace to its category via @p reg and fold
+ * in the per-miss stream labels from @p stats.
+ */
+ModuleProfile profileModules(const MissTrace &trace,
+                             const StreamStats &stats,
+                             const FunctionRegistry &reg);
+
+/**
+ * Render a Table 3/4/5-style block for one context: one line per
+ * category (restricted to cross-application plus web or DB rows) with
+ * "% misses" and "% in streams" columns.
+ */
+std::string renderModuleTable(const ModuleProfile &p, bool web_rows,
+                              bool db_rows);
+
+} // namespace tstream
+
+#endif // TSTREAM_CORE_MODULE_PROFILE_HH

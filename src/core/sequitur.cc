@@ -1,0 +1,414 @@
+#include "core/sequitur.hh"
+
+#include <unordered_set>
+
+namespace tstream
+{
+
+Sequitur::Sequitur()
+{
+    // Rule 0 is the root; it is never referenced by a symbol.
+    newRule();
+}
+
+Sequitur::~Sequitur()
+{
+    for (Rule *r : rules_)
+        delete r;
+}
+
+Sequitur::Symbol *
+Sequitur::newSymbol()
+{
+    if (!freeList_.empty()) {
+        Symbol *s = freeList_.back();
+        freeList_.pop_back();
+        *s = Symbol{};
+        return s;
+    }
+    arena_.emplace_back();
+    return &arena_.back();
+}
+
+void
+Sequitur::freeSymbol(Symbol *s)
+{
+    freeList_.push_back(s);
+}
+
+Sequitur::Symbol *
+Sequitur::newTerminal(std::uint64_t t)
+{
+    panicIf(t >= kNtTag >> 2, "Sequitur: terminal value too large");
+    Symbol *s = newSymbol();
+    s->term = t;
+    return s;
+}
+
+Sequitur::Symbol *
+Sequitur::newNonTerminal(Rule *r)
+{
+    Symbol *s = newSymbol();
+    s->rule = r;
+    r->refs++;
+    return s;
+}
+
+Sequitur::Rule *
+Sequitur::newRule()
+{
+    Rule *r = new Rule;
+    r->id = static_cast<std::uint32_t>(rules_.size());
+    r->guard = newSymbol();
+    r->guard->guard = true;
+    r->guard->rule = r;
+    link(r->guard, r->guard); // empty circular body
+    rules_.push_back(r);
+    ++liveRules_;
+    return r;
+}
+
+void
+Sequitur::link(Symbol *a, Symbol *b)
+{
+    a->next = b;
+    b->prev = a;
+}
+
+void
+Sequitur::removeDigram(Symbol *a)
+{
+    if (a->guard || a->next->guard)
+        return;
+    auto it = index_.find(keyAt(a));
+    if (it != index_.end() && it->second == a)
+        index_.erase(it);
+}
+
+void
+Sequitur::join(Symbol *left, Symbol *right)
+{
+    if (left->next) {
+        // Re-linking an existing neighbourhood: drop the digram that is
+        // being broken, and handle the canonical algorithm's "triples"
+        // subtlety — when same-value runs lose their registered
+        // occurrence, re-register the surviving overlapped occurrence.
+        removeDigram(left);
+
+        if (right->prev && right->next && !right->guard &&
+            !right->prev->guard && !right->next->guard &&
+            valueOf(right) == valueOf(right->prev) &&
+            valueOf(right) == valueOf(right->next)) {
+            index_[DigramKey{valueOf(right), valueOf(right->next)}] =
+                right;
+        }
+        if (left->prev && left->next && !left->guard &&
+            !left->prev->guard && !left->next->guard &&
+            valueOf(left) == valueOf(left->next) &&
+            valueOf(left) == valueOf(left->prev)) {
+            index_[DigramKey{valueOf(left->prev), valueOf(left)}] =
+                left->prev;
+        }
+    }
+    link(left, right);
+}
+
+void
+Sequitur::deleteSymbol(Symbol *s)
+{
+    join(s->prev, s->next);
+    if (!s->guard) {
+        removeDigram(s); // (s, old next); s->next is still intact
+        if (s->rule)
+            s->rule->refs--;
+    }
+    freeSymbol(s);
+}
+
+void
+Sequitur::append(std::uint64_t terminal)
+{
+    Rule *root = rules_[kRootRule];
+    Symbol *s = newTerminal(terminal);
+    Symbol *last = root->guard->prev;
+    join(s, root->guard);
+    join(last, s);
+    ++inputLen_;
+    check(last);
+}
+
+bool
+Sequitur::check(Symbol *a)
+{
+    if (a->guard || a->next->guard)
+        return false;
+
+    const DigramKey k = keyAt(a);
+    auto it = index_.find(k);
+    if (it == index_.end()) {
+        index_.emplace(k, a);
+        return false;
+    }
+
+    Symbol *m = it->second;
+    if (m == a)
+        return false;
+    // Overlapping occurrences (e.g. "aaa"): leave the grammar alone.
+    if (m->next == a || a->next == m)
+        return false;
+
+    processMatch(a, m);
+    return true;
+}
+
+void
+Sequitur::processMatch(Symbol *a, Symbol *m)
+{
+    Rule *r;
+    if (m->prev->guard && m->next->next->guard) {
+        // The earlier occurrence is exactly an existing rule's body:
+        // reuse that rule.
+        r = m->prev->rule;
+        substitute(a, r);
+    } else {
+        // Create a new rule from the digram's values.
+        r = newRule();
+        Symbol *x = newSymbol();
+        x->rule = a->rule;
+        x->term = a->term;
+        if (x->rule)
+            x->rule->refs++;
+        Symbol *y = newSymbol();
+        y->rule = a->next->rule;
+        y->term = a->next->term;
+        if (y->rule)
+            y->rule->refs++;
+        link(r->guard, x);
+        link(x, y);
+        link(y, r->guard);
+        substitute(m, r);
+        substitute(a, r);
+        // Register the rule body digram *after* the substitutions
+        // (canonical order): the joins inside the substitutions may
+        // transiently re-register run-overlap occurrences of this key,
+        // and the body must win.
+        index_[keyAt(x)] = x;
+    }
+
+    // Rule utility: if a symbol of the (new or reused) rule's body is a
+    // rule now referenced only once, inline it. Check the first
+    // position, then the last if the first was fine.
+    Symbol *f = r->guard->next;
+    if (f->rule && !f->guard && f->rule->refs == 1) {
+        expand(f);
+    } else {
+        Symbol *l = r->guard->prev;
+        if (l != f && l->rule && !l->guard && l->rule->refs == 1)
+            expand(l);
+    }
+}
+
+void
+Sequitur::substitute(Symbol *a, Rule *r)
+{
+    Symbol *prev = a->prev;
+    deleteSymbol(a);
+    deleteSymbol(prev->next);
+    Symbol *nt = newNonTerminal(r);
+    join(nt, prev->next);
+    join(prev, nt);
+    // Enforce uniqueness on the new adjacencies. If the left check
+    // restructures the grammar, it re-establishes the invariant for
+    // the affected neighbourhood, so the right check is skipped
+    // (canonical behaviour).
+    if (!check(prev))
+        check(nt);
+}
+
+void
+Sequitur::expand(Symbol *nt)
+{
+    Rule *r = nt->rule;
+    panicIf(r->refs != 1, "Sequitur::expand of rule with refs != 1");
+
+    Symbol *left = nt->prev;
+    Symbol *right = nt->next;
+    Symbol *first = r->guard->next;
+    Symbol *last = r->guard->prev;
+    panicIf(first->guard, "Sequitur::expand of empty rule");
+
+    // Remove digrams that involve the non-terminal being inlined.
+    removeDigram(left); // (left, nt)
+    removeDigram(nt);   // (nt, right)
+
+    // Splice the body into the host rule.
+    join(left, first);
+    join(last, right);
+
+    // Retire the rule and the non-terminal symbol.
+    freeSymbol(r->guard);
+    r->guard = nullptr;
+    r->refs = 0;
+    r->live = false;
+    --liveRules_;
+    freeSymbol(nt);
+
+    // Exactly one of the two boundary digrams is real: expand() is
+    // called for a body symbol of a freshly created rule, whose other
+    // side is the guard. Enforce uniqueness on the real one last, so
+    // any cascading restructuring cannot invalidate pointers we still
+    // use.
+    if (left->guard)
+        check(last);
+    else
+        check(left);
+}
+
+std::vector<std::uint32_t>
+Sequitur::liveRuleIds() const
+{
+    std::vector<std::uint32_t> ids;
+    for (const Rule *r : rules_)
+        if (r->live)
+            ids.push_back(r->id);
+    return ids;
+}
+
+std::vector<Sequitur::GrammarSymbol>
+Sequitur::ruleBody(std::uint32_t id) const
+{
+    const Rule *r = rules_.at(id);
+    panicIf(!r->live, "Sequitur::ruleBody of dead rule");
+    std::vector<GrammarSymbol> body;
+    for (Symbol *s = r->guard->next; !s->guard; s = s->next) {
+        if (s->rule)
+            body.push_back({true, s->rule->id});
+        else
+            body.push_back({false, s->term});
+    }
+    return body;
+}
+
+std::uint32_t
+Sequitur::ruleRefs(std::uint32_t id) const
+{
+    return rules_.at(id)->refs;
+}
+
+std::vector<std::uint64_t>
+Sequitur::expandRule(std::uint32_t id) const
+{
+    std::vector<std::uint64_t> out;
+    // Iterative expansion with an explicit stack of symbol cursors.
+    std::vector<const Symbol *> stack;
+    stack.push_back(rules_.at(id)->guard->next);
+    while (!stack.empty()) {
+        const Symbol *s = stack.back();
+        if (s->guard) {
+            stack.pop_back();
+            continue;
+        }
+        stack.back() = s->next;
+        if (s->rule)
+            stack.push_back(s->rule->guard->next);
+        else
+            out.push_back(s->term);
+    }
+    return out;
+}
+
+std::vector<std::uint64_t>
+Sequitur::ruleLengths() const
+{
+    std::vector<std::uint64_t> len(rules_.size(), 0);
+    // Dependency-ordered evaluation via iterative post-order DFS.
+    std::vector<std::uint8_t> state(rules_.size(), 0); // 0 new 1 open 2 done
+    std::vector<std::uint32_t> stack;
+    for (const Rule *r : rules_) {
+        if (!r->live || state[r->id] == 2)
+            continue;
+        stack.push_back(r->id);
+        while (!stack.empty()) {
+            const std::uint32_t id = stack.back();
+            if (state[id] == 0) {
+                state[id] = 1;
+                for (Symbol *s = rules_[id]->guard->next; !s->guard;
+                     s = s->next) {
+                    if (s->rule && state[s->rule->id] == 0)
+                        stack.push_back(s->rule->id);
+                }
+            } else {
+                stack.pop_back();
+                if (state[id] == 1) {
+                    state[id] = 2;
+                    std::uint64_t n = 0;
+                    for (Symbol *s = rules_[id]->guard->next; !s->guard;
+                         s = s->next)
+                        n += s->rule ? len[s->rule->id] : 1;
+                    len[id] = n;
+                }
+            }
+        }
+    }
+    return len;
+}
+
+std::size_t
+Sequitur::checkInvariants(bool allow_utility_slack) const
+{
+    // Digram key -> (rule id, body index) of the last occurrence seen.
+    // Duplicate digrams are allowed only when the occurrences overlap
+    // (adjacent positions of a same-symbol run, e.g. "aaa"), the known
+    // exception the canonical algorithm leaves in place.
+    struct Occ
+    {
+        std::uint32_t rule;
+        std::size_t idx;
+    };
+    std::unordered_map<DigramKey, Occ, DigramHash> seen;
+    std::vector<std::uint32_t> refCount(rules_.size(), 0);
+    std::size_t live = 0;
+
+    for (const Rule *r : rules_) {
+        if (!r->live)
+            continue;
+        ++live;
+        std::size_t body_len = 0;
+        std::size_t idx = 0;
+        for (Symbol *s = r->guard->next; !s->guard; s = s->next, ++idx) {
+            ++body_len;
+            if (s->rule) {
+                panicIf(!s->rule->live, "invariant: ref to dead rule");
+                refCount[s->rule->id]++;
+            }
+            if (!s->next->guard) {
+                const DigramKey k = keyAt(s);
+                auto [it, fresh] = seen.try_emplace(k, Occ{r->id, idx});
+                if (!fresh) {
+                    const bool overlap = it->second.rule == r->id &&
+                                         it->second.idx + 1 == idx &&
+                                         k.a == k.b;
+                    panicIf(!overlap, "invariant: duplicate digram");
+                    it->second = Occ{r->id, idx};
+                }
+            }
+            panicIf(s->next->prev != s, "invariant: broken list");
+        }
+        panicIf(r->id != kRootRule && body_len < 2,
+                "invariant: rule body shorter than 2");
+    }
+
+    for (const Rule *r : rules_) {
+        if (!r->live || r->id == kRootRule)
+            continue;
+        panicIf(refCount[r->id] != r->refs,
+                "invariant: refcount bookkeeping mismatch");
+        if (!allow_utility_slack)
+            panicIf(r->refs < 2, "invariant: under-used rule");
+        else
+            panicIf(r->refs < 1, "invariant: orphan rule");
+    }
+    return live;
+}
+
+} // namespace tstream

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * SEQUITUR hierarchical grammar inference (Nevill-Manning & Witten,
+ * JAIR 1997), the information-theoretic engine the paper uses to find
+ * temporal streams (Section 3).
+ *
+ * SEQUITUR incrementally builds a context-free grammar from a symbol
+ * sequence while maintaining two invariants:
+ *
+ *  1. digram uniqueness — no pair of adjacent symbols appears more
+ *     than once in the grammar;
+ *  2. rule utility — every rule (except the root) is referenced more
+ *     than once.
+ *
+ * Every non-root production rule therefore corresponds to a subsequence
+ * that occurs at least twice in the input: a temporal stream.
+ *
+ * The implementation follows the canonical algorithm: doubly-linked
+ * symbol lists with per-rule guard nodes, a digram hash index, rule
+ * substitution on duplicate digrams, and inline expansion of
+ * under-used rules.
+ */
+
+#ifndef TSTREAM_CORE_SEQUITUR_HH
+#define TSTREAM_CORE_SEQUITUR_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace tstream
+{
+
+/**
+ * A SEQUITUR grammar under incremental construction.
+ *
+ * Terminals are arbitrary 64-bit values below 2^62 (callers intern
+ * wider domains, e.g. block addresses, into dense ids).
+ */
+class Sequitur
+{
+  public:
+    Sequitur();
+    ~Sequitur();
+
+    Sequitur(const Sequitur &) = delete;
+    Sequitur &operator=(const Sequitur &) = delete;
+
+    /** Append one terminal to the input sequence. */
+    void append(std::uint64_t terminal);
+
+    /** Append a whole sequence. */
+    void
+    appendAll(const std::vector<std::uint64_t> &seq)
+    {
+        for (auto t : seq)
+            append(t);
+    }
+
+    /** Number of terminals appended so far. */
+    std::uint64_t inputLength() const { return inputLen_; }
+
+    /** Number of live rules, excluding the root. */
+    std::size_t ruleCount() const { return liveRules_; }
+
+    // ------------------------------------------------------------------
+    // Post-construction inspection. Symbols inside rule bodies are
+    // reported as GrammarSymbol{isRule, value}: terminals carry the
+    // original terminal value, non-terminals the rule id.
+    // ------------------------------------------------------------------
+
+    /** One symbol of a flattened rule body. */
+    struct GrammarSymbol
+    {
+        bool isRule = false;
+        std::uint64_t value = 0; ///< terminal value or rule id
+
+        bool
+        operator==(const GrammarSymbol &o) const
+        {
+            return isRule == o.isRule && value == o.value;
+        }
+    };
+
+    /** Root rule id (always 0). */
+    static constexpr std::uint32_t kRootRule = 0;
+
+    /** Ids of all live rules including the root. */
+    std::vector<std::uint32_t> liveRuleIds() const;
+
+    /** Right-hand side of rule @p id. */
+    std::vector<GrammarSymbol> ruleBody(std::uint32_t id) const;
+
+    /** Number of symbol references to rule @p id (root: 0). */
+    std::uint32_t ruleRefs(std::uint32_t id) const;
+
+    /**
+     * Fully expand rule @p id to terminals.
+     * Expanding the root reproduces the input exactly.
+     */
+    std::vector<std::uint64_t> expandRule(std::uint32_t id) const;
+
+    /**
+     * Expanded length of each live rule, indexed by rule id (dead rule
+     * ids hold 0). Computed in one pass; O(total grammar size).
+     */
+    std::vector<std::uint64_t> ruleLengths() const;
+
+    /**
+     * Verify both SEQUITUR invariants plus list integrity; panics on
+     * violation. Rule-utility slack (a rule referenced once) is
+     * tolerated when @p allowUtilitySlack, since the canonical
+     * algorithm admits rare transient under-use.
+     * @return number of live rules checked.
+     */
+    std::size_t checkInvariants(bool allow_utility_slack = false) const;
+
+  private:
+    struct Rule;
+
+    struct Symbol
+    {
+        Symbol *prev = nullptr;
+        Symbol *next = nullptr;
+        Rule *rule = nullptr;  ///< non-null for non-terminals and guards
+        std::uint64_t term = 0;
+        bool guard = false;
+    };
+
+    struct Rule
+    {
+        std::uint32_t id = 0;
+        std::uint32_t refs = 0;
+        Symbol *guard = nullptr;
+        bool live = true;
+    };
+
+    /** Digram key: tagged values of two adjacent symbols. */
+    struct DigramKey
+    {
+        std::uint64_t a, b;
+        bool
+        operator==(const DigramKey &o) const
+        {
+            return a == o.a && b == o.b;
+        }
+    };
+
+    struct DigramHash
+    {
+        std::size_t
+        operator()(const DigramKey &k) const
+        {
+            std::uint64_t h = k.a * 0x9e3779b97f4a7c15ull;
+            h ^= (k.b + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2));
+            return static_cast<std::size_t>(h * 0xbf58476d1ce4e5b9ull);
+        }
+    };
+
+    static constexpr std::uint64_t kNtTag = 1ull << 63;
+    static constexpr std::uint64_t kGuardTag = 1ull << 62;
+
+    /**
+     * Tagged value of a symbol for digram keys and run comparisons.
+     * Terminals, non-terminals, and guards occupy disjoint tag spaces.
+     */
+    static std::uint64_t
+    valueOf(const Symbol *s)
+    {
+        if (s->guard)
+            return kGuardTag | s->rule->id;
+        return s->rule ? (kNtTag | s->rule->id) : s->term;
+    }
+
+    DigramKey
+    keyAt(const Symbol *s) const
+    {
+        return DigramKey{valueOf(s), valueOf(s->next)};
+    }
+
+    Symbol *newSymbol();
+    void freeSymbol(Symbol *s);
+    Symbol *newTerminal(std::uint64_t t);
+    Symbol *newNonTerminal(Rule *r);
+    Rule *newRule();
+
+    static void link(Symbol *a, Symbol *b);
+
+    /**
+     * Link @p left -> @p right, maintaining the digram index: the
+     * broken digram at @p left is dropped, and overlapped occurrences
+     * in same-value runs are re-registered (the canonical algorithm's
+     * "triples" handling).
+     */
+    void join(Symbol *left, Symbol *right);
+
+    /** Remove the index entry for the digram starting at @p a, if it
+     *  points at @p a. */
+    void removeDigram(Symbol *a);
+
+    /** Unlink and free @p s, maintaining digram index and rule refs. */
+    void deleteSymbol(Symbol *s);
+
+    /**
+     * Enforce digram uniqueness for the digram starting at @p a.
+     * @return true if the grammar was restructured.
+     */
+    bool check(Symbol *a);
+
+    /** Handle a duplicate digram: @p a matches earlier occurrence
+     *  @p m. */
+    void processMatch(Symbol *a, Symbol *m);
+
+    /** Replace the digram at @p a with a reference to @p r. */
+    void substitute(Symbol *a, Rule *r);
+
+    /** Inline the sole use @p nt of its rule (rule utility). */
+    void expand(Symbol *nt);
+
+    std::deque<Symbol> arena_;
+    std::vector<Symbol *> freeList_;
+    std::vector<Rule *> rules_; ///< by id; dead rules stay (live=false)
+    std::unordered_map<DigramKey, Symbol *, DigramHash> index_;
+    std::uint64_t inputLen_ = 0;
+    std::size_t liveRules_ = 0;
+};
+
+} // namespace tstream
+
+#endif // TSTREAM_CORE_SEQUITUR_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * B+-tree index with horizontally linked leaves — the paper's
+ * motivating example one (Section 2.1).
+ *
+ * Nodes map 1:1 to buffer-pool pages. Lookups binary-search within
+ * each node (touching the same in-page key positions every time) and
+ * descend root-to-leaf; range scans follow the leaf sibling links, so
+ * overlapping scans re-miss the same non-contiguous leaf sequence —
+ * the canonical temporal stream that stride prefetchers cannot
+ * capture.
+ */
+
+#ifndef TSTREAM_DB_BTREE_HH
+#define TSTREAM_DB_BTREE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "db/bufferpool.hh"
+
+namespace tstream
+{
+
+/** B+-tree over keys [0, nkeys), bulk-built, with sibling links. */
+class BTree
+{
+  public:
+    /**
+     * @param bp        Buffer pool backing the node pages.
+     * @param first_page First page id of this index's page range.
+     * @param fanout    Keys per node.
+     */
+    BTree(Kernel &kern, BufferPool &bp, PageId first_page,
+          unsigned fanout = 128);
+
+    /** Bulk-build a tree over @p nkeys keys (key i maps to rid i). */
+    void build(std::uint64_t nkeys);
+
+    /**
+     * Point lookup: root-to-leaf descent with in-node binary search.
+     * @return the record id for @p key (key order position).
+     */
+    std::uint64_t lookup(SysCtx &ctx, std::uint64_t key);
+
+    /**
+     * Range scan: locate @p key, then follow sibling links over
+     * @p count entries, invoking @p rid_cb (may be empty) per entry.
+     */
+    void rangeScan(SysCtx &ctx, std::uint64_t key, std::uint64_t count,
+                   const std::function<void(SysCtx &, std::uint64_t)>
+                       &rid_cb = {});
+
+    /**
+     * Insert @p key: descent plus leaf entry write; splits when the
+     * (emulated) leaf fill exceeds the fanout.
+     */
+    void insert(SysCtx &ctx, std::uint64_t key);
+
+    /** Height of the tree (levels). */
+    unsigned height() const { return height_; }
+
+    /** Pages consumed (for sizing the next index's page range). */
+    PageId pagesUsed() const { return nextPage_ - firstPage_; }
+
+    std::uint64_t keyCount() const { return nkeys_; }
+
+  private:
+    struct Node
+    {
+        PageId page;
+        bool leaf = false;
+        std::uint64_t lowKey = 0;  ///< smallest key in subtree
+        std::uint64_t keySpan = 0; ///< keys covered by this subtree
+        std::vector<std::unique_ptr<Node>> kids;
+        Node *sibling = nullptr; ///< next leaf (leaves only)
+        unsigned extraFill = 0;  ///< inserts since build (split model)
+    };
+
+    /** Emit the in-node binary-search reads for @p key. */
+    void searchNode(SysCtx &ctx, const Node &n, Addr base,
+                    std::uint64_t key);
+
+    Node *descend(SysCtx &ctx, std::uint64_t key);
+
+    Kernel &kern_;
+    BufferPool &bp_;
+    PageId firstPage_;
+    PageId nextPage_;
+    unsigned fanout_;
+    unsigned height_ = 0;
+    std::uint64_t nkeys_ = 0;
+    std::unique_ptr<Node> root_;
+    std::vector<Node *> leaves_;
+
+    FnId fnSearch_, fnScan_, fnInsert_;
+};
+
+} // namespace tstream
+
+#endif // TSTREAM_DB_BTREE_HH

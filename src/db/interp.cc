@@ -1,0 +1,17 @@
+#include "db/interp.hh"
+
+namespace tstream
+{
+
+PlanInterp::PlanInterp(Kernel &kern, const InterpConfig &cfg)
+    : cfg_(cfg)
+{
+    planBase_ = kern.kernelHeap().alloc(Addr{cfg.nplans} * planBytes(),
+                                        kBlockSize);
+    auto &reg = kern.engine().registry();
+    fnOpen_ = reg.intern("sqlriOpenSection", Category::DbRuntimeInterp);
+    fnFetch_ = reg.intern("sqlriFetchOp", Category::DbRuntimeInterp);
+    fnClose_ = reg.intern("sqlriCloseSection", Category::DbRuntimeInterp);
+}
+
+} // namespace tstream

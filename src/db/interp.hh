@@ -1,0 +1,82 @@
+/**
+ * @file
+ * SQL runtime interpreter (the sqlri module): executes parsed plan
+ * operators, "analogous to the Perl_pp_* functions of the perl
+ * interpreter" (paper Table 2).
+ *
+ * Each statement type has a fixed operator array in the shared
+ * package cache; execution walks it in order (reading each operator
+ * descriptor) and updates the statement's shared runtime section
+ * (usage counters / iterator state), which is what makes the plan
+ * blocks migrate between agents' CPUs and re-miss coherently with
+ * ~90% repetition.
+ */
+
+#ifndef TSTREAM_DB_INTERP_HH
+#define TSTREAM_DB_INTERP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "kernel/kernel.hh"
+#include "mem/sim_alloc.hh"
+
+namespace tstream
+{
+
+/** Plan interpreter over a shared package cache. */
+struct InterpConfig
+{
+    unsigned nplans = 48;      ///< cached statement sections
+    unsigned opsPerPlan = 24;  ///< operator descriptors per plan
+};
+
+class PlanInterp
+{
+  public:
+    PlanInterp(Kernel &kern, const InterpConfig &cfg = {});
+
+    /**
+     * Execute plan @p plan_id: walk its operator array, invoking
+     * @p op_cb for each operator (the callback performs the data
+     * access the operator stands for, e.g. an index probe), and
+     * update the shared runtime section.
+     *
+     * @param op_cb may be empty for pure-interpreter statements.
+     */
+    template <typename OpCb>
+    void
+    execute(SysCtx &ctx, std::uint32_t plan_id, OpCb &&op_cb)
+    {
+        const std::uint32_t p = plan_id % cfg_.nplans;
+        const Addr plan = planBase_ + Addr{p} * planBytes();
+        // Section header: statement descriptor + usage counter.
+        ctx.read(plan, 32, fnOpen_);
+        for (unsigned op = 0; op < cfg_.opsPerPlan; ++op) {
+            ctx.read(plan + 64 + Addr{op} * kBlockSize, 48, fnFetch_);
+            ctx.exec(18);
+            op_cb(ctx, op);
+        }
+        // Shared runtime section update (iterator state, counters).
+        ctx.write(plan + 32, 16, fnClose_);
+        ctx.exec(50);
+    }
+
+    /** Plan footprint in bytes (ops + header). */
+    Addr
+    planBytes() const
+    {
+        return (Addr{cfg_.opsPerPlan} + 2) * kBlockSize;
+    }
+
+    unsigned planCount() const { return cfg_.nplans; }
+
+  private:
+    InterpConfig cfg_;
+    Addr planBase_;
+    FnId fnOpen_, fnFetch_, fnClose_;
+};
+
+} // namespace tstream
+
+#endif // TSTREAM_DB_INTERP_HH

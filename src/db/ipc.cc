@@ -1,0 +1,57 @@
+#include "db/ipc.hh"
+
+namespace tstream
+{
+
+DbIpc::DbIpc(Kernel &kern, unsigned nclients)
+    : nclients_(nclients)
+{
+    base_ = kern.kernelHeap().alloc(Addr{nclients} * kAreaBlocks *
+                                        kBlockSize,
+                                    kBlockSize);
+    connTable_ =
+        kern.kernelHeap().alloc(Addr{nclients} * kBlockSize, kBlockSize);
+    proc_ = kern.syscalls().newProc();
+    auto &reg = kern.engine().registry();
+    fnRecv_ = reg.intern("sqlccRecv", Category::DbIpc);
+    fnSend_ = reg.intern("sqlccSend", Category::DbIpc);
+}
+
+Addr
+DbIpc::area(std::uint32_t client) const
+{
+    return base_ + Addr{client % nclients_} * kAreaBlocks * kBlockSize;
+}
+
+void
+DbIpc::receiveRequest(SysCtx &ctx, std::uint32_t client)
+{
+    // The worker agent reads the request off the connection socket.
+    ctx.kernel().syscalls().readEntry(ctx, proc_, client);
+    const Addr a = area(client);
+    // Shared connection-manager entry, then header + parameters.
+    ctx.read(connTable_ + (client % nclients_) * kBlockSize, 16,
+             fnRecv_);
+    ctx.read(a, 32, fnRecv_);
+    ctx.read(a + kBlockSize, static_cast<std::uint32_t>(2 * kBlockSize),
+             fnRecv_);
+    ctx.exec(90);
+}
+
+void
+DbIpc::sendReply(SysCtx &ctx, std::uint32_t client)
+{
+    ctx.kernel().syscalls().writeEntry(ctx, proc_, client);
+    const Addr a = area(client);
+    // Reply written into the connection area (3 blocks), the shared
+    // connection entry updated, and the next request posted in place
+    // (closed-loop client model).
+    ctx.write(a + 4 * kBlockSize,
+              static_cast<std::uint32_t>(3 * kBlockSize), fnSend_);
+    ctx.write(connTable_ + (client % nclients_) * kBlockSize, 16,
+              fnSend_);
+    ctx.write(a, 32, fnSend_);
+    ctx.exec(110);
+}
+
+} // namespace tstream

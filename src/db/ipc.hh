@@ -1,0 +1,50 @@
+/**
+ * @file
+ * DB2 client-server interprocess communication: per-connection
+ * request/response message areas passed between the communication
+ * agent and worker agents ("functions which pass data between the DB2
+ * server and client processes", paper Table 2).
+ *
+ * Message buffers are fixed per connection and written by whichever
+ * CPU last serviced the connection, so they bounce between CPUs —
+ * small, hot, highly repetitive coherence traffic.
+ */
+
+#ifndef TSTREAM_DB_IPC_HH
+#define TSTREAM_DB_IPC_HH
+
+#include <cstdint>
+
+#include "kernel/kernel.hh"
+#include "mem/sim_alloc.hh"
+
+namespace tstream
+{
+
+/** Client connection message areas. */
+class DbIpc
+{
+  public:
+    DbIpc(Kernel &kern, unsigned nclients);
+
+    /** Worker agent receives the next request of @p client. */
+    void receiveRequest(SysCtx &ctx, std::uint32_t client);
+
+    /** Worker agent sends the reply and posts the next request
+     *  (emulating the always-ready closed-loop client). */
+    void sendReply(SysCtx &ctx, std::uint32_t client);
+
+  private:
+    Addr area(std::uint32_t client) const;
+
+    unsigned nclients_;
+    Addr base_;
+    Addr connTable_; ///< shared connection-manager state
+    ProcDesc proc_{};
+    FnId fnRecv_, fnSend_;
+    static constexpr Addr kAreaBlocks = 8;
+};
+
+} // namespace tstream
+
+#endif // TSTREAM_DB_IPC_HH

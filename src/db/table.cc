@@ -1,0 +1,73 @@
+#include "db/table.hh"
+
+namespace tstream
+{
+
+HeapTable::HeapTable(Kernel &kern, BufferPool &bp, PageId first_page,
+                     std::uint64_t npages, unsigned tuples_per_page,
+                     unsigned tuple_bytes)
+    : kern_(kern), bp_(bp), firstPage_(first_page), npages_(npages),
+      tuplesPerPage_(tuples_per_page), tupleBytes_(tuple_bytes)
+{
+    auto &reg = kern.engine().registry();
+    fnFetch_ = reg.intern("sqldRowFetch", Category::DbIndexPageTuple);
+    fnUpdate_ = reg.intern("sqldRowUpdate", Category::DbIndexPageTuple);
+    fnScan_ = reg.intern("sqldScanNext", Category::DbIndexPageTuple);
+}
+
+Addr
+HeapTable::tupleAddr(Addr page_base, std::uint64_t rid) const
+{
+    const std::uint64_t slot = rid % tuplesPerPage_;
+    // 128 B page header, then fixed-size slots.
+    return page_base + 128 + slot * tupleBytes_;
+}
+
+void
+HeapTable::fetch(SysCtx &ctx, std::uint64_t rid)
+{
+    const PageId page = firstPage_ + (rid / tuplesPerPage_) % npages_;
+    const Addr base = bp_.fix(ctx, page);
+    ctx.userRead(base, 32, fnFetch_);                  // page header
+    ctx.userRead(base + 96 + (rid % tuplesPerPage_) * 4, 4,
+             fnFetch_);                            // slot directory
+    ctx.userRead(tupleAddr(base, rid), tupleBytes_, fnFetch_);
+    ctx.exec(45);
+}
+
+void
+HeapTable::update(SysCtx &ctx, std::uint64_t rid)
+{
+    const PageId page = firstPage_ + (rid / tuplesPerPage_) % npages_;
+    const Addr base = bp_.fix(ctx, page, /*dirty=*/true);
+    ctx.userRead(base, 32, fnUpdate_);
+    ctx.userRead(tupleAddr(base, rid), tupleBytes_, fnUpdate_);
+    // Rewrite a field's worth of the tuple.
+    ctx.userWrite(tupleAddr(base, rid) + 16, 32, fnUpdate_);
+    ctx.exec(60);
+}
+
+void
+HeapTable::scan(SysCtx &ctx, std::uint64_t first, std::uint64_t npages,
+                double tuple_fraction,
+                const std::function<void(SysCtx &, std::uint64_t)>
+                    &tuple_cb)
+{
+    for (std::uint64_t p = 0; p < npages; ++p) {
+        const std::uint64_t rel = (first + p) % npages_;
+        const PageId page = firstPage_ + rel;
+        const Addr base = bp_.fix(ctx, page);
+        ctx.userRead(base, 32, fnScan_);
+        const auto ntuples = static_cast<std::uint64_t>(
+            tuplesPerPage_ * tuple_fraction + 0.5);
+        for (std::uint64_t t = 0; t < ntuples; ++t) {
+            const std::uint64_t rid = rel * tuplesPerPage_ + t;
+            ctx.userRead(tupleAddr(base, rid), tupleBytes_, fnScan_);
+            ctx.exec(25);
+            if (tuple_cb)
+                tuple_cb(ctx, rid);
+        }
+    }
+}
+
+} // namespace tstream

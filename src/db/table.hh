@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Heap tables: slotted pages of fixed-size tuples (the sqld layer —
+ * sqldRowFetch/sqldRowUpdate in the paper's Table 2).
+ */
+
+#ifndef TSTREAM_DB_TABLE_HH
+#define TSTREAM_DB_TABLE_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "db/bufferpool.hh"
+
+namespace tstream
+{
+
+/** A heap table over a contiguous page range. */
+class HeapTable
+{
+  public:
+    /**
+     * @param first_page First page id of the table's range.
+     * @param npages Number of pages.
+     * @param tuples_per_page Slots per page.
+     * @param tuple_bytes Tuple size (controls blocks touched).
+     */
+    HeapTable(Kernel &kern, BufferPool &bp, PageId first_page,
+              std::uint64_t npages, unsigned tuples_per_page,
+              unsigned tuple_bytes);
+
+    /** Total tuples in the table. */
+    std::uint64_t
+    tupleCount() const
+    {
+        return npages_ * tuplesPerPage_;
+    }
+
+    PageId firstPage() const { return firstPage_; }
+    std::uint64_t pageCount() const { return npages_; }
+
+    /** Fetch tuple @p rid: page fix + slot + field reads. */
+    void fetch(SysCtx &ctx, std::uint64_t rid);
+
+    /** Update tuple @p rid: fetch pattern plus field writes. */
+    void update(SysCtx &ctx, std::uint64_t rid);
+
+    /**
+     * Sequential scan of @p npages pages starting at @p first
+     * (relative to the table), reading @p tuple_fraction of each
+     * page's tuples and invoking @p tuple_cb per tuple read.
+     */
+    void scan(SysCtx &ctx, std::uint64_t first, std::uint64_t npages,
+              double tuple_fraction,
+              const std::function<void(SysCtx &, std::uint64_t)>
+                  &tuple_cb = {});
+
+  private:
+    Addr tupleAddr(Addr page_base, std::uint64_t rid) const;
+
+    Kernel &kern_;
+    BufferPool &bp_;
+    PageId firstPage_;
+    std::uint64_t npages_;
+    unsigned tuplesPerPage_;
+    unsigned tupleBytes_;
+
+    FnId fnFetch_, fnUpdate_, fnScan_;
+};
+
+} // namespace tstream
+
+#endif // TSTREAM_DB_TABLE_HH

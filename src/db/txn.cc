@@ -1,0 +1,79 @@
+#include "db/txn.hh"
+
+namespace tstream
+{
+
+TxnManager::TxnManager(Kernel &kern, unsigned nclients,
+                       const TxnConfig &cfg)
+    : kern_(kern), cfg_(cfg), tableLock_(kern.makeMutex()),
+      logLock_(kern.makeMutex()), nclients_(nclients)
+{
+    auto &heap = kern.kernelHeap();
+    txnTable_ = heap.alloc(cfg.maxTxns * kBlockSize, kBlockSize);
+    logAnchor_ = heap.allocBlocks(1);
+    logBase_ = heap.alloc(cfg.logBlocks * kBlockSize, kBlockSize);
+    cursorBase_ = heap.alloc(Addr{nclients} * 4 * kBlockSize, kBlockSize);
+
+    auto &reg = kern.engine().registry();
+    fnBegin_ = reg.intern("sqlrrBeginTxn", Category::DbRequestControl);
+    fnCommit_ = reg.intern("sqlrrCommit", Category::DbRequestControl);
+    fnLog_ = reg.intern("sqlpgLogWrite", Category::DbRequestControl);
+    fnCursor_ = reg.intern("sqlraCursorUpdate",
+                           Category::DbRequestControl);
+}
+
+std::uint32_t
+TxnManager::begin(SysCtx &ctx, std::uint32_t client)
+{
+    tableLock_.acquire(ctx);
+    const std::uint32_t slot = nextSlot_;
+    nextSlot_ = (nextSlot_ + 1) % cfg_.maxTxns;
+    // Scan for a free slot (bounded), then claim it.
+    ctx.read(txnTable_ + slot * kBlockSize, 32, fnBegin_);
+    ctx.write(txnTable_ + slot * kBlockSize, 32, fnBegin_);
+    ctx.read(logAnchor_, 16, fnBegin_);
+    tableLock_.release(ctx);
+    touchCursor(ctx, client, /*write=*/true);
+    ctx.exec(120);
+    return slot;
+}
+
+void
+TxnManager::logAppend(SysCtx &ctx, std::uint32_t bytes)
+{
+    logLock_.acquire(ctx);
+    const std::uint64_t blocks = (bytes + kBlockSize - 1) / kBlockSize;
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+        ctx.write(logBase_ + (logTail_ % cfg_.logBlocks) * kBlockSize,
+                  static_cast<std::uint32_t>(kBlockSize), fnLog_);
+        ++logTail_;
+    }
+    ctx.write(logAnchor_, 16, fnLog_);
+    logLock_.release(ctx);
+    ctx.exec(40 + 10 * static_cast<std::uint32_t>(blocks));
+}
+
+void
+TxnManager::commit(SysCtx &ctx, std::uint32_t txn)
+{
+    logAppend(ctx, 96); // commit record
+    tableLock_.acquire(ctx);
+    ctx.write(txnTable_ + (txn % cfg_.maxTxns) * kBlockSize, 32,
+              fnCommit_);
+    tableLock_.release(ctx);
+    ctx.exec(80);
+}
+
+void
+TxnManager::touchCursor(SysCtx &ctx, std::uint32_t client, bool write)
+{
+    const Addr area =
+        cursorBase_ + Addr{client % nclients_} * 4 * kBlockSize;
+    ctx.read(area, 32, fnCursor_);
+    ctx.read(area + 2 * kBlockSize, 16, fnCursor_);
+    if (write)
+        ctx.write(area + kBlockSize, 32, fnCursor_);
+    ctx.exec(35);
+}
+
+} // namespace tstream

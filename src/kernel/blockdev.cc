@@ -1,0 +1,64 @@
+#include "kernel/blockdev.hh"
+
+namespace tstream
+{
+
+BlockDev::BlockDev(BumpAllocator &kernel_heap, CopyEngine &copy,
+                   FunctionRegistry &reg)
+    : copy_(copy),
+      recycled_(seg::kDmaRegion, seg::kDmaRegion + (seg::kSegmentSize / 2),
+                kPageSize),
+      streaming_(seg::kDmaRegion + seg::kSegmentSize / 2,
+                 seg::kDmaRegion + seg::kSegmentSize)
+{
+    sdLun_ = kernel_heap.allocBlocks(2);
+    requestRing_ = kernel_heap.allocBlocks(kRingSlots);
+    fnStrategy_ = reg.intern("sdstrategy", Category::KernelBlockDev);
+    fnSdStart_ = reg.intern("sd_start_cmds", Category::KernelBlockDev);
+    fnBiodone_ = reg.intern("biodone", Category::KernelBlockDev);
+}
+
+Addr
+BlockDev::stagingAlloc(std::uint32_t len, bool recycle)
+{
+    if (recycle) {
+        // One recycled chunk covers a page; larger requests take
+        // consecutive chunks from the streaming arena instead.
+        if (len <= recycled_.chunkSize())
+            return recycled_.alloc();
+    }
+    return streaming_.alloc(len, kPageSize);
+}
+
+void
+BlockDev::read(SysCtx &ctx, Addr dest, std::uint32_t len, bool recycle)
+{
+    ++ios_;
+
+    // sdstrategy/sd_start_cmds: device soft state and a request-ring
+    // descriptor at a rotating (but cyclically repeating) slot.
+    ctx.read(sdLun_, 16, fnStrategy_);
+    const Addr slot = requestRing_ + ringSlot_ * kBlockSize;
+    ringSlot_ = (ringSlot_ + 1) % kRingSlots;
+    ctx.write(slot, 32, fnSdStart_);
+    ctx.read(sdLun_ + kBlockSize, 16, fnSdStart_);
+    ctx.exec(120);
+
+    // DMA lands in the staging buffer, invalidating cached copies.
+    const Addr staging = stagingAlloc(len, recycle);
+    ctx.engine().dmaWrite(staging, len);
+
+    // biodone: completion bookkeeping on the ring slot.
+    ctx.read(slot, 32, fnBiodone_);
+    ctx.exec(40);
+
+    // Copy out to the destination with non-allocating stores; the
+    // reads of the freshly DMA'd staging buffer are the copy engine's
+    // misses.
+    copy_.copyout(ctx, dest, staging, len);
+
+    if (recycle && len <= recycled_.chunkSize())
+        recycled_.free(staging);
+}
+
+} // namespace tstream

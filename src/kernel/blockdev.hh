@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Block device driver + DMA engine.
+ *
+ * A disk read issues driver accesses (request queue, LUN structures —
+ * the paper's "Kernel block device driver" category), then DMAs the
+ * data into a kernel staging buffer (invalidating all cached copies)
+ * and copies it out to the destination with non-allocating stores.
+ * Whether staging buffers are recycled is configurable per call site:
+ * web workloads reuse network buffers (repetitive I/O coherence);
+ * DSS table scans stream through fresh buffers (non-repetitive),
+ * matching Section 4.1's observation.
+ */
+
+#ifndef TSTREAM_KERNEL_BLOCKDEV_HH
+#define TSTREAM_KERNEL_BLOCKDEV_HH
+
+#include <cstdint>
+
+#include "kernel/copy.hh"
+#include "kernel/ctx.hh"
+#include "mem/sim_alloc.hh"
+#include "trace/categories.hh"
+
+namespace tstream
+{
+
+/** sd-style block device driver model. */
+class BlockDev
+{
+  public:
+    BlockDev(BumpAllocator &kernel_heap, CopyEngine &copy,
+             FunctionRegistry &reg);
+
+    /**
+     * Synchronous page-in: driver work, DMA into a staging buffer,
+     * copyout into @p dest (page-aligned, @p len bytes).
+     *
+     * @param recycle Reuse staging buffers LIFO (true) or stream
+     *                through fresh ones (false).
+     */
+    void read(SysCtx &ctx, Addr dest, std::uint32_t len, bool recycle);
+
+    std::uint64_t ioCount() const { return ios_; }
+
+  private:
+    Addr stagingAlloc(std::uint32_t len, bool recycle);
+
+    CopyEngine &copy_;
+    Addr sdLun_;      ///< device soft-state structure
+    Addr requestRing_; ///< request descriptor ring
+    unsigned ringSlot_ = 0;
+    static constexpr unsigned kRingSlots = 64;
+
+    RecyclingAllocator recycled_;
+    BumpAllocator streaming_;
+
+    FnId fnStrategy_, fnSdStart_, fnBiodone_;
+    std::uint64_t ios_ = 0;
+};
+
+} // namespace tstream
+
+#endif // TSTREAM_KERNEL_BLOCKDEV_HH

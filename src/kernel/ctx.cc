@@ -1,0 +1,22 @@
+#include "kernel/ctx.hh"
+
+#include "kernel/kernel.hh"
+
+namespace tstream
+{
+
+void
+SysCtx::userRead(Addr a, std::uint32_t size, FnId fn)
+{
+    kern_.vm().translate(*this, a);
+    eng_.read(cpu_, a, size, fn);
+}
+
+void
+SysCtx::userWrite(Addr a, std::uint32_t size, FnId fn)
+{
+    kern_.vm().translate(*this, a);
+    eng_.write(cpu_, a, size, fn);
+}
+
+} // namespace tstream

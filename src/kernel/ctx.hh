@@ -1,0 +1,78 @@
+/**
+ * @file
+ * SysCtx: the per-quantum execution context handed to emulators.
+ *
+ * Bundles the engine, the kernel, the current CPU and thread, and
+ * provides the access helpers every emulator uses. User-space data
+ * accesses go through userRead/userWrite, which consult the per-CPU
+ * TLB model and may invoke the MMU trap handler (emitting the TSB
+ * accesses the paper's "Kernel MMU & trap handlers" category counts).
+ */
+
+#ifndef TSTREAM_KERNEL_CTX_HH
+#define TSTREAM_KERNEL_CTX_HH
+
+#include <cstdint>
+
+#include "mem/address.hh"
+#include "sim/engine.hh"
+#include "trace/categories.hh"
+
+namespace tstream
+{
+
+class Kernel;
+class KThread;
+
+/** Execution context for one quantum of one thread on one CPU. */
+class SysCtx
+{
+  public:
+    SysCtx(Engine &eng, Kernel &kern, CpuId cpu, KThread *thread)
+        : eng_(eng), kern_(kern), cpu_(cpu), thread_(thread)
+    {
+    }
+
+    Engine &engine() { return eng_; }
+    Kernel &kernel() { return kern_; }
+    CpuId cpu() const { return cpu_; }
+    KThread *thread() const { return thread_; }
+    Rng &rng() { return eng_.rng(); }
+
+    /** Kernel-space data read (no TLB model; kernel is locked in). */
+    void
+    read(Addr a, std::uint32_t size, FnId fn)
+    {
+        eng_.read(cpu_, a, size, fn);
+    }
+
+    /** Kernel-space data write. */
+    void
+    write(Addr a, std::uint32_t size, FnId fn)
+    {
+        eng_.write(cpu_, a, size, fn);
+    }
+
+    /** Pure compute cost. */
+    void
+    exec(std::uint32_t instrs)
+    {
+        eng_.exec(cpu_, instrs);
+    }
+
+    /** User-space read: TLB-checked (may emit MMU trap accesses). */
+    void userRead(Addr a, std::uint32_t size, FnId fn);
+
+    /** User-space write: TLB-checked. */
+    void userWrite(Addr a, std::uint32_t size, FnId fn);
+
+  private:
+    Engine &eng_;
+    Kernel &kern_;
+    CpuId cpu_;
+    KThread *thread_;
+};
+
+} // namespace tstream
+
+#endif // TSTREAM_KERNEL_CTX_HH

@@ -1,0 +1,145 @@
+#include "kernel/dispatcher.hh"
+
+namespace tstream
+{
+
+Dispatcher::Dispatcher(unsigned ncpu, BumpAllocator &kernel_heap,
+                       FunctionRegistry &reg)
+{
+    auto makeQueue = [&] {
+        DispQ dq;
+        dq.lockAddr = kernel_heap.allocBlocks(1);
+        dq.dispAddr = kernel_heap.allocBlocks(2);
+        return dq;
+    };
+    cpuq_.reserve(ncpu);
+    for (unsigned c = 0; c < ncpu; ++c)
+        cpuq_.push_back(makeQueue());
+    kpq_ = makeQueue();
+    maxRunPriAddr_ = kernel_heap.allocBlocks(1);
+
+    fnSwtch_ = reg.intern("swtch", Category::KernelScheduler);
+    fnGetwork_ = reg.intern("disp_getwork", Category::KernelScheduler);
+    fnGetbest_ = reg.intern("disp_getbest", Category::KernelScheduler);
+    fnDispdeq_ = reg.intern("dispdeq", Category::KernelScheduler);
+    fnRatify_ = reg.intern("disp_ratify", Category::KernelScheduler);
+    fnSetbackdq_ = reg.intern("setbackdq", Category::KernelScheduler);
+}
+
+void
+Dispatcher::enqueue(SysCtx &ctx, KThread *t, bool wakeup)
+{
+    // setbackdq picks the thread's last CPU for cache warmth, but a
+    // fraction of wakeups land on the waking CPU's queue (Solaris
+    // balances affinity against wakeup locality), which is what
+    // migrates threads — and their data — between CPUs.
+    unsigned target = t->lastCpu() % cpuq_.size();
+    if (wakeup && ctx.rng().chance(0.4))
+        target = ctx.cpu() % cpuq_.size();
+    DispQ &dq = cpuq_[target];
+    // Lock the queue, link the thread at the tail, bump nrunnable and
+    // publish stealable work.
+    ctx.read(dq.lockAddr, 8, fnSetbackdq_);
+    ctx.write(dq.lockAddr, 8, fnSetbackdq_);
+    ctx.write(t->linkAddr(), 16, fnSetbackdq_);
+    ctx.write(dq.dispAddr, 16, fnSetbackdq_);
+    ctx.exec(25);
+    dq.q.push_back(t);
+    ++totalRunnable_;
+    if (dq.q.size() == 1)
+        ctx.write(maxRunPriAddr_, 8, fnSetbackdq_);
+}
+
+void
+Dispatcher::probeQueue(SysCtx &ctx, DispQ &dq, FnId fn)
+{
+    ctx.read(dq.lockAddr, 8, fn);
+    ctx.read(dq.dispAddr, 16, fn);
+    ctx.exec(10);
+}
+
+KThread *
+Dispatcher::dequeueFrom(SysCtx &ctx, DispQ &dq)
+{
+    KThread *t = dq.q.front();
+    dq.q.pop_front();
+    // dispdeq: unlink under the queue lock, update nrunnable and the
+    // queue bitmap.
+    ctx.write(dq.lockAddr, 8, fnDispdeq_);
+    ctx.read(t->linkAddr(), 16, fnDispdeq_);
+    ctx.write(dq.dispAddr, 16, fnDispdeq_);
+    ctx.exec(20);
+    --totalRunnable_;
+    return t;
+}
+
+KThread *
+Dispatcher::pickNext(SysCtx &ctx)
+{
+    const unsigned self = ctx.cpu();
+
+    // swtch() entry: the idling CPU inspects the real-time queue
+    // first, always.
+    probeQueue(ctx, kpq_, fnSwtch_);
+    if (!kpq_.q.empty())
+        return dequeueFrom(ctx, kpq_);
+
+    // Own dispatch queue.
+    probeQueue(ctx, cpuq_[self], fnSwtch_);
+    if (!cpuq_[self].q.empty())
+        return dequeueFrom(ctx, cpuq_[self]);
+
+    // Idle loop: check the global stealable-work hint before paying
+    // for a full scan (disp_maxrunpri semantics). With nothing to
+    // steal — or while pausing between idle spins — the CPU stays on
+    // its own queue.
+    ctx.read(maxRunPriAddr_, 8, fnSwtch_);
+    if (totalRunnable_ == 0)
+        return nullptr;
+    if (ctx.rng().chance(0.5)) {
+        ctx.exec(60); // idle spin-pause before rescanning
+        return nullptr;
+    }
+
+    // disp_getwork: scan the other CPUs' queues in fixed order and
+    // steal from the first one with work available.
+    int bestCpu = -1;
+    for (unsigned i = 1; i < cpuq_.size(); ++i) {
+        const unsigned c = (self + i) % cpuq_.size();
+        ctx.read(cpuq_[c].dispAddr, 16, fnGetwork_);
+        ctx.exec(8);
+        if (!cpuq_[c].q.empty()) {
+            bestCpu = static_cast<int>(c);
+            break;
+        }
+    }
+    if (bestCpu < 0)
+        return nullptr;
+
+    // disp_getbest: examine the chosen victim thread's state.
+    DispQ &dq = cpuq_[static_cast<unsigned>(bestCpu)];
+    KThread *cand = dq.q.front();
+    ctx.read(dq.lockAddr, 8, fnGetbest_);
+    ctx.read(cand->priAddr(), 16, fnGetbest_);
+    ctx.read(cand->linkAddr(), 16, fnGetbest_);
+    ctx.exec(15);
+
+    KThread *t = dequeueFrom(ctx, dq);
+
+    // disp_ratify: confirm no higher-priority work appeared.
+    ctx.read(kpq_.dispAddr, 16, fnRatify_);
+    ctx.read(cpuq_[self].dispAddr, 16, fnRatify_);
+    ctx.exec(10);
+    return t;
+}
+
+std::size_t
+Dispatcher::runnableCount() const
+{
+    std::size_t n = kpq_.q.size();
+    for (const DispQ &dq : cpuq_)
+        n += dq.q.size();
+    return n;
+}
+
+} // namespace tstream

@@ -1,0 +1,85 @@
+#include "kernel/ip.hh"
+
+namespace tstream
+{
+
+namespace
+{
+constexpr Addr kPcbArena = 8 * 1024 * 1024;
+constexpr Addr kPktArena = 32 * 1024 * 1024;
+} // namespace
+
+IpSubsys::IpSubsys(BumpAllocator &kernel_heap, CopyEngine &copy,
+                   FunctionRegistry &reg)
+    : copy_(copy),
+      pcbArena_([&] {
+          const Addr b = kernel_heap.alloc(kPcbArena, kBlockSize);
+          return BumpAllocator(b, b + kPcbArena);
+      }()),
+      pktBufs_([&] {
+          const Addr b = kernel_heap.alloc(kPktArena, kBlockSize);
+          return RecyclingAllocator(b, b + kPktArena, 2048);
+      }())
+{
+    ireTable_ = kernel_heap.alloc(256 * kBlockSize, kBlockSize);
+    syncqBase_ = kernel_heap.alloc(128 * kBlockSize, kBlockSize);
+    fnTcpWput_ = reg.intern("tcp_wput_data", Category::KernelIpAssembly);
+    fnIpWput_ = reg.intern("ip_wput_local", Category::KernelIpAssembly);
+    fnCksum_ = reg.intern("ip_ocsum", Category::KernelIpAssembly);
+    // The Solaris TCP/IP stack is built out of STREAMS modules: every
+    // packet traverses module queues via putnext.
+    fnPutnext_ = reg.intern("putnext", Category::KernelStreams);
+    fnIre_ = reg.intern("ire_cache_lookup", Category::KernelIpAssembly);
+}
+
+Addr
+IpSubsys::newPcb()
+{
+    return pcbArena_.allocBlocks(2);
+}
+
+void
+IpSubsys::send(SysCtx &ctx, Addr pcb, Addr src, std::uint32_t len)
+{
+    std::uint32_t off = 0;
+    while (off < len) {
+        const std::uint32_t chunk = std::min(kMss, len - off);
+        ++packets_;
+
+        // tcp_wput_data: sequence numbers and window state in the PCB.
+        ctx.read(pcb, 32, fnTcpWput_);
+        ctx.write(pcb, 16, fnTcpWput_);
+
+        // STREAMS putnext through the tcp -> ip module queues: the
+        // per-stream syncq words are written on every traversal.
+        const Addr syncq =
+            syncqBase_ + (pcb >> kBlockBits) % 128 * kBlockSize;
+        ctx.read(syncq, 16, fnPutnext_);
+        ctx.write(syncq, 16, fnPutnext_);
+
+        // Routing entry lookup; the refcount update makes the shared
+        // IRE block migrate between sending CPUs.
+        const Addr ire =
+            ireTable_ + (pcb >> (kBlockBits + 2)) % 256 * kBlockSize;
+        ctx.read(ire, 32, fnIre_);
+        ctx.write(ire, 8, fnIre_);
+
+        // Payload lands in a recycled packet buffer.
+        const Addr pkt = pktBufs_.alloc();
+        copy_.bcopy(ctx, pkt + kBlockSize, src + off, chunk);
+
+        // ip_wput_local: header construction at the buffer head.
+        ctx.write(pkt, 40, fnIpWput_);
+
+        // Software checksum pass over the packet payload.
+        ctx.read(pkt + kBlockSize, chunk, fnCksum_);
+        ctx.exec(60 + chunk / 8);
+
+        // The NIC "transmits" (DMA read: no memory mutation) and the
+        // buffer returns to the pool.
+        pktBufs_.free(pkt);
+        off += chunk;
+    }
+}
+
+} // namespace tstream

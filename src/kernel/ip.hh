@@ -1,0 +1,62 @@
+/**
+ * @file
+ * IP packet assembly: dividing socket writes into MTU-sized packets.
+ *
+ * Models tcp_wput/ip_wput-style processing: per-packet header
+ * construction in recycled packet buffers, checksum passes over the
+ * payload, and per-connection protocol control block updates. Header
+ * and PCB manipulation is attributed to "Kernel IP packet assembly";
+ * payload movement to the copy engine.
+ */
+
+#ifndef TSTREAM_KERNEL_IP_HH
+#define TSTREAM_KERNEL_IP_HH
+
+#include <cstdint>
+
+#include "kernel/copy.hh"
+#include "kernel/ctx.hh"
+#include "mem/sim_alloc.hh"
+#include "trace/categories.hh"
+
+namespace tstream
+{
+
+/** IP/TCP output path model. */
+class IpSubsys
+{
+  public:
+    IpSubsys(BumpAllocator &kernel_heap, CopyEngine &copy,
+             FunctionRegistry &reg);
+
+    /**
+     * Allocate a per-connection protocol control block (tcp_t); its
+     * address is fixed for the connection's lifetime.
+     */
+    Addr newPcb();
+
+    /**
+     * Send @p len bytes from user buffer @p src over the connection
+     * with control block @p pcb: packetizes into MSS-sized chunks,
+     * each with header writes, a checksum read pass, and a payload
+     * copy into a recycled packet buffer.
+     */
+    void send(SysCtx &ctx, Addr pcb, Addr src, std::uint32_t len);
+
+    std::uint64_t packetsSent() const { return packets_; }
+
+  private:
+    static constexpr std::uint32_t kMss = 1460;
+
+    CopyEngine &copy_;
+    BumpAllocator pcbArena_;
+    RecyclingAllocator pktBufs_;
+    Addr ireTable_ = 0;  ///< routing entries (refcounted, shared)
+    Addr syncqBase_ = 0; ///< STREAMS perimeter queues of tcp/ip
+    FnId fnTcpWput_, fnIpWput_, fnCksum_, fnPutnext_, fnIre_;
+    std::uint64_t packets_ = 0;
+};
+
+} // namespace tstream
+
+#endif // TSTREAM_KERNEL_IP_HH

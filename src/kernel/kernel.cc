@@ -1,0 +1,127 @@
+#include "kernel/kernel.hh"
+
+namespace tstream
+{
+
+Kernel::Kernel(Engine &eng, const KernelConfig &cfg)
+    : eng_(eng), cfg_(cfg),
+      kernelHeap_(seg::kKernelHeap, seg::kKernelHeap + seg::kSegmentSize),
+      threadArena_([&] {
+          const Addr b =
+              kernelHeap_.alloc(32 * 1024 * 1024, kBlockSize);
+          return BumpAllocator(b, b + 32 * 1024 * 1024);
+      }())
+{
+    auto &reg = eng.registry();
+    sync_ = std::make_unique<SyncSubsys>(kernelHeap_, reg);
+    disp_ = std::make_unique<Dispatcher>(eng.numCpus(), kernelHeap_, reg);
+    vm_ = std::make_unique<Vm>(cfg.vm, eng.numCpus(), kernelHeap_, reg);
+    copy_ = std::make_unique<CopyEngine>(reg);
+    blockdev_ = std::make_unique<BlockDev>(kernelHeap_, *copy_, reg);
+    streams_ =
+        std::make_unique<StreamsSubsys>(kernelHeap_, *sync_, *copy_, reg);
+    ip_ = std::make_unique<IpSubsys>(kernelHeap_, *copy_, reg);
+    syscalls_ = std::make_unique<SyscallSubsys>(kernelHeap_, reg);
+}
+
+SimMutex
+Kernel::makeMutex()
+{
+    return SimMutex(kernelHeap_.allocBlocks(1), *sync_);
+}
+
+SimCondVar
+Kernel::makeCondVar()
+{
+    return SimCondVar(kernelHeap_.allocBlocks(1), *sync_);
+}
+
+KThread *
+Kernel::spawn(std::unique_ptr<Task> task, CpuId preferred_cpu,
+              int priority)
+{
+    const Addr tstruct = threadArena_.allocBlocks(2);
+    const Addr stack = threadArena_.allocBlocks(16);
+    threads_.push_back(std::make_unique<KThread>(std::move(task), tstruct,
+                                                 stack, priority));
+    KThread *t = threads_.back().get();
+    t->setLastCpu(preferred_cpu % eng_.numCpus());
+    ++liveThreads_;
+
+    // Initial enqueue happens outside any running quantum; charge the
+    // accesses to the preferred CPU.
+    SysCtx ctx(eng_, *this, t->lastCpu(), nullptr);
+    disp_->enqueue(ctx, t);
+    return t;
+}
+
+void
+Kernel::cvBlock(SysCtx &ctx, SimCondVar &cv)
+{
+    panicIf(ctx.thread() == nullptr, "cvBlock outside a thread quantum");
+    cv.enqueue(ctx, ctx.thread());
+    currentBlocked_ = true;
+}
+
+bool
+Kernel::cvWake(SysCtx &ctx, SimCondVar &cv)
+{
+    KThread *t = cv.dequeue(ctx);
+    if (t == nullptr)
+        return false;
+    disp_->enqueue(ctx, t, /*wakeup=*/true);
+    return true;
+}
+
+void
+Kernel::run(std::uint64_t instr_budget)
+{
+    const std::uint64_t start = eng_.totalInstructions();
+    const unsigned ncpu = eng_.numCpus();
+
+    // Idle-round guard: if no CPU finds work for many consecutive
+    // rounds, the workload has deadlocked or finished early.
+    unsigned idleRounds = 0;
+
+    while (eng_.totalInstructions() - start < instr_budget) {
+        bool anyRan = false;
+        for (unsigned c = 0; c < ncpu; ++c) {
+            SysCtx dctx(eng_, *this, static_cast<CpuId>(c), nullptr);
+            KThread *t = disp_->pickNext(dctx);
+            if (t == nullptr)
+                continue;
+            anyRan = true;
+            t->setLastCpu(static_cast<CpuId>(c));
+
+            SysCtx ctx(eng_, *this, static_cast<CpuId>(c), t);
+            if (eng_.rng().chance(cfg_.windowTrapRate))
+                vm_->windowTrap(ctx);
+
+            currentBlocked_ = false;
+            const RunResult res = t->task().run(ctx);
+            switch (res) {
+              case RunResult::Yield:
+                disp_->enqueue(ctx, t);
+                break;
+              case RunResult::Blocked:
+                panicIf(!currentBlocked_,
+                        "task returned Blocked without blocking on a "
+                        "kernel object");
+                break;
+              case RunResult::Done:
+                --liveThreads_;
+                break;
+            }
+        }
+        if (!anyRan) {
+            if (++idleRounds > 3)
+                break; // nothing runnable anywhere
+        } else {
+            idleRounds = 0;
+        }
+        if (liveThreads_ == 0)
+            break;
+    }
+}
+
+} // namespace tstream

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The Kernel: the Solaris-like substrate tying together the
+ * dispatcher, synchronization, VM, syscalls, STREAMS, IP, block
+ * device and copy engine, plus thread lifecycle and the simulation
+ * run loop.
+ *
+ * The run loop mirrors the paper's trace-collection setup: CPUs make
+ * progress round-robin with in-order execution and no timing model;
+ * each round a CPU dispatches a thread (emitting real scheduler
+ * accesses) and runs one task quantum.
+ */
+
+#ifndef TSTREAM_KERNEL_KERNEL_HH
+#define TSTREAM_KERNEL_KERNEL_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "kernel/blockdev.hh"
+#include "kernel/copy.hh"
+#include "kernel/ctx.hh"
+#include "kernel/dispatcher.hh"
+#include "kernel/ip.hh"
+#include "kernel/streams.hh"
+#include "kernel/sync.hh"
+#include "kernel/syscall.hh"
+#include "kernel/thread.hh"
+#include "kernel/vm.hh"
+#include "mem/sim_alloc.hh"
+#include "sim/engine.hh"
+
+namespace tstream
+{
+
+/** Tunables of the kernel substrate. */
+struct KernelConfig
+{
+    VmConfig vm;
+    /** Fraction of quanta that model a register-window trap. */
+    double windowTrapRate = 0.15;
+};
+
+/** The Solaris-like kernel substrate. */
+class Kernel
+{
+  public:
+    Kernel(Engine &eng, const KernelConfig &cfg = {});
+
+    Engine &engine() { return eng_; }
+    BumpAllocator &kernelHeap() { return kernelHeap_; }
+    Dispatcher &dispatcher() { return *disp_; }
+    SyncSubsys &sync() { return *sync_; }
+    Vm &vm() { return *vm_; }
+    CopyEngine &copy() { return *copy_; }
+    BlockDev &blockdev() { return *blockdev_; }
+    StreamsSubsys &streams() { return *streams_; }
+    IpSubsys &ip() { return *ip_; }
+    SyscallSubsys &syscalls() { return *syscalls_; }
+
+    /** Allocate a mutex word in kernel space. */
+    SimMutex makeMutex();
+
+    /** Allocate a condition variable in kernel space. */
+    SimCondVar makeCondVar();
+
+    /**
+     * Create a thread around @p task and make it runnable on
+     * @p preferred_cpu's dispatch queue.
+     */
+    KThread *spawn(std::unique_ptr<Task> task, CpuId preferred_cpu,
+                   int priority = 60);
+
+    /**
+     * Block the current thread on @p cv (cv_wait): the thread is
+     * enqueued and will not be dispatched until cvWake() delivers it.
+     * Valid only from inside a task quantum that then returns
+     * RunResult::Blocked.
+     */
+    void cvBlock(SysCtx &ctx, SimCondVar &cv);
+
+    /**
+     * Wake one waiter of @p cv (cv_signal): moves it to a dispatch
+     * queue.
+     * @return true if a thread was woken.
+     */
+    bool cvWake(SysCtx &ctx, SimCondVar &cv);
+
+    /**
+     * Run the simulation until (approximately) @p instr_budget
+     * instructions have been committed. Each round every CPU
+     * dispatches and runs one quantum.
+     */
+    void run(std::uint64_t instr_budget);
+
+    /** Number of live (runnable + blocked) threads. */
+    std::size_t liveThreads() const { return liveThreads_; }
+
+  private:
+    Engine &eng_;
+    KernelConfig cfg_;
+    BumpAllocator kernelHeap_;
+    BumpAllocator threadArena_;
+
+    std::unique_ptr<SyncSubsys> sync_;
+    std::unique_ptr<Dispatcher> disp_;
+    std::unique_ptr<Vm> vm_;
+    std::unique_ptr<CopyEngine> copy_;
+    std::unique_ptr<BlockDev> blockdev_;
+    std::unique_ptr<StreamsSubsys> streams_;
+    std::unique_ptr<IpSubsys> ip_;
+    std::unique_ptr<SyscallSubsys> syscalls_;
+
+    std::vector<std::unique_ptr<KThread>> threads_;
+    std::size_t liveThreads_ = 0;
+    bool currentBlocked_ = false;
+};
+
+} // namespace tstream
+
+#endif // TSTREAM_KERNEL_KERNEL_HH

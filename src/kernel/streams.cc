@@ -1,0 +1,95 @@
+#include "kernel/streams.hh"
+
+namespace tstream
+{
+
+namespace
+{
+
+/** Carve a dedicated mblk region out of the kernel heap. */
+Addr
+carveMblkRegion(BumpAllocator &kernel_heap)
+{
+    constexpr Addr kMblkRegion = 64 * 1024 * 1024;
+    return kernel_heap.alloc(kMblkRegion, kBlockSize);
+}
+
+} // namespace
+
+StreamsSubsys::StreamsSubsys(BumpAllocator &kernel_heap, SyncSubsys &sync,
+                             CopyEngine &copy, FunctionRegistry &reg)
+    : mblks_([&] {
+          const Addr base = carveMblkRegion(kernel_heap);
+          return RecyclingAllocator(base, base + 64 * 1024 * 1024, 2048);
+      }()),
+      sync_(sync), copy_(copy)
+{
+    fnPutq_ = reg.intern("putq", Category::KernelStreams);
+    fnGetq_ = reg.intern("getq", Category::KernelStreams);
+    fnAllocb_ = reg.intern("allocb", Category::KernelStreams);
+    fnStrread_ = reg.intern("strread", Category::KernelStreams);
+    fnStrwrite_ = reg.intern("strwrite", Category::KernelStreams);
+}
+
+StreamsQueue::StreamsQueue(StreamsSubsys &subsys,
+                           BumpAllocator &kernel_heap)
+    : subsys_(subsys),
+      qlock_(kernel_heap.allocBlocks(1), subsys.sync()),
+      qhead_(kernel_heap.allocBlocks(1))
+{
+}
+
+void
+StreamsQueue::put(SysCtx &ctx, Addr src, std::uint32_t len)
+{
+    // allocb: grab an mblk from the (heavily recycled) arena and set
+    // up its header.
+    const Addr mblk = subsys_.mblkArena().alloc();
+    ctx.write(mblk, 32, subsys_.fnAllocb());
+    ctx.exec(30);
+
+    // Copy the payload in from the writer's buffer.
+    subsys_.copy().copyin(ctx, mblk + kBlockSize, src, len);
+
+    // putq: queue lock, link the message, update q_count, and read
+    // the stream head for flow control.
+    qlock_.acquire(ctx);
+    ctx.read(qhead_, 16, subsys_.fnPutq());
+    ctx.write(qhead_, 16, subsys_.fnPutq());
+    ctx.write(mblk + 32, 16, subsys_.fnPutq()); // b_next link
+    qlock_.release(ctx);
+    ctx.exec(25);
+
+    msgs_.push_back({mblk, len});
+}
+
+std::uint32_t
+StreamsQueue::get(SysCtx &ctx, Addr dst)
+{
+    // getq: queue lock and head inspection happen regardless of
+    // whether data is present.
+    qlock_.acquire(ctx);
+    ctx.read(qhead_, 16, subsys_.fnGetq());
+    if (msgs_.empty()) {
+        qlock_.release(ctx);
+        ctx.exec(15);
+        return 0;
+    }
+    Msg m = msgs_.front();
+    msgs_.pop_front();
+    ctx.read(m.mblk, 32, subsys_.fnGetq());
+    ctx.write(qhead_, 16, subsys_.fnGetq());
+    qlock_.release(ctx);
+    ctx.exec(25);
+
+    // strread tail: deliver the payload to the reader's buffer with
+    // non-allocating stores (kernel-to-user copyout).
+    subsys_.copy().copyout(ctx, dst, m.mblk + kBlockSize, m.len);
+
+    // Free the mblk back to the arena (hence address reuse).
+    ctx.write(m.mblk, 16, subsys_.fnAllocb());
+    subsys_.mblkArena().free(m.mblk);
+    return m.len;
+}
+
+} // namespace tstream

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The Solaris STREAMS subsystem: message-based I/O pipes.
+ *
+ * STREAMS implements stdio-style pipes as chains of thread-safe
+ * message queues. putq/getq manipulate message-block (mblk) headers
+ * and queue locks; both live at heavily reused kernel addresses, which
+ * is why the paper finds ~80% of STREAMS misses inside temporal
+ * streams (Section 5.1). Payload movement goes through the copy
+ * engine (attributed to bulk copies, as in the paper's Table 2).
+ */
+
+#ifndef TSTREAM_KERNEL_STREAMS_HH
+#define TSTREAM_KERNEL_STREAMS_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "kernel/copy.hh"
+#include "kernel/ctx.hh"
+#include "kernel/sync.hh"
+#include "mem/sim_alloc.hh"
+#include "trace/categories.hh"
+
+namespace tstream
+{
+
+/** Shared mblk arena and function ids of the STREAMS subsystem. */
+class StreamsSubsys
+{
+  public:
+    StreamsSubsys(BumpAllocator &kernel_heap, SyncSubsys &sync,
+                  CopyEngine &copy, FunctionRegistry &reg);
+
+    RecyclingAllocator &mblkArena() { return mblks_; }
+    SyncSubsys &sync() { return sync_; }
+    CopyEngine &copy() { return copy_; }
+
+    FnId fnPutq() const { return fnPutq_; }
+    FnId fnGetq() const { return fnGetq_; }
+    FnId fnAllocb() const { return fnAllocb_; }
+    FnId fnStrread() const { return fnStrread_; }
+    FnId fnStrwrite() const { return fnStrwrite_; }
+
+  private:
+    RecyclingAllocator mblks_;
+    SyncSubsys &sync_;
+    CopyEngine &copy_;
+    FnId fnPutq_, fnGetq_, fnAllocb_, fnStrread_, fnStrwrite_;
+};
+
+/**
+ * One unidirectional STREAMS queue (half of a pipe). Messages carry a
+ * source user buffer's data into mblks on put, and copy out to a
+ * destination user buffer on get.
+ */
+class StreamsQueue
+{
+  public:
+    StreamsQueue(StreamsSubsys &subsys, BumpAllocator &kernel_heap);
+
+    /**
+     * strwrite/putq: allocate an mblk, copy @p len bytes from user
+     * @p src into it, link it on the queue.
+     */
+    void put(SysCtx &ctx, Addr src, std::uint32_t len);
+
+    /**
+     * strread/getq: unlink the head message and copy it out to user
+     * @p dst with non-allocating stores.
+     * @return bytes delivered (0 if the queue was empty).
+     */
+    std::uint32_t get(SysCtx &ctx, Addr dst);
+
+    bool empty() const { return msgs_.empty(); }
+    std::size_t depth() const { return msgs_.size(); }
+
+  private:
+    struct Msg
+    {
+        Addr mblk;
+        std::uint32_t len;
+    };
+
+    StreamsSubsys &subsys_;
+    SimMutex qlock_;
+    Addr qhead_; ///< q_first/q_count fields
+    std::deque<Msg> msgs_;
+};
+
+} // namespace tstream
+
+#endif // TSTREAM_KERNEL_STREAMS_HH

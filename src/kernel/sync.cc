@@ -1,0 +1,84 @@
+#include "kernel/sync.hh"
+
+#include "kernel/thread.hh"
+
+namespace tstream
+{
+
+SyncSubsys::SyncSubsys(BumpAllocator &kernel_heap, FunctionRegistry &reg)
+{
+    turnstileBase_ = kernel_heap.alloc(kBuckets * kBlockSize, kBlockSize);
+    fnMutexEnter_ = reg.intern("mutex_enter", Category::KernelSync);
+    fnMutexExit_ = reg.intern("mutex_exit", Category::KernelSync);
+    fnTurnstile_ = reg.intern("turnstile_block", Category::KernelSync);
+    fnCvWait_ = reg.intern("cv_wait_sig", Category::KernelSync);
+    fnCvSignal_ = reg.intern("cv_signal", Category::KernelSync);
+}
+
+Addr
+SyncSubsys::turnstileBucket(Addr lock) const
+{
+    return turnstileBase_ +
+           (lock * 0x9e3779b97f4a7c15ull >> 40) % kBuckets * kBlockSize;
+}
+
+void
+SimMutex::acquire(SysCtx &ctx)
+{
+    // Lock-word read; a CAS write claims ownership. When the word was
+    // last written by another CPU this pair is a coherence transfer.
+    ctx.read(addr_, 8, sync_.fnMutexEnter());
+    if (held_ && holderCpu_ != static_cast<int>(ctx.cpu())) {
+        // Adaptive spin: re-read the owner a couple of times, then
+        // touch the turnstile bucket as if preparing to block.
+        ctx.read(addr_, 8, sync_.fnMutexEnter());
+        ctx.read(sync_.turnstileBucket(addr_), 16, sync_.fnTurnstile());
+        ctx.exec(40);
+    }
+    ctx.write(addr_, 8, sync_.fnMutexEnter());
+    ctx.exec(6);
+    held_ = true;
+    holderCpu_ = static_cast<int>(ctx.cpu());
+}
+
+void
+SimMutex::release(SysCtx &ctx)
+{
+    ctx.write(addr_, 8, sync_.fnMutexExit());
+    ctx.exec(4);
+    held_ = false;
+}
+
+void
+SimCondVar::enqueue(SysCtx &ctx, KThread *t)
+{
+    // cv word (waiter count) plus sleep-queue head and the thread's
+    // own link field.
+    ctx.read(addr_, 8, sync_.fnCvWait());
+    ctx.write(addr_, 8, sync_.fnCvWait());
+    ctx.write(sync_.turnstileBucket(addr_), 16, sync_.fnCvWait());
+    ctx.write(t->linkAddr(), 16, sync_.fnCvWait());
+    ctx.exec(30);
+    sleepers_.push_back(t);
+}
+
+KThread *
+SimCondVar::dequeue(SysCtx &ctx)
+{
+    ctx.read(addr_, 8, sync_.fnCvSignal());
+    if (sleepers_.empty()) {
+        ctx.exec(8);
+        return nullptr;
+    }
+    KThread *t = sleepers_.front();
+    sleepers_.pop_front();
+    // Unlink the head of the sleep queue.
+    ctx.read(sync_.turnstileBucket(addr_), 16, sync_.fnCvSignal());
+    ctx.write(sync_.turnstileBucket(addr_), 16, sync_.fnCvSignal());
+    ctx.read(t->linkAddr(), 16, sync_.fnCvSignal());
+    ctx.write(addr_, 8, sync_.fnCvSignal());
+    ctx.exec(35);
+    return t;
+}
+
+} // namespace tstream

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Solaris-style synchronization primitives: adaptive mutexes and
+ * condition variables with turnstile sleep queues.
+ *
+ * The simulation is functional, so primitives never deadlock the
+ * simulator; what matters is the access pattern: lock words live at
+ * fixed addresses and bounce between CPUs (the paper's coherence-miss
+ * streams), and the sleep-queue manipulation touches turnstile chains
+ * in repeating order.
+ */
+
+#ifndef TSTREAM_KERNEL_SYNC_HH
+#define TSTREAM_KERNEL_SYNC_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "kernel/ctx.hh"
+#include "mem/address.hh"
+#include "mem/sim_alloc.hh"
+#include "trace/categories.hh"
+
+namespace tstream
+{
+
+class KThread;
+
+/** Shared state and function ids of the sync subsystem. */
+class SyncSubsys
+{
+  public:
+    SyncSubsys(BumpAllocator &kernel_heap, FunctionRegistry &reg);
+
+    Addr turnstileBucket(Addr lock) const;
+
+    FnId fnMutexEnter() const { return fnMutexEnter_; }
+    FnId fnMutexExit() const { return fnMutexExit_; }
+    FnId fnTurnstile() const { return fnTurnstile_; }
+    FnId fnCvWait() const { return fnCvWait_; }
+    FnId fnCvSignal() const { return fnCvSignal_; }
+
+  private:
+    Addr turnstileBase_;
+    static constexpr unsigned kBuckets = 512;
+    FnId fnMutexEnter_, fnMutexExit_, fnTurnstile_, fnCvWait_,
+        fnCvSignal_;
+};
+
+/**
+ * An adaptive mutex at a fixed simulated address.
+ *
+ * acquire() emits the lock-word read + CAS write; when the previous
+ * holder was another CPU this is a coherence transfer. Contention
+ * (same-quantum holder) adds spin reads and a turnstile touch.
+ */
+class SimMutex
+{
+  public:
+    SimMutex(Addr addr, SyncSubsys &sync)
+        : addr_(addr), sync_(sync)
+    {
+    }
+
+    /** Acquire: lock word read + owner write; contention modeled. */
+    void acquire(SysCtx &ctx);
+
+    /** Release: owner clear. */
+    void release(SysCtx &ctx);
+
+    Addr address() const { return addr_; }
+
+  private:
+    Addr addr_;
+    SyncSubsys &sync_;
+    int holderCpu_ = -1;
+    bool held_ = false;
+};
+
+/**
+ * A condition variable with a sleep queue of KThreads. wait() and
+ * signal() emit the cv-word and sleep-queue accesses; actual thread
+ * wakeup is routed through the Kernel (see Kernel::cvBlock/cvWake).
+ */
+class SimCondVar
+{
+  public:
+    SimCondVar(Addr addr, SyncSubsys &sync)
+        : addr_(addr), sync_(sync)
+    {
+    }
+
+    /** Enqueue @p t on the sleep queue, emitting cv accesses. */
+    void enqueue(SysCtx &ctx, KThread *t);
+
+    /** Dequeue the longest-waiting thread (nullptr if none). */
+    KThread *dequeue(SysCtx &ctx);
+
+    bool empty() const { return sleepers_.empty(); }
+    std::size_t waiters() const { return sleepers_.size(); }
+    Addr address() const { return addr_; }
+
+  private:
+    Addr addr_;
+    SyncSubsys &sync_;
+    std::deque<KThread *> sleepers_;
+};
+
+} // namespace tstream
+
+#endif // TSTREAM_KERNEL_SYNC_HH

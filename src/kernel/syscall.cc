@@ -1,0 +1,130 @@
+#include "kernel/syscall.hh"
+
+namespace tstream
+{
+
+namespace
+{
+constexpr Addr kProcArena = 16 * 1024 * 1024;
+constexpr Addr kFileArena = 64 * 1024 * 1024;
+constexpr unsigned kDnlcBuckets = 1024;
+} // namespace
+
+SyscallSubsys::SyscallSubsys(BumpAllocator &kernel_heap,
+                             FunctionRegistry &reg)
+    : procArena_([&] {
+          const Addr b = kernel_heap.alloc(kProcArena, kBlockSize);
+          return BumpAllocator(b, b + kProcArena);
+      }()),
+      fileArena_([&] {
+          const Addr b = kernel_heap.alloc(kFileArena, kBlockSize);
+          return BumpAllocator(b, b + kFileArena);
+      }())
+{
+    dnlcBase_ = kernel_heap.alloc(kDnlcBuckets * kBlockSize, kBlockSize);
+    fnSyscall_ = reg.intern("syscall_trap", Category::SystemCalls);
+    fnPoll_ = reg.intern("poll", Category::SystemCalls);
+    fnRead_ = reg.intern("read", Category::SystemCalls);
+    fnWrite_ = reg.intern("write", Category::SystemCalls);
+    fnOpen_ = reg.intern("open", Category::SystemCalls);
+    fnStat_ = reg.intern("stat", Category::SystemCalls);
+}
+
+ProcDesc
+SyscallSubsys::newProc()
+{
+    ProcDesc p;
+    p.proc = procArena_.allocBlocks(4);
+    p.fdTable = procArena_.allocBlocks(16);
+    return p;
+}
+
+std::uint32_t
+SyscallSubsys::newFile()
+{
+    File f;
+    f.vnode = fileArena_.allocBlocks(2);
+    f.pollhead = fileArena_.allocBlocks(1);
+    files_.push_back(f);
+    return static_cast<std::uint32_t>(files_.size() - 1);
+}
+
+void
+SyscallSubsys::enter(SysCtx &ctx, const ProcDesc &p, std::uint32_t fd)
+{
+    // Trap entry: credentials, then the uf_entry slot for the fd.
+    ctx.read(p.proc, 32, fnSyscall_);
+    ctx.read(p.fdTable + (fd % 256) * 16, 16, fnSyscall_);
+    ctx.exec(40);
+}
+
+void
+SyscallSubsys::poll(SysCtx &ctx, const ProcDesc &p,
+                    const std::vector<std::uint32_t> &fds)
+{
+    ctx.read(p.proc, 32, fnPoll_);
+    unsigned i = 0;
+    for (std::uint32_t fd : fds) {
+        ctx.read(p.fdTable + (fd % 256) * 16, 16, fnPoll_);
+        if (!files_.empty()) {
+            const File &f = files_[fd % files_.size()];
+            ctx.read(f.vnode, 16, fnPoll_);
+            ctx.read(f.pollhead, 16, fnPoll_);
+            // Register interest on a fraction of descriptors: the
+            // pollhead waiter list is written, so it migrates between
+            // the CPUs that poll it.
+            if (++i % 8 == 0)
+                ctx.write(f.pollhead, 16, fnPoll_);
+        }
+        ctx.exec(25);
+    }
+    // pollstate cache write-back.
+    ctx.write(p.proc + kBlockSize, 16, fnPoll_);
+    ctx.exec(50);
+}
+
+void
+SyscallSubsys::readEntry(SysCtx &ctx, const ProcDesc &p, std::uint32_t fd)
+{
+    enter(ctx, p, fd);
+    if (!files_.empty()) {
+        const File &f = files_[fd % files_.size()];
+        ctx.read(f.vnode, 32, fnRead_);
+        ctx.write(f.vnode + kBlockSize, 16, fnRead_); // offset update
+    }
+    ctx.exec(60);
+}
+
+void
+SyscallSubsys::writeEntry(SysCtx &ctx, const ProcDesc &p,
+                          std::uint32_t fd)
+{
+    enter(ctx, p, fd);
+    if (!files_.empty()) {
+        const File &f = files_[fd % files_.size()];
+        ctx.read(f.vnode, 32, fnWrite_);
+        ctx.write(f.vnode + kBlockSize, 16, fnWrite_);
+    }
+    ctx.exec(60);
+}
+
+void
+SyscallSubsys::openStat(SysCtx &ctx, const ProcDesc &p,
+                        std::uint32_t pathHash)
+{
+    ctx.read(p.proc, 32, fnOpen_);
+    // DNLC probe chain: two buckets derived from the path hash.
+    const Addr b1 =
+        dnlcBase_ + (pathHash % kDnlcBuckets) * kBlockSize;
+    const Addr b2 =
+        dnlcBase_ + ((pathHash * 2654435761u) % kDnlcBuckets) * kBlockSize;
+    ctx.read(b1, 32, fnStat_);
+    ctx.read(b2, 32, fnStat_);
+    if (!files_.empty()) {
+        const File &f = files_[pathHash % files_.size()];
+        ctx.read(f.vnode, 32, fnStat_);
+    }
+    ctx.exec(120);
+}
+
+} // namespace tstream

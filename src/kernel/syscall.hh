@@ -1,0 +1,81 @@
+/**
+ * @file
+ * System call implementation layer: the kernel-side access patterns of
+ * poll/read/write/open/stat, the paper's dominant syscalls ("the most
+ * frequent system calls all involve I/O, with poll, open, read, write,
+ * and stat dominating", Table 2).
+ *
+ * Each call touches the invoking process's proc/user structures, the
+ * file-descriptor table, and per-file vnode/pollhead structures. All
+ * of these live at fixed kernel addresses per process/descriptor, so
+ * busy servers replay the same access sequences request after request.
+ */
+
+#ifndef TSTREAM_KERNEL_SYSCALL_HH
+#define TSTREAM_KERNEL_SYSCALL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "kernel/ctx.hh"
+#include "mem/sim_alloc.hh"
+#include "trace/categories.hh"
+
+namespace tstream
+{
+
+/** A simulated process's kernel-side identity. */
+struct ProcDesc
+{
+    Addr proc;    ///< proc_t
+    Addr fdTable; ///< uf_entry array
+};
+
+/** Syscall access-pattern library. */
+class SyscallSubsys
+{
+  public:
+    SyscallSubsys(BumpAllocator &kernel_heap, FunctionRegistry &reg);
+
+    /** Create kernel structures for a new process. */
+    ProcDesc newProc();
+
+    /** Create a vnode + pollhead for a descriptor; returns its id. */
+    std::uint32_t newFile();
+
+    /** Common syscall entry: proc credentials + fd table slot. */
+    void enter(SysCtx &ctx, const ProcDesc &p, std::uint32_t fd);
+
+    /**
+     * poll(2) over @p fds: scans each descriptor's uf_entry, vnode and
+     * pollhead — the pointer-chasing scan that makes poll the largest
+     * OS miss source in web serving (Section 5.1).
+     */
+    void poll(SysCtx &ctx, const ProcDesc &p,
+              const std::vector<std::uint32_t> &fds);
+
+    /** read(2)/write(2) kernel prologue (file offset, vnode locks). */
+    void readEntry(SysCtx &ctx, const ProcDesc &p, std::uint32_t fd);
+    void writeEntry(SysCtx &ctx, const ProcDesc &p, std::uint32_t fd);
+
+    /** open(2)/stat(2): directory lookup cache probes + vnode init. */
+    void openStat(SysCtx &ctx, const ProcDesc &p, std::uint32_t pathHash);
+
+  private:
+    struct File
+    {
+        Addr vnode;
+        Addr pollhead;
+    };
+
+    BumpAllocator procArena_;
+    BumpAllocator fileArena_;
+    Addr dnlcBase_; ///< directory name lookup cache
+    std::vector<File> files_;
+
+    FnId fnSyscall_, fnPoll_, fnRead_, fnWrite_, fnOpen_, fnStat_;
+};
+
+} // namespace tstream
+
+#endif // TSTREAM_KERNEL_SYSCALL_HH

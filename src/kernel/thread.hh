@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Kernel threads and the cooperative task model.
+ *
+ * Application behaviour is expressed as Task state machines; a KThread
+ * is the kernel-visible schedulable entity wrapping a task, with a
+ * simulated kthread structure whose fields the dispatcher reads and
+ * writes (so scheduling itself produces the memory accesses the paper
+ * attributes to the Solaris scheduler).
+ */
+
+#ifndef TSTREAM_KERNEL_THREAD_HH
+#define TSTREAM_KERNEL_THREAD_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "mem/address.hh"
+#include "trace/record.hh"
+
+namespace tstream
+{
+
+class SysCtx;
+
+/** Outcome of one task quantum. */
+enum class RunResult : std::uint8_t
+{
+    Yield,   ///< still runnable; requeue on a dispatch queue
+    Blocked, ///< waiting (I/O or condition variable); kernel wakes it
+    Done,    ///< task finished; thread exits
+};
+
+/**
+ * An application-behaviour state machine. run() executes one quantum
+ * (one transaction step, one request stage, ...) and reports whether
+ * the thread should be requeued, slept, or reaped.
+ */
+class Task
+{
+  public:
+    virtual ~Task() = default;
+
+    /** Execute one quantum on the context's CPU. */
+    virtual RunResult run(SysCtx &ctx) = 0;
+};
+
+/** Kernel thread: scheduling state plus simulated kthread storage. */
+class KThread
+{
+  public:
+    /**
+     * @param tstruct Simulated address of the kthread structure
+     *                (2 cache blocks: t_pri/t_state in the first,
+     *                 dispatch links in the second).
+     * @param stack   Simulated stack base (for window spill/fill).
+     * @param pri     Dispatch priority (higher runs first).
+     */
+    KThread(std::unique_ptr<Task> task, Addr tstruct, Addr stack,
+            int pri)
+        : task_(std::move(task)), tstruct_(tstruct), stack_(stack),
+          pri_(pri)
+    {
+    }
+
+    Task &task() { return *task_; }
+    Addr tstruct() const { return tstruct_; }
+    Addr stack() const { return stack_; }
+    int priority() const { return pri_; }
+
+    /** CPU the thread last ran on (affinity hint). */
+    CpuId lastCpu() const { return lastCpu_; }
+    void setLastCpu(CpuId c) { lastCpu_ = c; }
+
+    /** Address of the dispatch-link field within the kthread. */
+    Addr linkAddr() const { return tstruct_ + kBlockSize; }
+
+    /** Address of the priority/state word. */
+    Addr priAddr() const { return tstruct_; }
+
+  private:
+    std::unique_ptr<Task> task_;
+    Addr tstruct_;
+    Addr stack_;
+    int pri_;
+    CpuId lastCpu_ = 0;
+};
+
+} // namespace tstream
+
+#endif // TSTREAM_KERNEL_THREAD_HH

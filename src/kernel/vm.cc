@@ -1,0 +1,71 @@
+#include "kernel/vm.hh"
+
+#include "kernel/thread.hh"
+
+namespace tstream
+{
+
+Vm::Vm(const VmConfig &cfg, unsigned ncpu, BumpAllocator &kernel_heap,
+       FunctionRegistry &reg)
+    : cfg_(cfg),
+      tlb_(ncpu, std::vector<std::uint64_t>(cfg.tlbEntries, UINT64_MAX))
+{
+    // TSB: 16 B per entry; HME hash region: one block per bucket.
+    tsbBase_ = kernel_heap.alloc(cfg.tsbEntries * 16, kBlockSize);
+    hmeBase_ = kernel_heap.alloc((cfg.tsbEntries / 4) * kBlockSize,
+                                 kBlockSize);
+    fnTsbMiss_ =
+        reg.intern("sfmmu_tsb_miss", Category::KernelMmuTrap);
+    fnHmeWalk_ =
+        reg.intern("sfmmu_hblk_hash_search", Category::KernelMmuTrap);
+    fnWindow_ = reg.intern("winfix_spill_fill", Category::KernelMmuTrap);
+}
+
+void
+Vm::translate(SysCtx &ctx, Addr a)
+{
+    const std::uint64_t page = pageOf(a);
+    auto &tlb = tlb_[ctx.cpu()];
+    const std::size_t idx =
+        (page * 0x9e3779b97f4a7c15ull >> 32) % tlb.size();
+    if (tlb[idx] == page)
+        return;
+
+    // data_access_MMU_miss: probe the TSB entry for this page.
+    ++tlbMisses_;
+    const Addr tsbEntry =
+        tsbBase_ + (page * 2654435761u % cfg_.tsbEntries) * 16;
+    ctx.read(tsbEntry, 16, fnTsbMiss_);
+    ctx.exec(20);
+
+    // Occasionally the TSB misses too and the handler walks the hash
+    // chains of HME blocks (fixed bucket address per page).
+    if (ctx.rng().chance(cfg_.tsbMissRate)) {
+        const Addr bucket =
+            hmeBase_ +
+            (page * 0x61c8864680b583ebull % (cfg_.tsbEntries / 4)) *
+                kBlockSize;
+        ctx.read(bucket, 16, fnHmeWalk_);
+        ctx.read(bucket + 16, 16, fnHmeWalk_);
+        // Refill the TSB entry.
+        ctx.write(tsbEntry, 16, fnTsbMiss_);
+        ctx.exec(60);
+    }
+
+    tlb[idx] = page;
+}
+
+void
+Vm::windowTrap(SysCtx &ctx)
+{
+    const KThread *t = ctx.thread();
+    if (t == nullptr)
+        return;
+    // Spill/fill a window of eight registers to the thread stack.
+    const Addr frame =
+        t->stack() + (ctx.rng().below(8)) * kBlockSize;
+    ctx.write(frame, 64, fnWindow_);
+    ctx.exec(12);
+}
+
+} // namespace tstream

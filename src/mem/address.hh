@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Simulated physical address space: geometry constants and helpers.
+ *
+ * The whole toolkit works on a 64-bit simulated physical address space.
+ * Cache-relevant geometry matches the paper's system models: 64-byte
+ * cache blocks and 4 KB OS pages (the paper's Figure 4 attributes the
+ * stream-length step at 4 KB to the Solaris page size).
+ */
+
+#ifndef TSTREAM_MEM_ADDRESS_HH
+#define TSTREAM_MEM_ADDRESS_HH
+
+#include <cstdint>
+
+namespace tstream
+{
+
+/** A simulated physical byte address. */
+using Addr = std::uint64_t;
+
+/** A cache-block number (Addr >> kBlockBits). */
+using BlockId = std::uint64_t;
+
+/** log2 of the cache block size. */
+constexpr unsigned kBlockBits = 6;
+
+/** Cache block size in bytes (64 B, as in the paper's models). */
+constexpr Addr kBlockSize = Addr{1} << kBlockBits;
+
+/** log2 of the OS page size. */
+constexpr unsigned kPageBits = 12;
+
+/** OS page size in bytes (4 KB; Solaris base page). */
+constexpr Addr kPageSize = Addr{1} << kPageBits;
+
+/** Cache blocks per OS page (64). */
+constexpr Addr kBlocksPerPage = kPageSize / kBlockSize;
+
+/** Block number containing byte address @p a. */
+constexpr BlockId
+blockOf(Addr a)
+{
+    return a >> kBlockBits;
+}
+
+/** First byte address of block @p b. */
+constexpr Addr
+blockBase(BlockId b)
+{
+    return b << kBlockBits;
+}
+
+/** Page number containing byte address @p a. */
+constexpr std::uint64_t
+pageOf(Addr a)
+{
+    return a >> kPageBits;
+}
+
+/** Align @p a down to its block base. */
+constexpr Addr
+blockAlign(Addr a)
+{
+    return a & ~(kBlockSize - 1);
+}
+
+/** Number of blocks an access of @p size bytes at @p a touches. */
+constexpr unsigned
+blocksSpanned(Addr a, std::uint32_t size)
+{
+    if (size == 0)
+        return 0;
+    const BlockId first = blockOf(a);
+    const BlockId last = blockOf(a + size - 1);
+    return static_cast<unsigned>(last - first + 1);
+}
+
+} // namespace tstream
+
+#endif // TSTREAM_MEM_ADDRESS_HH

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Set-associative cache with true-LRU replacement.
+ *
+ * This is a functional (timing-free) model: the paper collects traces
+ * with in-order execution and no memory-system stalls, so all we need
+ * is hit/miss/eviction behaviour and per-line coherence state.
+ */
+
+#ifndef TSTREAM_MEM_CACHE_HH
+#define TSTREAM_MEM_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mem/address.hh"
+#include "mem/coherence.hh"
+#include "util/logging.hh"
+
+namespace tstream
+{
+
+/** Geometry of one cache. */
+struct CacheConfig
+{
+    std::uint64_t sizeBytes = 0;
+    unsigned ways = 1;
+
+    /** Number of sets implied by the geometry. */
+    std::uint64_t
+    numSets() const
+    {
+        return sizeBytes / (kBlockSize * ways);
+    }
+};
+
+/** Standard configurations from the paper's system models. */
+namespace cachecfg
+{
+/** 64 KB 2-way L1 (per paper: split I/D; we model the D side). */
+constexpr CacheConfig kL1{64 * 1024, 2};
+/** 8 MB 16-way L2. */
+constexpr CacheConfig kL2{8 * 1024 * 1024, 16};
+} // namespace cachecfg
+
+/**
+ * A set-associative cache of coherence-stated blocks.
+ *
+ * The cache stores no data, only (tag, state, lru) tuples. Insertion
+ * returns the victim, if any, so callers can maintain inclusion or
+ * write-back invariants.
+ */
+class Cache
+{
+  public:
+    /** Result of a lookup. */
+    struct Line
+    {
+        BlockId block;
+        CohState state;
+    };
+
+    explicit Cache(const CacheConfig &cfg);
+
+    /**
+     * Look up @p blk. On a hit the LRU stamp is refreshed and the
+     * line's state is returned; on a miss std::nullopt.
+     */
+    std::optional<CohState> lookup(BlockId blk);
+
+    /** Like lookup() but without touching LRU state (for probes). */
+    std::optional<CohState> probe(BlockId blk) const;
+
+    /**
+     * Insert @p blk in @p st, evicting the LRU way if the set is full.
+     * @return the evicted line, if any.
+     */
+    std::optional<Line> insert(BlockId blk, CohState st);
+
+    /**
+     * Change the state of a resident block.
+     * @return false if the block is not resident.
+     */
+    bool setState(BlockId blk, CohState st);
+
+    /**
+     * Invalidate @p blk if resident.
+     * @return the line's prior state, if it was resident.
+     */
+    std::optional<CohState> invalidate(BlockId blk);
+
+    /** Number of resident (non-invalid) lines. */
+    std::size_t residentCount() const;
+
+    const CacheConfig &config() const { return cfg_; }
+
+  private:
+    struct Way
+    {
+        BlockId tag = 0;
+        CohState state = CohState::Invalid;
+        std::uint64_t lru = 0;
+    };
+
+    std::uint64_t setIndex(BlockId blk) const { return blk & setMask_; }
+
+    /** Find the way holding @p blk in its set, or -1. */
+    int findWay(std::uint64_t set, BlockId blk) const;
+
+    CacheConfig cfg_;
+    std::uint64_t setMask_;
+    unsigned ways_;
+    std::vector<Way> lines_; ///< sets * ways, row-major
+    std::uint64_t tick_ = 0;
+};
+
+} // namespace tstream
+
+#endif // TSTREAM_MEM_CACHE_HH

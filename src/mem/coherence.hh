@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Coherence states shared by the MSI (multi-chip) and MOSI
+ * (single-chip, Piranha-like) protocol models.
+ */
+
+#ifndef TSTREAM_MEM_COHERENCE_HH
+#define TSTREAM_MEM_COHERENCE_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace tstream
+{
+
+/**
+ * Per-line coherence state. The multi-chip MSI model uses
+ * {Invalid, Shared, Modified}; the single-chip MOSI model additionally
+ * uses Owned (dirty but shared, supplier on peer misses).
+ */
+enum class CohState : std::uint8_t
+{
+    Invalid,
+    Shared,
+    Owned,
+    Modified,
+};
+
+/** True if the state confers read permission. */
+constexpr bool
+readable(CohState s)
+{
+    return s != CohState::Invalid;
+}
+
+/** True if the state confers write permission without upgrade. */
+constexpr bool
+writable(CohState s)
+{
+    return s == CohState::Modified;
+}
+
+/** True if the line holds the only up-to-date copy (must write back). */
+constexpr bool
+dirty(CohState s)
+{
+    return s == CohState::Modified || s == CohState::Owned;
+}
+
+/** Short name for debugging. */
+constexpr std::string_view
+cohStateName(CohState s)
+{
+    switch (s) {
+      case CohState::Invalid: return "I";
+      case CohState::Shared: return "S";
+      case CohState::Owned: return "O";
+      case CohState::Modified: return "M";
+    }
+    return "?";
+}
+
+} // namespace tstream
+
+#endif // TSTREAM_MEM_COHERENCE_HH

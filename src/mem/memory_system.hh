@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Abstract interface of a traced multiprocessor memory system.
+ *
+ * A MemorySystem consumes the access stream produced by the workload
+ * emulators (block by block) and collects read-miss traces. Two
+ * concrete models exist, matching the paper's Section 3:
+ *
+ *  - MultiChipSystem: 16-node DSM with MSI; collects the off-chip trace.
+ *  - SingleChipSystem: 4-core CMP with MOSI; collects both the off-chip
+ *    (shared-L2 miss) trace and the intra-chip (L1 miss) trace.
+ */
+
+#ifndef TSTREAM_MEM_MEMORY_SYSTEM_HH
+#define TSTREAM_MEM_MEMORY_SYSTEM_HH
+
+#include <cstdint>
+
+#include "mem/address.hh"
+#include "trace/record.hh"
+
+namespace tstream
+{
+
+/** Base class for the two hierarchy models. */
+class MemorySystem
+{
+  public:
+    virtual ~MemorySystem() = default;
+
+    /** Process one block-sized access (addr must identify the block). */
+    virtual void accessBlock(const Access &acc) = 0;
+
+    /** Number of CPUs (cores or nodes) in the system. */
+    virtual unsigned numCpus() const = 0;
+
+    /**
+     * Process an access of arbitrary size by splitting it into its
+     * constituent blocks.
+     */
+    void
+    access(const Access &acc)
+    {
+        const BlockId first = blockOf(acc.addr);
+        const BlockId last =
+            acc.size == 0 ? first : blockOf(acc.addr + acc.size - 1);
+        Access blk = acc;
+        for (BlockId b = first; b <= last; ++b) {
+            blk.addr = blockBase(b);
+            blk.size = static_cast<std::uint32_t>(kBlockSize);
+            accessBlock(blk);
+        }
+    }
+
+    /** Enable or disable trace collection (disabled during warmup). */
+    void setTracing(bool on) { tracing_ = on; }
+
+    bool tracing() const { return tracing_; }
+
+    /** Off-chip read-miss trace (MissRecord::cls holds a MissClass). */
+    MissTrace &offChipTrace() { return offChip_; }
+    const MissTrace &offChipTrace() const { return offChip_; }
+
+    /**
+     * Intra-chip L1 read-miss trace (MissRecord::cls holds an
+     * IntraClass); empty for the multi-chip model.
+     */
+    MissTrace &intraChipTrace() { return intraChip_; }
+    const MissTrace &intraChipTrace() const { return intraChip_; }
+
+  protected:
+    /** Next global sequence number for the off-chip trace. */
+    std::uint64_t
+    nextOffChipSeq()
+    {
+        return offChipSeq_++;
+    }
+
+    /** Next global sequence number for the intra-chip trace. */
+    std::uint64_t
+    nextIntraSeq()
+    {
+        return intraSeq_++;
+    }
+
+    bool tracing_ = false;
+    MissTrace offChip_;
+    MissTrace intraChip_;
+    std::uint64_t offChipSeq_ = 0;
+    std::uint64_t intraSeq_ = 0;
+};
+
+} // namespace tstream
+
+#endif // TSTREAM_MEM_MEMORY_SYSTEM_HH

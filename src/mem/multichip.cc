@@ -1,0 +1,169 @@
+#include "mem/multichip.hh"
+
+namespace tstream
+{
+
+MultiChipSystem::MultiChipSystem(const MultiChipConfig &cfg)
+    : cfg_(cfg), tracker_(cfg.nodes)
+{
+    panicIf(cfg.nodes == 0 || cfg.nodes > 32,
+            "MultiChipSystem: node count must be in [1, 32]");
+    l1_.reserve(cfg.nodes);
+    l2_.reserve(cfg.nodes);
+    for (unsigned n = 0; n < cfg.nodes; ++n) {
+        l1_.emplace_back(cfg.l1);
+        l2_.emplace_back(cfg.l2);
+    }
+    offChip_.numCpus = cfg.nodes;
+}
+
+const MultiChipSystem::DirEntry *
+MultiChipSystem::dirEntry(BlockId blk) const
+{
+    auto it = dir_.find(blk);
+    return it == dir_.end() ? nullptr : &it->second;
+}
+
+std::optional<CohState>
+MultiChipSystem::probeL1(unsigned node, BlockId blk) const
+{
+    return l1_[node].probe(blk);
+}
+
+std::optional<CohState>
+MultiChipSystem::probeL2(unsigned node, BlockId blk) const
+{
+    return l2_[node].probe(blk);
+}
+
+void
+MultiChipSystem::invalidateNode(unsigned node, BlockId blk)
+{
+    l1_[node].invalidate(blk);
+    l2_[node].invalidate(blk);
+}
+
+void
+MultiChipSystem::fillL2(unsigned node, BlockId blk, CohState st)
+{
+    auto evicted = l2_[node].insert(blk, st);
+    if (evicted) {
+        // Maintain L1 subset of L2 within a node: back-invalidate.
+        l1_[node].invalidate(evicted->block);
+        // Update the directory: the node no longer caches the victim.
+        auto it = dir_.find(evicted->block);
+        if (it != dir_.end()) {
+            it->second.sharers &= ~(1u << node);
+            if (it->second.owner == static_cast<int>(node))
+                it->second.owner = -1; // implicit writeback to memory
+            if (it->second.sharers == 0 && it->second.owner < 0)
+                dir_.erase(it);
+        }
+    }
+}
+
+void
+MultiChipSystem::accessBlock(const Access &acc)
+{
+    const BlockId blk = blockOf(acc.addr);
+    switch (acc.type) {
+      case AccessType::Read:
+        handleRead(acc, blk);
+        break;
+      case AccessType::Write:
+        handleWrite(acc, blk);
+        break;
+      case AccessType::DmaWrite:
+        handleIoWrite(acc, blk, kWriterDma);
+        break;
+      case AccessType::NonAllocWrite:
+        handleIoWrite(acc, blk, kWriterCopyout);
+        break;
+    }
+}
+
+void
+MultiChipSystem::handleRead(const Access &acc, BlockId blk)
+{
+    const unsigned node = acc.cpu;
+
+    // L1 hit: nothing further.
+    if (l1_[node].lookup(blk))
+        return;
+
+    // L2 hit: refill L1 from the local L2 (intra-node, untraced in the
+    // multi-chip context).
+    if (auto st = l2_[node].lookup(blk)) {
+        l1_[node].insert(blk, *st);
+        return;
+    }
+
+    // Off-chip read miss: classify, trace, and fetch.
+    const MissClass cls = tracker_.classifyRead(blk, node);
+    if (tracing_) {
+        offChip_.misses.push_back(MissRecord{
+            nextOffChipSeq(), blk, static_cast<CpuId>(node),
+            static_cast<std::uint8_t>(cls), acc.fn});
+    }
+
+    DirEntry &de = dir_[blk];
+    if (de.owner >= 0 && de.owner != static_cast<int>(node)) {
+        // Remote owner supplies and downgrades to Shared (writeback).
+        const unsigned o = static_cast<unsigned>(de.owner);
+        l2_[o].setState(blk, CohState::Shared);
+        l1_[o].setState(blk, CohState::Shared);
+        de.sharers |= 1u << o;
+        de.owner = -1;
+    }
+    de.sharers |= 1u << node;
+
+    fillL2(node, blk, CohState::Shared);
+    l1_[node].insert(blk, CohState::Shared);
+}
+
+void
+MultiChipSystem::handleWrite(const Access &acc, BlockId blk)
+{
+    const unsigned node = acc.cpu;
+    tracker_.recordWrite(blk, static_cast<int>(node));
+
+    // Write hit in Modified: done.
+    if (auto st = l2_[node].probe(blk); st && *st == CohState::Modified) {
+        l2_[node].lookup(blk); // refresh LRU
+        l1_[node].insert(blk, CohState::Modified);
+        return;
+    }
+
+    // Upgrade or write miss: invalidate all other copies.
+    DirEntry &de = dir_[blk];
+    for (unsigned n = 0; n < cfg_.nodes; ++n) {
+        if (n == node)
+            continue;
+        if ((de.sharers & (1u << n)) || de.owner == static_cast<int>(n))
+            invalidateNode(n, blk);
+    }
+    de.sharers = 1u << node;
+    de.owner = static_cast<int>(node);
+
+    fillL2(node, blk, CohState::Modified);
+    l1_[node].insert(blk, CohState::Modified);
+}
+
+void
+MultiChipSystem::handleIoWrite(const Access &acc, BlockId blk, int writer)
+{
+    (void)acc;
+    tracker_.recordWrite(blk, writer);
+
+    // I/O writes invalidate every cached copy and do not allocate.
+    auto it = dir_.find(blk);
+    if (it != dir_.end()) {
+        for (unsigned n = 0; n < cfg_.nodes; ++n)
+            if ((it->second.sharers & (1u << n)) ||
+                it->second.owner == static_cast<int>(n))
+                invalidateNode(n, blk);
+        dir_.erase(it);
+    }
+}
+
+} // namespace tstream

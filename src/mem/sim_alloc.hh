@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Simulated address-space layout and allocators.
+ *
+ * Workload emulators allocate their data structures out of a simulated
+ * physical address space; no backing storage exists, only addresses.
+ * The layout mirrors the process/kernel split the paper's attribution
+ * relies on: kernel text and heap, the database buffer pool, per-process
+ * user heaps, and DMA target regions.
+ *
+ * Two allocation disciplines are provided because buffer *reuse* is the
+ * paper's key distinction between repetitive and non-repetitive I/O
+ * (web copies reuse buffers and repeat; DSS copies do not and don't):
+ *
+ *  - BumpAllocator: monotonically increasing addresses, never reused.
+ *  - RecyclingAllocator: LIFO free list over fixed-size chunks, so the
+ *    same addresses are handed out again and again.
+ */
+
+#ifndef TSTREAM_MEM_SIM_ALLOC_HH
+#define TSTREAM_MEM_SIM_ALLOC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/address.hh"
+#include "util/logging.hh"
+
+namespace tstream
+{
+
+/** Well-known segment base addresses of the simulated machine. */
+namespace seg
+{
+constexpr Addr kKernelText = 0x0100'0000'0000ull;
+constexpr Addr kKernelHeap = 0x0200'0000'0000ull;
+constexpr Addr kBufferPool = 0x0400'0000'0000ull;
+constexpr Addr kUserBase = 0x0800'0000'0000ull;
+constexpr Addr kUserStride = 0x0010'0000'0000ull; // per-process spacing
+constexpr Addr kDmaRegion = 0x0C00'0000'0000ull;
+constexpr Addr kSegmentSize = 0x0100'0000'0000ull;
+
+/** Base of the user heap for simulated process @p pid. */
+constexpr Addr
+userHeap(unsigned pid)
+{
+    return kUserBase + pid * kUserStride;
+}
+} // namespace seg
+
+/**
+ * Monotonic bump allocator over a segment. Addresses are never reused,
+ * which models streaming allocation (fresh kernel buffers, growing
+ * tables).
+ */
+class BumpAllocator
+{
+  public:
+    /**
+     * @param base First address handed out.
+     * @param limit One past the last allocatable address.
+     */
+    BumpAllocator(Addr base, Addr limit)
+        : base_(base), next_(base), limit_(limit)
+    {
+        panicIf(base >= limit, "BumpAllocator: empty segment");
+    }
+
+    /** Allocate @p size bytes with @p align alignment (power of two). */
+    Addr
+    alloc(Addr size, Addr align = 8)
+    {
+        Addr a = (next_ + align - 1) & ~(align - 1);
+        panicIf(a + size > limit_, "BumpAllocator: segment exhausted");
+        next_ = a + size;
+        return a;
+    }
+
+    /** Allocate a block-aligned region. */
+    Addr
+    allocBlocks(Addr n_blocks)
+    {
+        return alloc(n_blocks * kBlockSize, kBlockSize);
+    }
+
+    /** Bytes consumed so far. */
+    Addr used() const { return next_ - base_; }
+
+    Addr base() const { return base_; }
+
+  private:
+    Addr base_;
+    Addr next_;
+    Addr limit_;
+};
+
+/**
+ * Fixed-chunk recycling allocator: a LIFO free list over a bump arena.
+ * Freed chunks are handed out again first, so allocation sequences
+ * revisit the same addresses — the behaviour that makes web I/O buffers
+ * repetitive in the paper's analysis. A small amount of magazine-layer
+ * jitter (kmem-cache style) can be enabled so the reuse order is
+ * near-LIFO rather than exactly periodic.
+ */
+class RecyclingAllocator
+{
+  public:
+    /**
+     * @param base Segment base.
+     * @param limit Segment limit.
+     * @param chunk Chunk size in bytes (block-aligned internally).
+     * @param jitter Choose among the last @p jitter freed chunks
+     *               pseudo-randomly (1 = exact LIFO).
+     */
+    RecyclingAllocator(Addr base, Addr limit, Addr chunk,
+                       unsigned jitter = 4)
+        : arena_(base, limit),
+          chunk_((chunk + kBlockSize - 1) & ~(kBlockSize - 1)),
+          jitter_(jitter == 0 ? 1 : jitter)
+    {
+    }
+
+    /** Allocate one chunk, preferring recently freed ones. */
+    Addr
+    alloc()
+    {
+        if (!free_.empty()) {
+            // xorshift step for deterministic magazine jitter.
+            jstate_ ^= jstate_ << 13;
+            jstate_ ^= jstate_ >> 7;
+            jstate_ ^= jstate_ << 17;
+            const std::size_t window =
+                free_.size() < jitter_ ? free_.size() : jitter_;
+            const std::size_t pick =
+                free_.size() - 1 - (jstate_ % window);
+            const Addr a = free_[pick];
+            free_[pick] = free_.back();
+            free_.pop_back();
+            return a;
+        }
+        return arena_.alloc(chunk_, kBlockSize);
+    }
+
+    /** Return a chunk to the free list. */
+    void free(Addr a) { free_.push_back(a); }
+
+    Addr chunkSize() const { return chunk_; }
+
+    std::size_t freeCount() const { return free_.size(); }
+
+  private:
+    BumpAllocator arena_;
+    Addr chunk_;
+    std::size_t jitter_;
+    std::uint64_t jstate_ = 0x2545F4914F6CDD1Dull;
+    std::vector<Addr> free_;
+};
+
+} // namespace tstream
+
+#endif // TSTREAM_MEM_SIM_ALLOC_HH

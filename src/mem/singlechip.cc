@@ -1,0 +1,175 @@
+#include "mem/singlechip.hh"
+
+namespace tstream
+{
+
+SingleChipSystem::SingleChipSystem(const SingleChipConfig &cfg)
+    : cfg_(cfg), l2_(cfg.l2), intraTracker_(cfg.cores), chipTracker_(1)
+{
+    panicIf(cfg.cores == 0 || cfg.cores > 32,
+            "SingleChipSystem: core count must be in [1, 32]");
+    l1_.reserve(cfg.cores);
+    for (unsigned c = 0; c < cfg.cores; ++c)
+        l1_.emplace_back(cfg.l1);
+    offChip_.numCpus = cfg.cores;
+    intraChip_.numCpus = cfg.cores;
+}
+
+std::optional<CohState>
+SingleChipSystem::probeL1(unsigned core, BlockId blk) const
+{
+    return l1_[core].probe(blk);
+}
+
+std::optional<CohState>
+SingleChipSystem::probeL2(BlockId blk) const
+{
+    return l2_.probe(blk);
+}
+
+void
+SingleChipSystem::fillL1(unsigned core, BlockId blk, CohState st)
+{
+    auto evicted = l1_[core].insert(blk, st);
+    if (evicted && dirty(evicted->state)) {
+        // Non-inclusive hierarchy: dirty L1 victims are written back
+        // into the L2 (allocating there).
+        auto l2evict = l2_.insert(evicted->block, CohState::Modified);
+        (void)l2evict; // L2 victim writes back to memory implicitly.
+    }
+}
+
+void
+SingleChipSystem::offChipFill(const Access &acc, BlockId blk)
+{
+    const MissClass cls = chipTracker_.classifyRead(blk, 0);
+    if (tracing_) {
+        offChip_.misses.push_back(MissRecord{
+            nextOffChipSeq(), blk, acc.cpu,
+            static_cast<std::uint8_t>(cls), acc.fn});
+    }
+    l2_.insert(blk, CohState::Shared);
+}
+
+void
+SingleChipSystem::accessBlock(const Access &acc)
+{
+    const BlockId blk = blockOf(acc.addr);
+    switch (acc.type) {
+      case AccessType::Read:
+        handleRead(acc, blk);
+        break;
+      case AccessType::Write:
+        handleWrite(acc, blk);
+        break;
+      case AccessType::DmaWrite:
+        handleIoWrite(acc, blk, kWriterDma);
+        break;
+      case AccessType::NonAllocWrite:
+        handleIoWrite(acc, blk, kWriterCopyout);
+        break;
+    }
+}
+
+void
+SingleChipSystem::handleRead(const Access &acc, BlockId blk)
+{
+    const unsigned core = acc.cpu;
+
+    // L1 hit.
+    if (l1_[core].lookup(blk))
+        return;
+
+    // L1 read miss: determine cause before updating history.
+    const bool cohCause = intraTracker_.coherenceCaused(blk, core);
+    (void)intraTracker_.classifyRead(blk, core);
+
+    // Find an on-chip supplier: a peer L1 with an owned/modified (or,
+    // because the hierarchy is non-inclusive, even shared) copy, or the
+    // shared L2.
+    int peer = -1;
+    bool peerDirty = false;
+    for (unsigned p = 0; p < cfg_.cores && peer < 0; ++p) {
+        if (p == core)
+            continue;
+        if (auto st = l1_[p].probe(blk)) {
+            peer = static_cast<int>(p);
+            peerDirty = dirty(*st);
+        }
+    }
+
+    const bool l2Hit = l2_.probe(blk).has_value();
+
+    IntraClass icls;
+    if (peer >= 0 && (peerDirty || !l2Hit)) {
+        // Peer L1 supplies. Dirty owners downgrade M -> O and keep
+        // ownership (Piranha-style); the requestor fills Shared. A
+        // dirty-peer supply is a cache-to-cache transfer and counts
+        // as Coherence:Peer-L1 regardless of the reader's history
+        // (classification by supplier, as in the paper's Figure 1
+        // right); a clean-peer supply of a merely-L2-evicted block is
+        // replacement traffic.
+        if (peerDirty)
+            l1_[static_cast<unsigned>(peer)].setState(blk, CohState::Owned);
+        icls = (peerDirty || cohCause) ? IntraClass::CoherencePeerL1
+                                       : IntraClass::ReplacementL2;
+        fillL1(core, blk, CohState::Shared);
+    } else if (l2Hit) {
+        l2_.lookup(blk); // refresh LRU
+        icls = cohCause ? IntraClass::CoherenceL2
+                        : IntraClass::ReplacementL2;
+        fillL1(core, blk, CohState::Shared);
+    } else {
+        icls = IntraClass::OffChip;
+        offChipFill(acc, blk);
+        fillL1(core, blk, CohState::Shared);
+    }
+
+    if (tracing_) {
+        intraChip_.misses.push_back(MissRecord{
+            nextIntraSeq(), blk, static_cast<CpuId>(core),
+            static_cast<std::uint8_t>(icls), acc.fn});
+    }
+}
+
+void
+SingleChipSystem::handleWrite(const Access &acc, BlockId blk)
+{
+    const unsigned core = acc.cpu;
+    intraTracker_.recordWrite(blk, static_cast<int>(core));
+    chipTracker_.recordWrite(blk, 0);
+
+    // Write hit in Modified: done.
+    if (auto st = l1_[core].probe(blk); st && *st == CohState::Modified) {
+        l1_[core].lookup(blk); // refresh LRU
+        return;
+    }
+
+    // Invalidate peers; ownership moves to this core's L1.
+    for (unsigned p = 0; p < cfg_.cores; ++p)
+        if (p != core)
+            l1_[p].invalidate(blk);
+    // The L2 copy (if any) becomes stale; drop it. The up-to-date copy
+    // lives in this L1 in Modified and is written back on eviction.
+    l2_.invalidate(blk);
+
+    // A store to a block absent from the chip allocates silently (store
+    // misses are not part of the paper's read-miss traces).
+    if (!l2_.probe(blk) && !l1_[core].probe(blk))
+        chipTracker_.recordTouch(blk);
+
+    fillL1(core, blk, CohState::Modified);
+}
+
+void
+SingleChipSystem::handleIoWrite(const Access &acc, BlockId blk, int writer)
+{
+    (void)acc;
+    intraTracker_.recordWrite(blk, writer);
+    chipTracker_.recordWrite(blk, writer);
+    for (unsigned p = 0; p < cfg_.cores; ++p)
+        l1_[p].invalidate(blk);
+    l2_.invalidate(blk);
+}
+
+} // namespace tstream

@@ -1,0 +1,196 @@
+#include "sim/dss_workload.hh"
+
+namespace tstream
+{
+
+/** One parallel agent executing batches of the query plan. */
+class DssWorkload::ScanThread : public Task
+{
+  public:
+    ScanThread(DssWorkload &w, unsigned id)
+        : w_(w), id_(id)
+    {
+    }
+
+    RunResult
+    run(SysCtx &ctx) override
+    {
+        auto &sh = w_.sh_;
+
+        // Grab a batch from the shared work counter.
+        sh.workLock->acquire(ctx);
+        ctx.read(sh.workCounter, 16, sh.fnGetMem);
+        const std::uint64_t first = sh.nextPage;
+        sh.nextPage += w_.cfg_.batchPages;
+        ctx.write(sh.workCounter, 16, sh.fnGetMem);
+        sh.workLock->release(ctx);
+
+        // Periodic catalog / memory-pool touches (DB2 - other).
+        if (first % 64 == 0) {
+            ctx.read(sh.catalog + (first / 64 % 16) * kBlockSize, 32,
+                     sh.fnCatalog);
+            ctx.exec(60);
+        }
+
+        switch (w_.cfg_.query) {
+          case DssConfig::Query::Q1:
+            runQ1Batch(ctx, first);
+            break;
+          case DssConfig::Query::Q2:
+            runQ2Batch(ctx, first);
+            break;
+          case DssConfig::Query::Q17:
+            runQ17Batch(ctx, first);
+            break;
+        }
+        w_.batches_++;
+        return RunResult::Yield;
+    }
+
+  private:
+    /** Flush locally accumulated aggregates into the shared table. */
+    void
+    flushAgg(SysCtx &ctx, std::uint64_t group)
+    {
+        auto &sh = w_.sh_;
+        sh.aggLock->acquire(ctx);
+        const Addr bucket = sh.aggTable + (group % 16) * kBlockSize;
+        ctx.read(bucket, 32, sh.fnAgg);
+        ctx.write(bucket, 32, sh.fnAgg);
+        sh.aggLock->release(ctx);
+        ctx.exec(30);
+    }
+
+    void
+    runQ1Batch(SysCtx &ctx, std::uint64_t first)
+    {
+        auto &sh = w_.sh_;
+        unsigned sinceFlush = 0;
+        sh.interp->execute(ctx, 0, [](SysCtx &, unsigned) {});
+        sh.lineitem->scan(
+            ctx, first % sh.lineitem->pageCount(), w_.cfg_.batchPages,
+            w_.cfg_.tupleFraction,
+            [&](SysCtx &c, std::uint64_t rid) {
+                if (++sinceFlush >= 8) {
+                    sinceFlush = 0;
+                    flushAgg(c, rid % 64);
+                }
+            });
+    }
+
+    void
+    runQ2Batch(SysCtx &ctx, std::uint64_t first)
+    {
+        auto &sh = w_.sh_;
+        sh.interp->execute(ctx, 1, [](SysCtx &, unsigned) {});
+        // Nested-loop join: outer tuples from the resident part
+        // table, inner index probes whose working set sits between L1
+        // and L2 capacity.
+        sh.part->scan(
+            ctx, first % sh.part->pageCount(), w_.cfg_.batchPages, 0.5,
+            [&](SysCtx &c, std::uint64_t rid) {
+                if (c.rng().chance(0.5)) {
+                    const auto inner =
+                        (rid * 2654435761u) %
+                        sh.partsuppIdx->keyCount();
+                    sh.partsuppIdx->lookup(c, inner);
+                    sh.partsupp->fetch(c, inner);
+                    // Private sort-run append.
+                    c.userWrite(sortBuf(c), 64, sh.fnSort);
+                }
+            });
+    }
+
+    void
+    runQ17Batch(SysCtx &ctx, std::uint64_t first)
+    {
+        auto &sh = w_.sh_;
+        sh.interp->execute(ctx, 2, [](SysCtx &, unsigned) {});
+        // Balanced: fact-table scan with index probes on a fraction of
+        // tuples, plus aggregation.
+        unsigned sinceFlush = 0;
+        sh.lineitem->scan(
+            ctx, first % sh.lineitem->pageCount(), w_.cfg_.batchPages,
+            w_.cfg_.tupleFraction,
+            [&](SysCtx &c, std::uint64_t rid) {
+                if (c.rng().chance(0.2)) {
+                    const auto part =
+                        (rid * 0x9e3779b9u) % sh.partIdx->keyCount();
+                    sh.partIdx->lookup(c, part);
+                }
+                if (++sinceFlush >= 12) {
+                    sinceFlush = 0;
+                    flushAgg(c, rid % 64);
+                }
+            });
+    }
+
+    /** Per-thread private sort buffer (user space). */
+    Addr
+    sortBuf(SysCtx &ctx)
+    {
+        (void)ctx;
+        return seg::userHeap(200 + id_) + (sortOff_++ % 1024) * 64;
+    }
+
+    DssWorkload &w_;
+    unsigned id_;
+    std::uint64_t sortOff_ = 0;
+};
+
+void
+DssWorkload::setup(Kernel &kern)
+{
+    BufferPoolConfig bpcfg;
+    bpcfg.frames = cfg_.poolFrames;
+    // Table scans stream through fresh staging buffers: DSS bulk
+    // copies do not reuse addresses (paper Section 5.3).
+    bpcfg.recycleStaging = false;
+    sh_.pool = std::make_unique<BufferPool>(kern, bpcfg);
+
+    PageId next = 0;
+    auto makeTable = [&](std::uint64_t pages, unsigned per_page,
+                         unsigned bytes) {
+        auto t = std::make_unique<HeapTable>(kern, *sh_.pool, next,
+                                             pages, per_page, bytes);
+        next += pages;
+        return t;
+    };
+    sh_.lineitem = makeTable(cfg_.lineitemPages, 28, 140);
+    sh_.part = makeTable(cfg_.partPages, 24, 160);
+    sh_.partsupp = makeTable(cfg_.partsuppPages, 24, 160);
+
+    sh_.partsuppIdx = std::make_unique<BTree>(kern, *sh_.pool, next);
+    sh_.partsuppIdx->build(sh_.partsupp->tupleCount());
+    next += sh_.partsuppIdx->pagesUsed();
+    sh_.partIdx = std::make_unique<BTree>(kern, *sh_.pool, next);
+    sh_.partIdx->build(sh_.part->tupleCount());
+    next += sh_.partIdx->pagesUsed();
+
+    InterpConfig icfg;
+    icfg.nplans = 4;
+    icfg.opsPerPlan = 16;
+    sh_.interp = std::make_unique<PlanInterp>(kern, icfg);
+
+    sh_.workLock = std::make_unique<SimMutex>(kern.makeMutex());
+    sh_.aggLock = std::make_unique<SimMutex>(kern.makeMutex());
+    auto &heap = kern.kernelHeap();
+    sh_.workCounter = heap.allocBlocks(1);
+    sh_.aggTable = heap.alloc(16 * kBlockSize, kBlockSize);
+    sh_.catalog = heap.alloc(16 * kBlockSize, kBlockSize);
+
+    auto &reg = kern.engine().registry();
+    sh_.fnAgg = reg.intern("sqlriGroupByUpdate",
+                           Category::DbRuntimeInterp);
+    sh_.fnSort = reg.intern("sqlsSortInsert", Category::DbOther);
+    sh_.fnCatalog = reg.intern("sqlrlCatalogFetch", Category::DbOther);
+    sh_.fnGetMem = reg.intern("sqloGetMem", Category::DbOther);
+
+    // One agent per CPU, plus one extra to keep queues non-trivial.
+    const unsigned ncpu = kern.engine().numCpus();
+    for (unsigned t = 0; t < ncpu + 1; ++t)
+        kern.spawn(std::make_unique<ScanThread>(*this, t),
+                   static_cast<CpuId>(t % ncpu));
+}
+
+} // namespace tstream

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * DSS workload: TPC-H-style queries over the DB2-like engine (paper
+ * Table 1: Q1 scan-dominated, Q2 join-dominated, Q17 balanced, all
+ * with a 450 MB buffer pool — scaled per DESIGN.md).
+ *
+ * Parallel scan threads consume page batches from a shared work
+ * counter; table pages stream through the buffer pool (every fix is a
+ * pool miss -> DMA + page-sized copyout: the bulk-copy-dominated,
+ * compulsory-heavy profile of the paper's Section 5.3). Q2 adds
+ * nested-loop index probes whose working set exceeds L1 but fits L2,
+ * producing the paper's intra-chip repetition.
+ */
+
+#ifndef TSTREAM_SIM_DSS_WORKLOAD_HH
+#define TSTREAM_SIM_DSS_WORKLOAD_HH
+
+#include <memory>
+
+#include "db/btree.hh"
+#include "db/bufferpool.hh"
+#include "db/interp.hh"
+#include "db/table.hh"
+#include "sim/workload.hh"
+
+namespace tstream
+{
+
+/** Tunables of the DSS workload. */
+struct DssConfig
+{
+    enum class Query
+    {
+        Q1,
+        Q2,
+        Q17,
+    };
+
+    Query query = Query::Q1;
+    unsigned poolFrames = 8192;
+    /** Scan fact table (streamed; far exceeds the pool). */
+    std::uint64_t lineitemPages = 60000;
+    /**
+     * Outer join table (Q2 streams it once while probing the inner
+     * index; large enough to exceed the pool).
+     */
+    std::uint64_t partPages = 20000;
+    /** Mid-size join target (index working set between L1 and L2). */
+    std::uint64_t partsuppPages = 3000;
+    /** Pages per work batch. */
+    unsigned batchPages = 4;
+    /** Fraction of each page's tuples the query actually reads. */
+    double tupleFraction = 0.4;
+
+    void
+    rescale(double s)
+    {
+        auto f = [s](std::uint64_t v) {
+            return std::max<std::uint64_t>(16,
+                                           static_cast<std::uint64_t>(
+                                               v * s));
+        };
+        poolFrames = static_cast<unsigned>(f(poolFrames));
+        lineitemPages = f(lineitemPages);
+        partPages = f(partPages);
+        partsuppPages = f(partsuppPages);
+    }
+};
+
+/** The DSS application. */
+class DssWorkload : public Workload
+{
+  public:
+    explicit DssWorkload(const DssConfig &cfg = {})
+        : cfg_(cfg)
+    {
+    }
+
+    void setup(Kernel &kern) override;
+
+    std::string_view
+    name() const override
+    {
+        switch (cfg_.query) {
+          case DssConfig::Query::Q1: return "DSS-Qry1";
+          case DssConfig::Query::Q2: return "DSS-Qry2";
+          default: return "DSS-Qry17";
+        }
+    }
+
+    std::uint64_t batchesDone() const { return batches_; }
+
+  private:
+    class ScanThread;
+
+    /** Shared query state. */
+    struct Shared
+    {
+        std::unique_ptr<BufferPool> pool;
+        std::unique_ptr<HeapTable> lineitem, part, partsupp;
+        std::unique_ptr<BTree> partsuppIdx, partIdx;
+        std::unique_ptr<PlanInterp> interp;
+        std::unique_ptr<SimMutex> workLock;
+        std::unique_ptr<SimMutex> aggLock;
+        Addr workCounter = 0;
+        Addr aggTable = 0; ///< 16 bucket blocks, high contention (Q1)
+        Addr catalog = 0;  ///< catalog cache blocks (DbOther)
+        std::uint64_t nextPage = 0;
+        FnId fnAgg, fnSort, fnCatalog, fnGetMem;
+    };
+
+    DssConfig cfg_;
+    Shared sh_;
+    std::uint64_t batches_ = 0;
+};
+
+} // namespace tstream
+
+#endif // TSTREAM_SIM_DSS_WORKLOAD_HH

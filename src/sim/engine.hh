@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The trace-generation engine: the glue between workload emulators and
+ * the memory hierarchy.
+ *
+ * The engine plays the role FLEXUS plays in the paper: a functional,
+ * in-order, stall-free execution model whose only outputs are a memory
+ * access stream (fed to a MemorySystem) and an instruction count.
+ * Everything is deterministic given the seed.
+ */
+
+#ifndef TSTREAM_SIM_ENGINE_HH
+#define TSTREAM_SIM_ENGINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mem/memory_system.hh"
+#include "trace/categories.hh"
+#include "trace/record.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace tstream
+{
+
+/** Executes accesses against the memory system and counts instructions. */
+class Engine
+{
+  public:
+    Engine(std::unique_ptr<MemorySystem> sys, std::uint64_t seed)
+        : sys_(std::move(sys)), rng_(seed),
+          icount_(sys_->numCpus(), 0)
+    {
+    }
+
+    MemorySystem &memory() { return *sys_; }
+    const MemorySystem &memory() const { return *sys_; }
+    FunctionRegistry &registry() { return registry_; }
+    const FunctionRegistry &registry() const { return registry_; }
+    Rng &rng() { return rng_; }
+
+    unsigned numCpus() const { return sys_->numCpus(); }
+
+    /** Account @p instrs committed instructions on @p cpu. */
+    void
+    exec(CpuId cpu, std::uint32_t instrs)
+    {
+        icount_[cpu] += instrs;
+    }
+
+    /** Issue a data read of @p size bytes at @p addr from @p cpu. */
+    void
+    read(CpuId cpu, Addr addr, std::uint32_t size, FnId fn)
+    {
+        sys_->access(Access{addr, size, AccessType::Read, cpu, fn});
+        icount_[cpu] += kInstrPerAccess * blocksSpanned(addr, size);
+    }
+
+    /** Issue a data write. */
+    void
+    write(CpuId cpu, Addr addr, std::uint32_t size, FnId fn)
+    {
+        sys_->access(Access{addr, size, AccessType::Write, cpu, fn});
+        icount_[cpu] += kInstrPerAccess * blocksSpanned(addr, size);
+    }
+
+    /** Device DMA into memory (no requesting CPU). */
+    void
+    dmaWrite(Addr addr, std::uint32_t size)
+    {
+        sys_->access(Access{addr, size, AccessType::DmaWrite, 0, 0});
+    }
+
+    /**
+     * Cache-bypassing block store (Solaris default_copyout-style).
+     * Counted to @p cpu's instructions but allocates nowhere.
+     */
+    void
+    nonAllocWrite(CpuId cpu, Addr addr, std::uint32_t size, FnId fn)
+    {
+        sys_->access(Access{addr, size, AccessType::NonAllocWrite, cpu,
+                            fn});
+        icount_[cpu] += kInstrPerAccess * blocksSpanned(addr, size);
+    }
+
+    /** Total committed instructions across CPUs. */
+    std::uint64_t
+    totalInstructions() const
+    {
+        std::uint64_t t = 0;
+        for (auto c : icount_)
+            t += c;
+        return t;
+    }
+
+    /** Enable/disable trace collection (off during warmup). */
+    void setTracing(bool on) { sys_->setTracing(on); }
+
+    /** Attach instruction totals to the collected traces. */
+    void
+    finalizeTraces()
+    {
+        sys_->offChipTrace().instructions = totalInstructions();
+        sys_->intraChipTrace().instructions = totalInstructions();
+    }
+
+  private:
+    static constexpr std::uint32_t kInstrPerAccess = 4;
+
+    std::unique_ptr<MemorySystem> sys_;
+    FunctionRegistry registry_;
+    Rng rng_;
+    std::vector<std::uint64_t> icount_;
+};
+
+} // namespace tstream
+
+#endif // TSTREAM_SIM_ENGINE_HH

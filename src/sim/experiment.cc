@@ -1,0 +1,64 @@
+#include "sim/experiment.hh"
+
+#include "kernel/kernel.hh"
+#include "sim/engine.hh"
+
+namespace tstream
+{
+
+std::string_view
+contextName(SystemContext c)
+{
+    switch (c) {
+      case SystemContext::MultiChip: return "multi-chip";
+      case SystemContext::SingleChip: return "single-chip";
+    }
+    return "<invalid>";
+}
+
+MissTrace
+ExperimentResult::intraChipOnChip() const
+{
+    MissTrace t;
+    t.numCpus = intraChip.numCpus;
+    t.instructions = intraChip.instructions;
+    for (const MissRecord &m : intraChip.misses)
+        if (static_cast<IntraClass>(m.cls) != IntraClass::OffChip)
+            t.misses.push_back(m);
+    return t;
+}
+
+ExperimentResult
+runExperiment(const ExperimentConfig &cfg)
+{
+    std::unique_ptr<MemorySystem> sys;
+    if (cfg.context == SystemContext::MultiChip)
+        sys = std::make_unique<MultiChipSystem>(cfg.multiChip);
+    else
+        sys = std::make_unique<SingleChipSystem>(cfg.singleChip);
+
+    Engine eng(std::move(sys), cfg.seed);
+    Kernel kern(eng);
+
+    auto workload = makeWorkload(cfg.workload, cfg.scale);
+    workload->setup(kern);
+
+    // Warm caches, TLBs, the buffer pool and the classifier history
+    // without tracing (the paper warms thousands of transactions).
+    eng.setTracing(false);
+    kern.run(cfg.warmupInstructions);
+
+    // Measure.
+    eng.setTracing(true);
+    kern.run(cfg.measureInstructions);
+    eng.finalizeTraces();
+
+    ExperimentResult res;
+    res.offChip = std::move(eng.memory().offChipTrace());
+    res.intraChip = std::move(eng.memory().intraChipTrace());
+    res.registry = eng.registry();
+    res.instructions = eng.totalInstructions();
+    return res;
+}
+
+} // namespace tstream

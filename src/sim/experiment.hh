@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Experiment driver: one call runs a (workload, system context) pair —
+ * build the hierarchy, spawn the application, warm up untraced, trace,
+ * and hand back the miss traces. All benches, tests and examples go
+ * through this entry point.
+ */
+
+#ifndef TSTREAM_SIM_EXPERIMENT_HH
+#define TSTREAM_SIM_EXPERIMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "mem/multichip.hh"
+#include "mem/singlechip.hh"
+#include "sim/workload.hh"
+#include "trace/record.hh"
+
+namespace tstream
+{
+
+/** The paper's three system contexts (Section 3). */
+enum class SystemContext
+{
+    MultiChip,  ///< 16-node DSM; off-chip trace
+    SingleChip, ///< 4-core CMP; off-chip + intra-chip traces
+};
+
+/** Short context name. */
+std::string_view contextName(SystemContext c);
+
+/** One experiment = workload x context x budgets. */
+struct ExperimentConfig
+{
+    WorkloadKind workload = WorkloadKind::Oltp;
+    SystemContext context = SystemContext::MultiChip;
+
+    /** Untraced warm-up instructions. */
+    std::uint64_t warmupInstructions = 12'000'000;
+    /** Traced instructions. */
+    std::uint64_t measureInstructions = 40'000'000;
+
+    std::uint64_t seed = 42;
+
+    /** Footprint scale (1.0 = DESIGN.md defaults). */
+    double scale = 1.0;
+
+    MultiChipConfig multiChip{};
+    SingleChipConfig singleChip{};
+
+    /** Shrink budgets and footprints for fast unit tests. */
+    static ExperimentConfig
+    quick(WorkloadKind w, SystemContext c)
+    {
+        ExperimentConfig cfg;
+        cfg.workload = w;
+        cfg.context = c;
+        cfg.warmupInstructions = 800'000;
+        cfg.measureInstructions = 2'500'000;
+        cfg.scale = 0.1;
+        return cfg;
+    }
+};
+
+/** Experiment output: the traces plus run diagnostics. */
+struct ExperimentResult
+{
+    MissTrace offChip;
+    MissTrace intraChip; ///< empty for MultiChip context
+    FunctionRegistry registry;
+    std::uint64_t instructions = 0;
+
+    /** Intra-chip trace filtered to on-chip-satisfied misses (the
+     *  paper's context (3): hits in shared on-chip caches). */
+    MissTrace intraChipOnChip() const;
+};
+
+/** Run one experiment. */
+ExperimentResult runExperiment(const ExperimentConfig &cfg);
+
+} // namespace tstream
+
+#endif // TSTREAM_SIM_EXPERIMENT_HH

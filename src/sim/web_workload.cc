@@ -1,0 +1,382 @@
+#include "sim/web_workload.hh"
+
+#include <algorithm>
+
+namespace tstream
+{
+
+namespace
+{
+/** FastCGI request/response payloads move in mblk-sized chunks. */
+constexpr std::uint32_t kPipeChunk = 1536;
+constexpr std::uint32_t kRequestBytes = 600;
+
+/** Transfer @p len bytes into @p pipe in chunks. */
+void
+pipePut(SysCtx &ctx, StreamsQueue &pipe, Addr src, std::uint32_t len)
+{
+    std::uint32_t off = 0;
+    while (off < len) {
+        const std::uint32_t c = std::min(kPipeChunk, len - off);
+        pipe.put(ctx, src + off, c);
+        off += c;
+    }
+}
+
+/** Drain @p pipe into @p dst; returns bytes delivered. */
+std::uint32_t
+pipeDrain(SysCtx &ctx, StreamsQueue &pipe, Addr dst)
+{
+    std::uint32_t off = 0;
+    while (true) {
+        const std::uint32_t got = pipe.get(ctx, dst + off);
+        if (got == 0)
+            break;
+        off += got;
+    }
+    return off;
+}
+} // namespace
+
+/** poll(2) accept loop: admits connections and wakes idle workers. */
+class WebWorkload::Listener : public Task
+{
+  public:
+    explicit Listener(WebWorkload &w)
+        : w_(w)
+    {
+    }
+
+    RunResult
+    run(SysCtx &ctx) override
+    {
+        auto &sh = w_.sh_;
+
+        // Most quanta the listener is parked in poll(2) waiting for
+        // the timeout; only a fraction return with ready descriptors.
+        if (ctx.rng().chance(0.6)) {
+            ctx.exec(250);
+            return RunResult::Yield;
+        }
+
+        // Poll a window of connection descriptors; the window start
+        // depends on which clients are active, i.e. effectively
+        // random, and the window length breathes with load.
+        const unsigned window =
+            24 + static_cast<unsigned>(ctx.rng().below(17));
+        cursor_ = static_cast<std::uint32_t>(
+            ctx.rng().below(sh.connFd.size()));
+        std::vector<std::uint32_t> fds;
+        for (unsigned i = 0; i < window; ++i)
+            fds.push_back(
+                sh.connFd[(cursor_ + i) % sh.connFd.size()]);
+        ctx.kernel().syscalls().poll(ctx, sh.serverProc, fds);
+
+        // Admit a burst of ready connections in arrival order, which
+        // is effectively random across the client population.
+        const unsigned burst =
+            1 + static_cast<unsigned>(ctx.rng().below(5));
+        for (unsigned i = 0; i < burst && !sh.freeConns.empty(); ++i) {
+            const std::size_t pick =
+                ctx.rng().below(sh.freeConns.size());
+            std::swap(sh.freeConns[pick], sh.freeConns.front());
+            const std::uint32_t conn = sh.freeConns.front();
+            sh.freeConns.pop_front();
+            sh.pendingConns.push_back(conn);
+            // Accept queue manipulation (server user space).
+            ctx.userWrite(sh.workQueueBlock, 32, sh.fnQueue);
+            ctx.kernel().cvWake(ctx, *sh.workCv);
+        }
+        return RunResult::Yield;
+    }
+
+  private:
+    WebWorkload &w_;
+    std::uint32_t cursor_ = 0;
+};
+
+/** HTTP worker: serves static files or dispatches to FastCGI perl. */
+class WebWorkload::Worker : public Task
+{
+  public:
+    Worker(WebWorkload &w, std::uint32_t id)
+        : w_(w), id_(id)
+    {
+    }
+
+    RunResult
+    run(SysCtx &ctx) override
+    {
+        auto &sh = w_.sh_;
+        if (state_ == State::AwaitResponse)
+            return finishDynamic(ctx);
+
+        for (unsigned b = 0; b < w_.cfg_.batch; ++b) {
+            if (sh.pendingConns.empty())
+                break;
+            const std::uint32_t conn = sh.pendingConns.front();
+            sh.pendingConns.pop_front();
+            ctx.userRead(sh.workQueueBlock, 32, sh.fnQueue);
+
+            const bool dynamic =
+                ctx.rng().chance(w_.cfg_.dynamicFraction);
+            receiveRequest(ctx, conn);
+            if (dynamic) {
+                if (startDynamic(ctx, conn))
+                    return RunResult::Blocked;
+                // No perl process free: degrade to static.
+            }
+            serveStatic(ctx, conn);
+            w_.served_++;
+            sh.freeConns.push_back(conn);
+        }
+
+        if (sh.pendingConns.empty()) {
+            ctx.kernel().cvBlock(ctx, *sh.workCv);
+            return RunResult::Blocked;
+        }
+        return RunResult::Yield;
+    }
+
+  private:
+    enum class State
+    {
+        Idle,
+        AwaitResponse,
+    };
+
+    void
+    receiveRequest(SysCtx &ctx, std::uint32_t conn)
+    {
+        auto &sh = w_.sh_;
+        auto &kern = ctx.kernel();
+        // Request sizes vary with URI/header lengths.
+        const auto bytes = static_cast<std::uint32_t>(
+            kRequestBytes / 2 + ctx.rng().below(kRequestBytes));
+        // The NIC DMAs the request into this connection's (reused)
+        // network buffer; read(2) copies it out to the worker buffer.
+        kern.syscalls().readEntry(ctx, sh.serverProc, sh.connFd[conn]);
+        ctx.engine().dmaWrite(sh.connNetbuf[conn], bytes);
+        kern.copy().copyout(ctx, sh.reqBuf[id_], sh.connNetbuf[conn],
+                            bytes);
+        // Parse: request line scan plus the vhost/URI tables.
+        ctx.userRead(sh.reqBuf[id_], bytes, sh.fnParse);
+        ctx.read(sh.vhostTable, 48, sh.fnParse);
+        ctx.exec(220);
+    }
+
+    void
+    serveStatic(SysCtx &ctx, std::uint32_t conn)
+    {
+        auto &sh = w_.sh_;
+        auto &kern = ctx.kernel();
+        const auto file =
+            static_cast<std::uint32_t>(sh.fileDist->sample(ctx.rng()));
+        kern.syscalls().openStat(ctx, sh.serverProc,
+                                 file * 2654435761u);
+        // SPECweb99-style size classes: most responses are small, a
+        // heavy tail spans several pages.
+        const double u = ctx.rng().uniform();
+        std::uint32_t bytes;
+        if (u < 0.35)
+            bytes = 512 + static_cast<std::uint32_t>(
+                              ctx.rng().below(512));
+        else if (u < 0.85)
+            bytes = static_cast<std::uint32_t>(
+                1024 + ctx.rng().below(7 * 1024));
+        else
+            bytes = static_cast<std::uint32_t>(
+                10 * 1024 + ctx.rng().below(22 * 1024));
+        // Stream the file's pages from the shared cache through
+        // copyout into the worker's response buffer, sending as we go.
+        const std::uint32_t pages = std::min(
+            sh.filePages[file],
+            static_cast<std::uint32_t>((bytes + kPageSize - 1) /
+                                       kPageSize));
+        std::uint32_t left = bytes;
+        kern.syscalls().writeEntry(ctx, sh.serverProc,
+                                   sh.connFd[conn]);
+        // Most static responses go out zero-copy (sendfile/mmap
+        // style), straight from the file cache; the rest take the
+        // legacy read()+write() double-copy path.
+        const bool sendfile = ctx.rng().chance(0.6);
+        for (std::uint32_t p = 0; p < std::max(1u, pages); ++p) {
+            const std::uint32_t chunk = std::min(
+                left, static_cast<std::uint32_t>(kPageSize));
+            const Addr src =
+                sh.fileCache +
+                ((sh.fileStart[file] + p) % w_.cfg_.fileCachePages) *
+                    kPageSize;
+            if (sendfile) {
+                kern.ip().send(ctx, sh.connPcb[conn], src, chunk);
+            } else {
+                kern.copy().copyout(ctx, sh.respBuf[id_], src, chunk);
+                kern.ip().send(ctx, sh.connPcb[conn], sh.respBuf[id_],
+                               chunk);
+            }
+            left -= chunk;
+        }
+        // Access log append (server user space).
+        ctx.userWrite(sh.respBuf[id_] + 12 * kBlockSize, 80, sh.fnLog);
+    }
+
+    /** @return true if the request was handed to a perl process. */
+    bool
+    startDynamic(SysCtx &ctx, std::uint32_t conn)
+    {
+        auto &sh = w_.sh_;
+        const auto p = static_cast<std::uint32_t>(
+            ctx.rng().below(w_.cfg_.perlProcs));
+        pipePut(ctx, *sh.reqPipe[p], sh.reqBuf[id_], kRequestBytes);
+        sh.pendingWorker[p].push_back(id_);
+        ctx.kernel().cvWake(ctx, *sh.perlCv[p]);
+        conn_ = conn;
+        proc_ = p;
+        state_ = State::AwaitResponse;
+        ctx.kernel().cvBlock(ctx, *sh.respCv[id_]);
+        return true;
+    }
+
+    RunResult
+    finishDynamic(SysCtx &ctx)
+    {
+        auto &sh = w_.sh_;
+        const std::uint32_t len =
+            pipeDrain(ctx, *sh.respPipe[proc_], sh.respBuf[id_]);
+        ctx.kernel().syscalls().writeEntry(ctx, sh.serverProc,
+                                           sh.connFd[conn_]);
+        ctx.kernel().ip().send(ctx, sh.connPcb[conn_], sh.respBuf[id_],
+                               std::max(len, 512u));
+        ctx.userWrite(sh.respBuf[id_] + 12 * kBlockSize, 80, sh.fnLog);
+        w_.served_++;
+        sh.freeConns.push_back(conn_);
+        state_ = State::Idle;
+        return RunResult::Yield;
+    }
+
+    WebWorkload &w_;
+    std::uint32_t id_;
+    State state_ = State::Idle;
+    std::uint32_t conn_ = 0;
+    std::uint32_t proc_ = 0;
+    std::uint32_t nextProc_ = 0;
+};
+
+/** FastCGI perl process: parse, run the script, return the page. */
+class WebWorkload::PerlProc : public Task
+{
+  public:
+    PerlProc(WebWorkload &w, std::uint32_t id)
+        : w_(w), id_(id)
+    {
+    }
+
+    RunResult
+    run(SysCtx &ctx) override
+    {
+        auto &sh = w_.sh_;
+        if (sh.reqPipe[id_]->empty()) {
+            ctx.kernel().cvBlock(ctx, *sh.perlCv[id_]);
+            return RunResult::Blocked;
+        }
+
+        PerlProcess &perl = *sh.perl[id_];
+        const std::uint32_t len =
+            pipeDrain(ctx, *sh.reqPipe[id_], perl.inputBuf());
+        perl.parseInput(ctx, std::max(len, 64u));
+
+        // Generated page size: 1-6 KB.
+        const auto respLen = static_cast<std::uint32_t>(
+            768 + ctx.rng().below(3 * 1024));
+        perl.executeScript(ctx, respLen);
+
+        pipePut(ctx, *sh.respPipe[id_], perl.outputBuf(), respLen);
+        if (!sh.pendingWorker[id_].empty()) {
+            const std::uint32_t worker = sh.pendingWorker[id_].front();
+            sh.pendingWorker[id_].pop_front();
+            ctx.kernel().cvWake(ctx, *sh.respCv[worker]);
+        }
+        return RunResult::Yield;
+    }
+
+  private:
+    WebWorkload &w_;
+    std::uint32_t id_;
+};
+
+void
+WebWorkload::setup(Kernel &kern)
+{
+    auto &heap = kern.kernelHeap();
+    auto &reg = kern.engine().registry();
+    const bool apache = cfg_.server == WebConfig::Server::Apache;
+
+    sh_.fnParse = reg.intern(apache ? "ap_read_request"
+                                    : "zeus_parse_request",
+                             Category::WebWorker);
+    sh_.fnQueue = reg.intern(apache ? "ap_queue_push" : "zeus_event_pop",
+                             Category::WebWorker);
+    sh_.fnLog = reg.intern(apache ? "ap_log_transaction"
+                                  : "zeus_log_write",
+                           Category::WebWorker);
+
+    sh_.serverProc = kern.syscalls().newProc();
+    sh_.workCv = std::make_unique<SimCondVar>(kern.makeCondVar());
+    sh_.workQueueBlock = seg::userHeap(100);
+
+    // Connections: fd + protocol control block + reused net buffer.
+    for (unsigned c = 0; c < cfg_.connections; ++c) {
+        sh_.connFd.push_back(kern.syscalls().newFile());
+        sh_.connPcb.push_back(kern.ip().newPcb());
+        sh_.connNetbuf.push_back(heap.alloc(2048, kBlockSize));
+        sh_.freeConns.push_back(c);
+    }
+
+    // File cache and the file -> page-range map.
+    sh_.fileCache =
+        heap.alloc(Addr{cfg_.fileCachePages} * kPageSize, kPageSize);
+    sh_.fileDist =
+        std::make_unique<ZipfSampler>(cfg_.files, cfg_.fileZipf);
+    std::uint32_t start = 0;
+    Rng sizes(0xF11E5);
+    for (unsigned f = 0; f < cfg_.files; ++f) {
+        const auto pages =
+            static_cast<std::uint32_t>(1 + sizes.below(4));
+        sh_.filePages.push_back(pages);
+        sh_.fileStart.push_back(start % cfg_.fileCachePages);
+        start += pages;
+    }
+    sh_.vhostTable = heap.allocBlocks(2);
+
+    // FastCGI perl pool.
+    for (unsigned p = 0; p < cfg_.perlProcs; ++p) {
+        sh_.reqPipe.push_back(
+            std::make_unique<StreamsQueue>(kern.streams(), heap));
+        sh_.respPipe.push_back(
+            std::make_unique<StreamsQueue>(kern.streams(), heap));
+        sh_.perlCv.push_back(
+            std::make_unique<SimCondVar>(kern.makeCondVar()));
+        sh_.perl.push_back(std::make_unique<PerlProcess>(kern, p + 1));
+        sh_.pendingWorker.emplace_back();
+    }
+
+    // Worker buffers (per-worker user space).
+    for (unsigned wk = 0; wk < cfg_.workers; ++wk) {
+        const Addr ub = seg::userHeap(300 + wk);
+        sh_.reqBuf.push_back(ub);
+        sh_.respBuf.push_back(ub + 4 * kPageSize);
+        sh_.respCv.push_back(
+            std::make_unique<SimCondVar>(kern.makeCondVar()));
+    }
+
+    const unsigned ncpu = kern.engine().numCpus();
+    kern.spawn(std::make_unique<Listener>(*this), 0, /*priority=*/70);
+    for (unsigned wk = 0; wk < cfg_.workers; ++wk)
+        kern.spawn(std::make_unique<Worker>(*this, wk),
+                   static_cast<CpuId>(wk % ncpu));
+    for (unsigned p = 0; p < cfg_.perlProcs; ++p)
+        kern.spawn(std::make_unique<PerlProc>(*this, p),
+                   static_cast<CpuId>((p + 1) % ncpu));
+}
+
+} // namespace tstream

@@ -1,0 +1,73 @@
+#include "sim/workload.hh"
+
+#include "sim/dss_workload.hh"
+#include "sim/oltp_workload.hh"
+#include "sim/web_workload.hh"
+
+namespace tstream
+{
+
+std::string_view
+workloadName(WorkloadKind k)
+{
+    switch (k) {
+      case WorkloadKind::Apache: return "Apache";
+      case WorkloadKind::Zeus: return "Zeus";
+      case WorkloadKind::Oltp: return "DB2-OLTP";
+      case WorkloadKind::DssQ1: return "DSS-Qry1";
+      case WorkloadKind::DssQ2: return "DSS-Qry2";
+      case WorkloadKind::DssQ17: return "DSS-Qry17";
+    }
+    return "<invalid>";
+}
+
+bool
+workloadIsDb(WorkloadKind k)
+{
+    switch (k) {
+      case WorkloadKind::Oltp:
+      case WorkloadKind::DssQ1:
+      case WorkloadKind::DssQ2:
+      case WorkloadKind::DssQ17:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::unique_ptr<Workload>
+makeWorkload(WorkloadKind kind, double scale)
+{
+    switch (kind) {
+      case WorkloadKind::Apache: {
+        WebConfig cfg = WebConfig::apache();
+        cfg.rescale(scale);
+        return std::make_unique<WebWorkload>(cfg);
+      }
+      case WorkloadKind::Zeus: {
+        WebConfig cfg = WebConfig::zeus();
+        cfg.rescale(scale);
+        return std::make_unique<WebWorkload>(cfg);
+      }
+      case WorkloadKind::Oltp: {
+        OltpConfig cfg;
+        cfg.rescale(scale);
+        return std::make_unique<OltpWorkload>(cfg);
+      }
+      case WorkloadKind::DssQ1:
+      case WorkloadKind::DssQ2:
+      case WorkloadKind::DssQ17: {
+        DssConfig cfg;
+        cfg.query = kind == WorkloadKind::DssQ1
+                        ? DssConfig::Query::Q1
+                        : (kind == WorkloadKind::DssQ2
+                               ? DssConfig::Query::Q2
+                               : DssConfig::Query::Q17);
+        cfg.rescale(scale);
+        return std::make_unique<DssWorkload>(cfg);
+      }
+    }
+    fatal("makeWorkload: unknown workload kind");
+}
+
+} // namespace tstream

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Workload interface and the application suite of the paper's Table 1:
+ * Web (Apache, Zeus under SPECweb99-style load), OLTP (TPC-C-style on
+ * the DB2-like engine), and DSS (TPC-H-style queries 1, 2, 17).
+ */
+
+#ifndef TSTREAM_SIM_WORKLOAD_HH
+#define TSTREAM_SIM_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+
+#include "kernel/kernel.hh"
+
+namespace tstream
+{
+
+/** The six applications of the paper's evaluation. */
+enum class WorkloadKind
+{
+    Apache,
+    Zeus,
+    Oltp,
+    DssQ1,
+    DssQ2,
+    DssQ17,
+};
+
+/** Short name as used in the paper's figures. */
+std::string_view workloadName(WorkloadKind k);
+
+/** True for the DB2-backed workloads (Tables 4/5 rows). */
+bool workloadIsDb(WorkloadKind k);
+
+/** A runnable application: allocates state and spawns its threads. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Allocate simulated structures and spawn tasks into @p kern. */
+    virtual void setup(Kernel &kern) = 0;
+
+    virtual std::string_view name() const = 0;
+};
+
+/**
+ * Build a workload.
+ * @param scale Footprint scale factor (1.0 = defaults documented in
+ *              DESIGN.md; smaller values shrink tables/pools for fast
+ *              tests).
+ */
+std::unique_ptr<Workload> makeWorkload(WorkloadKind kind,
+                                       double scale = 1.0);
+
+} // namespace tstream
+
+#endif // TSTREAM_SIM_WORKLOAD_HH

@@ -1,0 +1,87 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace tstream
+{
+
+std::string
+LogHistogram::render(const std::string &label) const
+{
+    std::string out = label + "\n";
+    char line[160];
+    for (unsigned d = 0; d < decades_; ++d) {
+        std::uint64_t decadeCount = 0;
+        for (unsigned s = 0; s < perDecade_; ++s)
+            decadeCount += counts_[d * perDecade_ + s];
+        const double frac =
+            total_ == 0 ? 0.0
+                        : static_cast<double>(decadeCount) /
+                              static_cast<double>(total_);
+        const int bar = static_cast<int>(frac * 50.0 + 0.5);
+        std::snprintf(line, sizeof(line), "  [1e%u,1e%u)  %6.1f%%  %s\n",
+                      d, d + 1, 100.0 * frac,
+                      std::string(static_cast<std::size_t>(bar), '#')
+                          .c_str());
+        out += line;
+    }
+    return out;
+}
+
+void
+WeightedCdf::sortSamples() const
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+double
+WeightedCdf::percentile(double p) const
+{
+    if (samples_.empty())
+        return 0.0;
+    sortSamples();
+    const double target = total_ * p / 100.0;
+    std::uint64_t run = 0;
+    for (const auto &[v, w] : samples_) {
+        run += w;
+        if (static_cast<double>(run) >= target)
+            return static_cast<double>(v);
+    }
+    return static_cast<double>(samples_.back().first);
+}
+
+double
+WeightedCdf::cumulativeAt(std::uint64_t value) const
+{
+    if (total_ == 0)
+        return 0.0;
+    sortSamples();
+    std::uint64_t run = 0;
+    for (const auto &[v, w] : samples_) {
+        if (v > value)
+            break;
+        run += w;
+    }
+    return static_cast<double>(run) / static_cast<double>(total_);
+}
+
+std::string
+WeightedCdf::render(const std::string &label,
+                    const std::vector<std::uint64_t> &points) const
+{
+    std::string out = label + "\n";
+    char line[160];
+    for (auto pt : points) {
+        std::snprintf(line, sizeof(line), "  len <= %-8llu  %6.1f%%\n",
+                      static_cast<unsigned long long>(pt),
+                      100.0 * cumulativeAt(pt));
+        out += line;
+    }
+    return out;
+}
+
+} // namespace tstream

@@ -1,0 +1,30 @@
+#include "trace/record.hh"
+
+namespace tstream
+{
+
+std::string_view
+missClassName(MissClass c)
+{
+    switch (c) {
+      case MissClass::Compulsory: return "Compulsory";
+      case MissClass::Coherence: return "Coherence";
+      case MissClass::IoCoherence: return "I/O Coherence";
+      case MissClass::Replacement: return "Replacement";
+      default: return "<invalid>";
+    }
+}
+
+std::string_view
+intraClassName(IntraClass c)
+{
+    switch (c) {
+      case IntraClass::CoherencePeerL1: return "Coherence:Peer-L1";
+      case IntraClass::CoherenceL2: return "Coherence:L2";
+      case IntraClass::ReplacementL2: return "Replacement:L2";
+      case IntraClass::OffChip: return "Off-chip";
+      default: return "<invalid>";
+    }
+}
+
+} // namespace tstream

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Access and miss records — the wire format between the workload
+ * emulators, the cache hierarchy, and the analysis layer.
+ */
+
+#ifndef TSTREAM_TRACE_RECORD_HH
+#define TSTREAM_TRACE_RECORD_HH
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "mem/address.hh"
+#include "trace/categories.hh"
+
+namespace tstream
+{
+
+/** CPU (core or node) identifier. */
+using CpuId = std::uint8_t;
+
+/** Kind of memory operation issued by an emulator. */
+enum class AccessType : std::uint8_t
+{
+    Read,          ///< ordinary data read
+    Write,         ///< ordinary data write (allocates in cache)
+    DmaWrite,      ///< device DMA into memory (invalidates all caches)
+    NonAllocWrite, ///< block-store that bypasses cache allocation
+                   ///< (Solaris default_copyout-style)
+};
+
+/** One memory operation from a workload emulator. */
+struct Access
+{
+    Addr addr = 0;
+    std::uint32_t size = 0;
+    AccessType type = AccessType::Read;
+    CpuId cpu = 0;
+    FnId fn = 0;
+};
+
+/**
+ * Off-chip miss classification following the paper's adaptation of the
+ * four C's model (Section 4.1).
+ */
+enum class MissClass : std::uint8_t
+{
+    Compulsory,  ///< block never previously accessed by anyone
+    Coherence,   ///< written by another processor since last read here
+    IoCoherence, ///< written by DMA or a non-allocating bulk copy
+    Replacement, ///< everything else (capacity/conflict)
+
+    NumClasses
+};
+
+constexpr std::size_t kNumMissClasses =
+    static_cast<std::size_t>(MissClass::NumClasses);
+
+/** Human-readable name of an off-chip miss class. */
+std::string_view missClassName(MissClass c);
+
+/**
+ * Intra-chip (L1) miss classification following the paper's Figure 1
+ * (right): cause plus the hierarchy level that supplied the data.
+ */
+enum class IntraClass : std::uint8_t
+{
+    CoherencePeerL1, ///< coherence miss supplied by a peer L1
+    CoherenceL2,     ///< coherence miss supplied by the shared L2
+    ReplacementL2,   ///< L1 replacement miss that hit in L2
+    OffChip,         ///< L2 missed too; leaves the chip
+
+    NumClasses
+};
+
+constexpr std::size_t kNumIntraClasses =
+    static_cast<std::size_t>(IntraClass::NumClasses);
+
+/** Human-readable name of an intra-chip miss class. */
+std::string_view intraClassName(IntraClass c);
+
+/** One read miss in a collected trace. */
+struct MissRecord
+{
+    std::uint64_t seq = 0; ///< global order across all CPUs
+    BlockId block = 0;     ///< 64 B block number
+    CpuId cpu = 0;         ///< requesting CPU (node for multi-chip)
+    std::uint8_t cls = 0;  ///< MissClass or IntraClass, per trace kind
+    FnId fn = 0;           ///< attributed function
+};
+
+/** A collected miss trace plus the instruction count that produced it. */
+struct MissTrace
+{
+    std::vector<MissRecord> misses;
+    std::uint64_t instructions = 0; ///< total committed instructions
+    unsigned numCpus = 0;
+
+    /** Misses per 1000 instructions. */
+    double
+    mpki() const
+    {
+        return instructions == 0
+                   ? 0.0
+                   : 1000.0 * static_cast<double>(misses.size()) /
+                         static_cast<double>(instructions);
+    }
+};
+
+} // namespace tstream
+
+#endif // TSTREAM_TRACE_RECORD_HH

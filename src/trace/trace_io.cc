@@ -1,0 +1,126 @@
+#include "trace/trace_io.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace tstream
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'T', 'S', 'T', 'R'};
+constexpr std::uint32_t kVersion = 1;
+
+/** On-disk record layout (packed manually for portability). */
+constexpr std::size_t kRecordBytes = 8 + 8 + 1 + 1 + 2;
+
+void
+putU32(std::vector<unsigned char> &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<unsigned char>(v >> (8 * i)));
+}
+
+void
+putU64(std::vector<unsigned char> &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<unsigned char>(v >> (8 * i)));
+}
+
+std::uint32_t
+getU32(const unsigned char *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+std::uint64_t
+getU64(const unsigned char *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+} // namespace
+
+bool
+saveTrace(const MissTrace &trace, const std::string &path)
+{
+    std::vector<unsigned char> buf;
+    buf.reserve(24 + trace.misses.size() * kRecordBytes);
+    buf.insert(buf.end(), kMagic, kMagic + 4);
+    putU32(buf, kVersion);
+    putU32(buf, trace.numCpus);
+    putU64(buf, trace.instructions);
+    putU64(buf, trace.misses.size());
+    for (const MissRecord &m : trace.misses) {
+        putU64(buf, m.seq);
+        putU64(buf, m.block);
+        buf.push_back(m.cpu);
+        buf.push_back(m.cls);
+        buf.push_back(static_cast<unsigned char>(m.fn & 0xFF));
+        buf.push_back(static_cast<unsigned char>(m.fn >> 8));
+    }
+
+    std::unique_ptr<std::FILE, int (*)(std::FILE *)> f(
+        std::fopen(path.c_str(), "wb"), &std::fclose);
+    if (!f)
+        return false;
+    return std::fwrite(buf.data(), 1, buf.size(), f.get()) ==
+           buf.size();
+}
+
+MissTrace
+loadTrace(const std::string &path)
+{
+    std::unique_ptr<std::FILE, int (*)(std::FILE *)> f(
+        std::fopen(path.c_str(), "rb"), &std::fclose);
+    if (!f)
+        fatal("loadTrace: cannot open " + path);
+
+    std::fseek(f.get(), 0, SEEK_END);
+    const long size = std::ftell(f.get());
+    std::fseek(f.get(), 0, SEEK_SET);
+    panicIf(size < 28, "loadTrace: truncated header");
+    std::vector<unsigned char> buf(static_cast<std::size_t>(size));
+    if (std::fread(buf.data(), 1, buf.size(), f.get()) != buf.size())
+        fatal("loadTrace: short read on " + path);
+
+    if (std::memcmp(buf.data(), kMagic, 4) != 0)
+        fatal("loadTrace: bad magic in " + path);
+    const std::uint32_t version = getU32(buf.data() + 4);
+    if (version != kVersion)
+        fatal("loadTrace: unsupported version in " + path);
+
+    MissTrace trace;
+    trace.numCpus = getU32(buf.data() + 8);
+    trace.instructions = getU64(buf.data() + 12);
+    const std::uint64_t count = getU64(buf.data() + 20);
+    panicIf(buf.size() != 28 + count * kRecordBytes,
+            "loadTrace: size mismatch");
+
+    trace.misses.reserve(static_cast<std::size_t>(count));
+    const unsigned char *p = buf.data() + 28;
+    for (std::uint64_t i = 0; i < count; ++i, p += kRecordBytes) {
+        MissRecord m;
+        m.seq = getU64(p);
+        m.block = getU64(p + 8);
+        m.cpu = p[16];
+        m.cls = p[17];
+        m.fn = static_cast<FnId>(p[18] | (p[19] << 8));
+        trace.misses.push_back(m);
+    }
+    return trace;
+}
+
+} // namespace tstream

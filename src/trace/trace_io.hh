@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Binary miss-trace serialization: save collected traces to disk and
+ * reload them for offline analysis, so expensive simulations need not
+ * be re-run to try a different analysis.
+ *
+ * Format (little-endian, fixed-width):
+ *   magic "TSTR" | u32 version | u32 numCpus | u64 instructions |
+ *   u64 count | count x { u64 seq | u64 block | u8 cpu | u8 cls |
+ *   u16 fn }
+ */
+
+#ifndef TSTREAM_TRACE_TRACE_IO_HH
+#define TSTREAM_TRACE_TRACE_IO_HH
+
+#include <string>
+
+#include "trace/record.hh"
+
+namespace tstream
+{
+
+/** Serialize @p trace to @p path. @return false on I/O failure. */
+bool saveTrace(const MissTrace &trace, const std::string &path);
+
+/**
+ * Load a trace previously written by saveTrace().
+ * @return the trace; fatal() on malformed input.
+ */
+MissTrace loadTrace(const std::string &path);
+
+} // namespace tstream
+
+#endif // TSTREAM_TRACE_TRACE_IO_HH

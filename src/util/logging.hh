@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 style: panic() for internal
+ * invariant violations, fatal() for user/configuration errors.
+ */
+
+#ifndef TSTREAM_UTIL_LOGGING_HH
+#define TSTREAM_UTIL_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace tstream
+{
+
+/**
+ * Abort the process because an internal invariant was violated.
+ * Use for conditions that indicate a bug in tstream itself.
+ */
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+/**
+ * Exit the process because of a user-caused error (bad configuration,
+ * invalid arguments). Not a tstream bug.
+ */
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+/** panic() when @p cond is false. */
+inline void
+panicIf(bool cond, const std::string &msg)
+{
+    if (cond)
+        panic(msg);
+}
+
+} // namespace tstream
+
+#endif // TSTREAM_UTIL_LOGGING_HH

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Deterministic random number generation for workload synthesis.
+ *
+ * All randomness in the simulator flows through Rng so that a run is a
+ * pure function of its seed. We use xoshiro256** (public domain,
+ * Blackman/Vigna) seeded via splitmix64, plus the samplers the workload
+ * emulators need (uniform ranges, Zipf-distributed skew for TPC-C-like
+ * access patterns, bounded geometric bursts).
+ */
+
+#ifndef TSTREAM_UTIL_RNG_HH
+#define TSTREAM_UTIL_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace tstream
+{
+
+/** Deterministic xoshiro256** generator with workload-oriented samplers. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; any value (including 0) is valid. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // splitmix64 to spread the seed across the state.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's multiply-shift rejection-free approximation is fine
+        // for simulation purposes (bias < 2^-64 * bound).
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+/**
+ * Zipf sampler over [0, n) with parameter theta (theta = 0 is uniform;
+ * TPC-C-style skew uses theta around 0.8-1.0).
+ *
+ * Uses the standard inverse-CDF-over-precomputed-harmonic approach; the
+ * construction cost is O(n) and sampling is O(log n), which is fine for
+ * the table cardinalities the workloads use.
+ */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(std::size_t n, double theta)
+        : cdf_(n)
+    {
+        double sum = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+            cdf_[i] = sum;
+        }
+        for (auto &v : cdf_)
+            v /= sum;
+    }
+
+    /** Draw one sample in [0, n). */
+    std::size_t
+    sample(Rng &rng) const
+    {
+        const double u = rng.uniform();
+        std::size_t lo = 0, hi = cdf_.size() - 1;
+        while (lo < hi) {
+            const std::size_t mid = (lo + hi) / 2;
+            if (cdf_[mid] < u)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        return lo;
+    }
+
+    std::size_t size() const { return cdf_.size(); }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+} // namespace tstream
+
+#endif // TSTREAM_UTIL_RNG_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Perl interpreter emulator for FastCGI dynamic-content generation.
+ *
+ * Each perl process owns a compiled op-tree for the SPECweb-style
+ * script, a pad/scratch arena, and input/output buffers, all in its
+ * own user address space. Request handling walks the same op sequence
+ * every time (with small data-dependent variation), which is why the
+ * paper finds Perl_sv_gets to be the single most repetitive function
+ * (~99%) and the Perl_pp_* engine ~75% repetitive (Section 5.1).
+ */
+
+#ifndef TSTREAM_WEB_PERL_HH
+#define TSTREAM_WEB_PERL_HH
+
+#include <cstdint>
+
+#include "kernel/kernel.hh"
+#include "mem/sim_alloc.hh"
+
+namespace tstream
+{
+
+/** Configuration of one perl process. */
+struct PerlConfig
+{
+    unsigned opCount = 192;   ///< op-tree nodes of the script
+    unsigned padSlots = 256;  ///< lexical pad entries
+    double branchNoise = 0.12; ///< fraction of ops skipped per request
+};
+
+/** One FastCGI perl process's interpreter state. */
+class PerlProcess
+{
+  public:
+    /**
+     * @param pid Simulated process id (selects the user segment).
+     */
+    PerlProcess(Kernel &kern, unsigned pid, const PerlConfig &cfg = {});
+
+    /** Input buffer the pipe copyout delivers request bytes into. */
+    Addr inputBuf() const { return inBuf_; }
+
+    /** Output buffer the generated page is written to. */
+    Addr outputBuf() const { return outBuf_; }
+
+    /**
+     * Perl_sv_gets: parse the delivered request line from the input
+     * buffer into SV string structures.
+     */
+    void parseInput(SysCtx &ctx, std::uint32_t len);
+
+    /**
+     * Walk the script's op-tree, touching pads and scratch SVs, and
+     * write @p response_len bytes of generated page into the output
+     * buffer.
+     */
+    void executeScript(SysCtx &ctx, std::uint32_t response_len);
+
+  private:
+    PerlConfig cfg_;
+    Addr opTree_; ///< op nodes, 1 block each
+    Addr pad_;    ///< lexical pad SVs
+    Addr svArena_; ///< scratch SV headers (reused)
+    Addr inBuf_;
+    Addr outBuf_;
+
+    FnId fnSvGets_, fnPpHot_, fnPpConst_, fnPpPrint_, fnRunops_;
+};
+
+} // namespace tstream
+
+#endif // TSTREAM_WEB_PERL_HH

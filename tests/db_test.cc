@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Tests for the DB2-like engine: buffer pool, B+-tree, heap tables,
+ * transaction manager, plan interpreter, and client IPC.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "db/btree.hh"
+#include "db/bufferpool.hh"
+#include "db/interp.hh"
+#include "db/ipc.hh"
+#include "db/table.hh"
+#include "db/txn.hh"
+#include "kernel/kernel.hh"
+#include "mem/multichip.hh"
+
+namespace tstream
+{
+namespace
+{
+
+class DbTest : public ::testing::Test
+{
+  protected:
+    DbTest()
+        : eng_(std::make_unique<MultiChipSystem>(), 99), kern_(eng_)
+    {
+        eng_.setTracing(true);
+    }
+
+    SysCtx
+    ctx(unsigned cpu = 0)
+    {
+        return SysCtx(eng_, kern_, static_cast<CpuId>(cpu), nullptr);
+    }
+
+    Engine eng_;
+    Kernel kern_;
+};
+
+// ---------------------------------------------------------------------
+// Buffer pool.
+// ---------------------------------------------------------------------
+
+TEST_F(DbTest, PoolMissThenHit)
+{
+    BufferPoolConfig cfg;
+    cfg.frames = 64;
+    BufferPool bp(kern_, cfg);
+    auto c = ctx();
+    EXPECT_FALSE(bp.resident(5));
+    const Addr f1 = bp.fix(c, 5);
+    EXPECT_TRUE(bp.resident(5));
+    EXPECT_EQ(bp.misses(), 1u);
+    const Addr f2 = bp.fix(c, 5);
+    EXPECT_EQ(f1, f2);
+    EXPECT_EQ(bp.misses(), 1u);
+    EXPECT_GT(bp.hitRate(), 0.0);
+}
+
+TEST_F(DbTest, PoolFrameAddressesAreDistinctAndPageAligned)
+{
+    BufferPoolConfig cfg;
+    cfg.frames = 64;
+    BufferPool bp(kern_, cfg);
+    auto c = ctx();
+    std::set<Addr> frames;
+    for (PageId p = 0; p < 32; ++p) {
+        const Addr f = bp.fix(c, p);
+        EXPECT_EQ(f % kPageSize, 0u);
+        frames.insert(f);
+    }
+    EXPECT_EQ(frames.size(), 32u);
+}
+
+TEST_F(DbTest, PoolEvictsWhenFull)
+{
+    BufferPoolConfig cfg;
+    cfg.frames = 16;
+    BufferPool bp(kern_, cfg);
+    auto c = ctx();
+    for (PageId p = 0; p < 64; ++p)
+        bp.fix(c, p);
+    // Capacity respected: at most 16 pages resident.
+    unsigned resident = 0;
+    for (PageId p = 0; p < 64; ++p)
+        resident += bp.resident(p) ? 1 : 0;
+    EXPECT_LE(resident, 16u);
+}
+
+TEST_F(DbTest, PoolMissTriggersDiskIo)
+{
+    BufferPoolConfig cfg;
+    cfg.frames = 16;
+    BufferPool bp(kern_, cfg);
+    auto c = ctx();
+    const auto io0 = kern_.blockdev().ioCount();
+    bp.fix(c, 1);
+    EXPECT_EQ(kern_.blockdev().ioCount(), io0 + 1);
+    bp.fix(c, 1);
+    EXPECT_EQ(kern_.blockdev().ioCount(), io0 + 1);
+}
+
+TEST_F(DbTest, FixNewAllocatesWithoutDisk)
+{
+    BufferPoolConfig cfg;
+    cfg.frames = 16;
+    BufferPool bp(kern_, cfg);
+    auto c = ctx();
+    const auto io0 = kern_.blockdev().ioCount();
+    const Addr f = bp.fixNew(c, 42);
+    EXPECT_EQ(kern_.blockdev().ioCount(), io0);
+    EXPECT_TRUE(bp.resident(42));
+    EXPECT_EQ(f, bp.fix(c, 42));
+}
+
+// ---------------------------------------------------------------------
+// B+-tree.
+// ---------------------------------------------------------------------
+
+TEST_F(DbTest, BTreeBuildGeometry)
+{
+    BufferPoolConfig cfg;
+    cfg.frames = 2048;
+    BufferPool bp(kern_, cfg);
+    BTree t(kern_, bp, 0, /*fanout=*/128);
+    t.build(128 * 128); // exactly two levels of 128
+    EXPECT_EQ(t.height(), 2u);
+    EXPECT_EQ(t.keyCount(), 128u * 128u);
+    EXPECT_EQ(t.pagesUsed(), 128u + 1u);
+}
+
+TEST_F(DbTest, BTreeSingleLeaf)
+{
+    BufferPoolConfig cfg;
+    cfg.frames = 64;
+    BufferPool bp(kern_, cfg);
+    BTree t(kern_, bp, 0);
+    t.build(10);
+    EXPECT_EQ(t.height(), 1u);
+    auto c = ctx();
+    EXPECT_EQ(t.lookup(c, 7), 7u);
+}
+
+TEST_F(DbTest, BTreeLookupReturnsKeyAsRid)
+{
+    BufferPoolConfig cfg;
+    cfg.frames = 2048;
+    BufferPool bp(kern_, cfg);
+    BTree t(kern_, bp, 0);
+    t.build(50'000);
+    auto c = ctx();
+    for (std::uint64_t k : {0ull, 1ull, 127ull, 128ull, 49'999ull})
+        EXPECT_EQ(t.lookup(c, k), k);
+    // Out-of-range clamps.
+    EXPECT_EQ(t.lookup(c, 1'000'000), 49'999u);
+}
+
+TEST_F(DbTest, BTreeRangeScanVisitsEveryKeyInOrder)
+{
+    BufferPoolConfig cfg;
+    cfg.frames = 2048;
+    BufferPool bp(kern_, cfg);
+    BTree t(kern_, bp, 0);
+    t.build(1000);
+    auto c = ctx();
+    std::vector<std::uint64_t> seen;
+    t.rangeScan(c, 100, 300,
+                [&](SysCtx &, std::uint64_t r) { seen.push_back(r); });
+    ASSERT_EQ(seen.size(), 300u);
+    EXPECT_EQ(seen.front(), 100u);
+    EXPECT_EQ(seen.back(), 399u);
+    for (std::size_t i = 1; i < seen.size(); ++i)
+        EXPECT_EQ(seen[i], seen[i - 1] + 1);
+}
+
+TEST_F(DbTest, BTreeRangeScanStopsAtEnd)
+{
+    BufferPoolConfig cfg;
+    cfg.frames = 256;
+    BufferPool bp(kern_, cfg);
+    BTree t(kern_, bp, 0);
+    t.build(200);
+    auto c = ctx();
+    std::vector<std::uint64_t> seen;
+    t.rangeScan(c, 150, 500,
+                [&](SysCtx &, std::uint64_t r) { seen.push_back(r); });
+    EXPECT_EQ(seen.size(), 50u);
+}
+
+TEST_F(DbTest, BTreeInsertDirtiesLeafAndEventuallySplits)
+{
+    BufferPoolConfig cfg;
+    cfg.frames = 256;
+    BufferPool bp(kern_, cfg);
+    BTree t(kern_, bp, 0, /*fanout=*/16);
+    t.build(64);
+    auto c = ctx();
+    const PageId before = t.pagesUsed();
+    // 4*fanout inserts into the same leaf force one split.
+    for (int i = 0; i < 64; ++i)
+        t.insert(c, 3);
+    EXPECT_GT(t.pagesUsed(), before);
+}
+
+TEST_F(DbTest, OverlappingRangeScansRevisitLeafPages)
+{
+    // The paper's example one: the same leaves are fixed again in the
+    // same order by a second overlapping scan.
+    BufferPoolConfig cfg;
+    cfg.frames = 2048;
+    BufferPool bp(kern_, cfg);
+    BTree t(kern_, bp, 0);
+    t.build(10'000);
+    auto c = ctx();
+    const auto missesBefore = bp.misses();
+    t.rangeScan(c, 1000, 4000);
+    const auto missesAfterFirst = bp.misses();
+    // The second scan's range is contained in the first one's.
+    t.rangeScan(c, 1500, 3000);
+    // Second scan: all pages already resident.
+    EXPECT_EQ(bp.misses(), missesAfterFirst);
+    EXPECT_GT(missesAfterFirst, missesBefore);
+}
+
+// ---------------------------------------------------------------------
+// Heap table.
+// ---------------------------------------------------------------------
+
+TEST_F(DbTest, TableGeometry)
+{
+    BufferPoolConfig cfg;
+    cfg.frames = 256;
+    BufferPool bp(kern_, cfg);
+    HeapTable t(kern_, bp, 10, 100, 16, 240);
+    EXPECT_EQ(t.tupleCount(), 1600u);
+    EXPECT_EQ(t.firstPage(), 10u);
+    EXPECT_EQ(t.pageCount(), 100u);
+}
+
+TEST_F(DbTest, TableFetchFixesTheRightPage)
+{
+    BufferPoolConfig cfg;
+    cfg.frames = 256;
+    BufferPool bp(kern_, cfg);
+    HeapTable t(kern_, bp, 0, 100, 16, 240);
+    auto c = ctx();
+    t.fetch(c, 0);
+    EXPECT_TRUE(bp.resident(0));
+    t.fetch(c, 17); // second page
+    EXPECT_TRUE(bp.resident(1));
+    t.update(c, 1599); // last page
+    EXPECT_TRUE(bp.resident(99));
+}
+
+TEST_F(DbTest, TableScanInvokesCallbackPerTuple)
+{
+    BufferPoolConfig cfg;
+    cfg.frames = 256;
+    BufferPool bp(kern_, cfg);
+    HeapTable t(kern_, bp, 0, 10, 20, 100);
+    auto c = ctx();
+    unsigned calls = 0;
+    t.scan(c, 0, 4, 0.5, [&](SysCtx &, std::uint64_t) { ++calls; });
+    EXPECT_EQ(calls, 4u * 10u); // 50% of 20 tuples over 4 pages
+}
+
+// ---------------------------------------------------------------------
+// Transactions, interpreter, IPC.
+// ---------------------------------------------------------------------
+
+TEST_F(DbTest, TxnLifecycleEmitsRequestControl)
+{
+    TxnManager txns(kern_, 8);
+    auto c = ctx();
+    const auto id = txns.begin(c, 3);
+    txns.logAppend(c, 300);
+    txns.touchCursor(c, 3, true);
+    txns.commit(c, id);
+    std::uint64_t rc = 0;
+    const auto &reg = eng_.registry();
+    for (const auto &m : eng_.memory().offChipTrace().misses)
+        if (reg.category(m.fn) == Category::DbRequestControl)
+            ++rc;
+    EXPECT_GT(rc, 0u);
+}
+
+TEST_F(DbTest, LogWrapsAround)
+{
+    TxnConfig cfg;
+    cfg.logBlocks = 8;
+    TxnManager txns(kern_, 4, cfg);
+    // Append more than the log capacity; must not fault and must
+    // reuse addresses (coherence on the wrapped blocks when another
+    // cpu appends).
+    for (int i = 0; i < 10; ++i) {
+        auto cc = ctx(i % 2);
+        txns.logAppend(cc, 256);
+    }
+    std::uint64_t coh = 0;
+    for (const auto &m : eng_.memory().offChipTrace().misses)
+        if (static_cast<MissClass>(m.cls) == MissClass::Coherence)
+            ++coh;
+    EXPECT_GT(coh, 0u);
+}
+
+TEST_F(DbTest, InterpWalksEveryOp)
+{
+    InterpConfig cfg;
+    cfg.nplans = 4;
+    cfg.opsPerPlan = 10;
+    PlanInterp interp(kern_, cfg);
+    auto c = ctx();
+    unsigned ops = 0;
+    interp.execute(c, 2, [&](SysCtx &, unsigned) { ++ops; });
+    EXPECT_EQ(ops, 10u);
+    EXPECT_EQ(interp.planCount(), 4u);
+}
+
+TEST_F(DbTest, InterpPlansShareAcrossCpusCoherently)
+{
+    PlanInterp interp(kern_);
+    for (int i = 0; i < 30; ++i) {
+        auto c = ctx(i % 4);
+        interp.execute(c, 1, [](SysCtx &, unsigned) {});
+    }
+    // The shared runtime-section writes make plan blocks migrate.
+    std::uint64_t coh = 0;
+    const auto &reg = eng_.registry();
+    for (const auto &m : eng_.memory().offChipTrace().misses)
+        if (static_cast<MissClass>(m.cls) == MissClass::Coherence &&
+            reg.category(m.fn) == Category::DbRuntimeInterp)
+            ++coh;
+    EXPECT_GT(coh, 0u);
+}
+
+TEST_F(DbTest, IpcRoundTrip)
+{
+    DbIpc ipc(kern_, 16);
+    auto c0 = ctx(0);
+    auto c1 = ctx(1);
+    ipc.receiveRequest(c0, 5);
+    ipc.sendReply(c0, 5);
+    // Another cpu serving the same client re-misses coherently.
+    ipc.receiveRequest(c1, 5);
+    std::uint64_t dbipc = 0;
+    const auto &reg = eng_.registry();
+    for (const auto &m : eng_.memory().offChipTrace().misses)
+        if (reg.category(m.fn) == Category::DbIpc)
+            ++dbipc;
+    EXPECT_GT(dbipc, 0u);
+}
+
+} // namespace
+} // namespace tstream

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the Engine facade: instruction accounting, access
+ * splitting, tracing control, and trace finalization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mem/multichip.hh"
+#include "sim/engine.hh"
+
+namespace tstream
+{
+namespace
+{
+
+Engine
+makeEngine()
+{
+    return Engine(std::make_unique<MultiChipSystem>(), 42);
+}
+
+TEST(Engine, ExecAccumulatesPerCpu)
+{
+    auto eng = makeEngine();
+    eng.exec(0, 100);
+    eng.exec(1, 50);
+    eng.exec(0, 25);
+    EXPECT_EQ(eng.totalInstructions(), 175u);
+}
+
+TEST(Engine, AccessesChargeInstructions)
+{
+    auto eng = makeEngine();
+    eng.read(0, 0x1000, 64, 0);
+    const auto one = eng.totalInstructions();
+    EXPECT_GT(one, 0u);
+    // A 4-block access costs about four times a 1-block access.
+    eng.read(0, 0x2000, 256, 0);
+    EXPECT_EQ(eng.totalInstructions(), one + 4 * one);
+}
+
+TEST(Engine, MultiBlockReadTracesEveryBlock)
+{
+    auto eng = makeEngine();
+    eng.setTracing(true);
+    eng.read(2, 0x10000, 300, 0); // spans 5 blocks
+    EXPECT_EQ(eng.memory().offChipTrace().misses.size(), 5u);
+    for (const auto &m : eng.memory().offChipTrace().misses)
+        EXPECT_EQ(m.cpu, 2);
+}
+
+TEST(Engine, UnalignedAccessSpansCorrectBlocks)
+{
+    auto eng = makeEngine();
+    eng.setTracing(true);
+    eng.read(0, 0x1000 + 60, 8, 0); // straddles a block boundary
+    EXPECT_EQ(eng.memory().offChipTrace().misses.size(), 2u);
+}
+
+TEST(Engine, NonAllocWriteDoesNotFillCaches)
+{
+    auto eng = makeEngine();
+    eng.nonAllocWrite(0, 0x3000, 64, 0);
+    auto *sys = static_cast<MultiChipSystem *>(&eng.memory());
+    EXPECT_FALSE(sys->probeL1(0, blockOf(0x3000)));
+    EXPECT_FALSE(sys->probeL2(0, blockOf(0x3000)));
+}
+
+TEST(Engine, DmaWriteChargesNoInstructions)
+{
+    auto eng = makeEngine();
+    eng.dmaWrite(0x4000, 4096);
+    EXPECT_EQ(eng.totalInstructions(), 0u);
+}
+
+TEST(Engine, FinalizeAttachesInstructionCounts)
+{
+    auto eng = makeEngine();
+    eng.setTracing(true);
+    eng.read(0, 0x5000, 64, 0);
+    eng.exec(0, 999);
+    eng.finalizeTraces();
+    EXPECT_EQ(eng.memory().offChipTrace().instructions,
+              eng.totalInstructions());
+    EXPECT_GT(eng.memory().offChipTrace().mpki(), 0.0);
+}
+
+TEST(Engine, RegistryIsPerEngine)
+{
+    auto e1 = makeEngine();
+    auto e2 = makeEngine();
+    const FnId a = e1.registry().intern("foo", Category::KernelOther);
+    const FnId b = e2.registry().intern("bar", Category::KernelOther);
+    EXPECT_EQ(a, b); // same slot in independent registries
+    EXPECT_EQ(e1.registry().name(a), "foo");
+    EXPECT_EQ(e2.registry().name(b), "bar");
+}
+
+TEST(Engine, SeededRngIsDeterministic)
+{
+    Engine e1(std::make_unique<MultiChipSystem>(), 7);
+    Engine e2(std::make_unique<MultiChipSystem>(), 7);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(e1.rng().next(), e2.rng().next());
+}
+
+TEST(MissTrace, MpkiArithmetic)
+{
+    MissTrace t;
+    EXPECT_EQ(t.mpki(), 0.0);
+    t.instructions = 10'000;
+    t.misses.resize(25);
+    EXPECT_DOUBLE_EQ(t.mpki(), 2.5);
+}
+
+TEST(MissClassNames, AllDistinct)
+{
+    EXPECT_EQ(missClassName(MissClass::Compulsory), "Compulsory");
+    EXPECT_EQ(missClassName(MissClass::IoCoherence), "I/O Coherence");
+    EXPECT_EQ(intraClassName(IntraClass::CoherencePeerL1),
+              "Coherence:Peer-L1");
+    EXPECT_EQ(intraClassName(IntraClass::OffChip), "Off-chip");
+}
+
+} // namespace
+} // namespace tstream

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for the perl interpreter emulator (FastCGI dynamic content).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "kernel/kernel.hh"
+#include "mem/multichip.hh"
+#include "web/perl.hh"
+
+namespace tstream
+{
+namespace
+{
+
+class PerlTest : public ::testing::Test
+{
+  protected:
+    PerlTest()
+        : eng_(std::make_unique<MultiChipSystem>(), 3), kern_(eng_)
+    {
+        eng_.setTracing(true);
+    }
+
+    SysCtx
+    ctx(unsigned cpu = 0)
+    {
+        return SysCtx(eng_, kern_, static_cast<CpuId>(cpu), nullptr);
+    }
+
+    std::uint64_t
+    categoryMisses(Category cat) const
+    {
+        std::uint64_t n = 0;
+        for (const auto &m : eng_.memory().offChipTrace().misses)
+            if (eng_.registry().category(m.fn) == cat)
+                ++n;
+        return n;
+    }
+
+    Engine eng_;
+    Kernel kern_;
+};
+
+TEST_F(PerlTest, BuffersLiveInOwnUserSegment)
+{
+    PerlProcess p1(kern_, 1);
+    PerlProcess p2(kern_, 2);
+    EXPECT_GE(p1.inputBuf(), seg::userHeap(1));
+    EXPECT_LT(p1.inputBuf(), seg::userHeap(2));
+    EXPECT_GE(p2.outputBuf(), seg::userHeap(2));
+    EXPECT_NE(p1.inputBuf(), p2.inputBuf());
+}
+
+TEST_F(PerlTest, ParseEmitsPerlInputCategory)
+{
+    PerlProcess p(kern_, 1);
+    auto c = ctx();
+    p.parseInput(c, 512);
+    EXPECT_GT(categoryMisses(Category::CgiPerlInput), 0u);
+}
+
+TEST_F(PerlTest, ExecuteEmitsEngineAndOtherCategories)
+{
+    PerlProcess p(kern_, 1);
+    auto c = ctx();
+    p.executeScript(c, 2048);
+    EXPECT_GT(categoryMisses(Category::CgiPerlEngine) +
+                  categoryMisses(Category::CgiPerlOther),
+              50u);
+}
+
+TEST_F(PerlTest, RepeatedExecutionIsMostlyWarm)
+{
+    PerlProcess p(kern_, 1);
+    auto c = ctx();
+    p.executeScript(c, 2048);
+    const auto cold = eng_.memory().offChipTrace().misses.size();
+    p.executeScript(c, 2048);
+    const auto warm =
+        eng_.memory().offChipTrace().misses.size() - cold;
+    // The second walk reuses the op-tree/pads: far fewer misses.
+    EXPECT_LT(warm, cold / 2);
+}
+
+TEST_F(PerlTest, MigrationRefetchesTheOpTree)
+{
+    PerlProcess p(kern_, 1);
+    auto c0 = ctx(0);
+    p.executeScript(c0, 2048);
+    const auto before = eng_.memory().offChipTrace().misses.size();
+    auto c1 = ctx(5); // process migrated to another node
+    p.executeScript(c1, 2048);
+    const auto after = eng_.memory().offChipTrace().misses.size();
+    EXPECT_GT(after - before, 50u);
+}
+
+TEST_F(PerlTest, ExecutionTriggersTlbActivity)
+{
+    PerlProcess p(kern_, 1);
+    auto c = ctx();
+    const auto before = kern_.vm().tlbMisses();
+    p.executeScript(c, 2048);
+    // Page-scattered op nodes: many pages touched.
+    EXPECT_GT(kern_.vm().tlbMisses(), before + 20);
+}
+
+} // namespace
+} // namespace tstream

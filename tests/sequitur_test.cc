@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Unit and property tests for the SEQUITUR grammar builder: exact
+ * reconstruction, invariant maintenance, and known-grammar cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/sequitur.hh"
+#include "util/rng.hh"
+
+namespace tstream
+{
+namespace
+{
+
+std::vector<std::uint64_t>
+buildAndExpand(const std::vector<std::uint64_t> &in)
+{
+    Sequitur g;
+    g.appendAll(in);
+    return g.expandRule(Sequitur::kRootRule);
+}
+
+TEST(Sequitur, EmptyGrammar)
+{
+    Sequitur g;
+    EXPECT_EQ(g.inputLength(), 0u);
+    EXPECT_EQ(g.ruleCount(), 1u); // just the root
+    EXPECT_TRUE(g.expandRule(Sequitur::kRootRule).empty());
+    g.checkInvariants();
+}
+
+TEST(Sequitur, SingleSymbol)
+{
+    Sequitur g;
+    g.append(42);
+    EXPECT_EQ(g.expandRule(Sequitur::kRootRule),
+              (std::vector<std::uint64_t>{42}));
+    g.checkInvariants();
+}
+
+TEST(Sequitur, NoRepetitionCreatesNoRules)
+{
+    Sequitur g;
+    g.appendAll({1, 2, 3, 4, 5, 6, 7, 8});
+    EXPECT_EQ(g.ruleCount(), 1u);
+    g.checkInvariants();
+}
+
+TEST(Sequitur, ClassicAbcdbc)
+{
+    // From the SEQUITUR paper: "abcdbc" yields root a A d A with
+    // A -> b c.
+    Sequitur g;
+    g.appendAll({'a', 'b', 'c', 'd', 'b', 'c'});
+    EXPECT_EQ(g.ruleCount(), 2u);
+    EXPECT_EQ(buildAndExpand({'a', 'b', 'c', 'd', 'b', 'c'}),
+              (std::vector<std::uint64_t>{'a', 'b', 'c', 'd', 'b', 'c'}));
+    g.checkInvariants();
+}
+
+TEST(Sequitur, HierarchyFormation)
+{
+    // "abcdbcabcdbc": the whole half repeats; expect nested rules and a
+    // root of two identical non-terminals.
+    Sequitur g;
+    const std::vector<std::uint64_t> in{'a', 'b', 'c', 'd', 'b', 'c',
+                                        'a', 'b', 'c', 'd', 'b', 'c'};
+    g.appendAll(in);
+    EXPECT_EQ(g.expandRule(Sequitur::kRootRule), in);
+    const auto root = g.ruleBody(Sequitur::kRootRule);
+    ASSERT_EQ(root.size(), 2u);
+    EXPECT_TRUE(root[0].isRule);
+    EXPECT_TRUE(root[1].isRule);
+    EXPECT_EQ(root[0].value, root[1].value);
+    g.checkInvariants();
+}
+
+TEST(Sequitur, RunsOfIdenticalSymbols)
+{
+    for (std::size_t n = 1; n <= 40; ++n) {
+        std::vector<std::uint64_t> in(n, 7);
+        Sequitur g;
+        g.appendAll(in);
+        EXPECT_EQ(g.expandRule(Sequitur::kRootRule), in) << "n=" << n;
+        g.checkInvariants(true);
+    }
+}
+
+TEST(Sequitur, RuleUtilityInlinesSingleUseRules)
+{
+    // "aabaaab" exercises rule creation then inlining (from the JAIR
+    // paper's discussion of utility).
+    const std::vector<std::uint64_t> in{'a', 'a', 'b', 'a', 'a', 'a',
+                                        'b'};
+    Sequitur g;
+    g.appendAll(in);
+    EXPECT_EQ(g.expandRule(Sequitur::kRootRule), in);
+    g.checkInvariants(true);
+    // Every non-root rule must be referenced at least twice.
+    for (auto id : g.liveRuleIds()) {
+        if (id == Sequitur::kRootRule)
+            continue;
+        EXPECT_GE(g.ruleRefs(id), 1u);
+    }
+}
+
+TEST(Sequitur, RuleLengthsMatchExpansion)
+{
+    Sequitur g;
+    std::vector<std::uint64_t> in;
+    for (int rep = 0; rep < 6; ++rep)
+        for (std::uint64_t v : {1, 2, 3, 4, 5, 9, 2, 3, 4, 7})
+            in.push_back(v);
+    g.appendAll(in);
+    const auto lens = g.ruleLengths();
+    for (auto id : g.liveRuleIds()) {
+        EXPECT_EQ(lens[id], g.expandRule(id).size()) << "rule " << id;
+    }
+    EXPECT_EQ(lens[Sequitur::kRootRule], in.size());
+}
+
+TEST(Sequitur, DetectsLongRepeatedSequence)
+{
+    // A 50-symbol "stream" occurring three times among noise: expect a
+    // rule whose expansion length is (close to) 50.
+    Rng rng(123);
+    std::vector<std::uint64_t> stream;
+    for (int i = 0; i < 50; ++i)
+        stream.push_back(1000 + i);
+
+    std::vector<std::uint64_t> in;
+    auto noise = [&](int n) {
+        for (int i = 0; i < n; ++i)
+            in.push_back(rng.range(1, 500)); // mostly unique pairs
+    };
+    noise(100);
+    in.insert(in.end(), stream.begin(), stream.end());
+    noise(100);
+    in.insert(in.end(), stream.begin(), stream.end());
+    noise(100);
+    in.insert(in.end(), stream.begin(), stream.end());
+
+    Sequitur g;
+    g.appendAll(in);
+    EXPECT_EQ(g.expandRule(Sequitur::kRootRule), in);
+
+    const auto lens = g.ruleLengths();
+    std::uint64_t longest = 0;
+    for (auto id : g.liveRuleIds())
+        if (id != Sequitur::kRootRule)
+            longest = std::max(longest, lens[id]);
+    EXPECT_GE(longest, 45u);
+    g.checkInvariants(true);
+}
+
+// ---------------------------------------------------------------------
+// Property tests over random inputs: exact reconstruction and both
+// SEQUITUR invariants for a spread of alphabet sizes and lengths.
+// ---------------------------------------------------------------------
+
+struct SequiturPropertyParam
+{
+    std::uint64_t seed;
+    std::size_t length;
+    std::uint64_t alphabet;
+};
+
+class SequiturPropertyTest
+    : public ::testing::TestWithParam<SequiturPropertyParam>
+{
+};
+
+TEST_P(SequiturPropertyTest, ReconstructsInputAndKeepsInvariants)
+{
+    const auto param = GetParam();
+    Rng rng(param.seed);
+    std::vector<std::uint64_t> in(param.length);
+    for (auto &v : in)
+        v = rng.below(param.alphabet);
+
+    Sequitur g;
+    g.appendAll(in);
+    EXPECT_EQ(g.expandRule(Sequitur::kRootRule), in);
+    g.checkInvariants(true);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomInputs, SequiturPropertyTest,
+    ::testing::Values(
+        SequiturPropertyParam{1, 10, 2}, SequiturPropertyParam{2, 100, 2},
+        SequiturPropertyParam{3, 1000, 2},
+        SequiturPropertyParam{4, 10000, 2},
+        SequiturPropertyParam{5, 100, 4},
+        SequiturPropertyParam{6, 1000, 4},
+        SequiturPropertyParam{7, 10000, 4},
+        SequiturPropertyParam{8, 1000, 16},
+        SequiturPropertyParam{9, 10000, 16},
+        SequiturPropertyParam{10, 50000, 16},
+        SequiturPropertyParam{11, 1000, 256},
+        SequiturPropertyParam{12, 10000, 256},
+        SequiturPropertyParam{13, 50000, 1024},
+        SequiturPropertyParam{14, 20000, 8},
+        SequiturPropertyParam{15, 30000, 3}));
+
+TEST(Sequitur, RepeatedBlocksWithPeriodicStructure)
+{
+    // Periodic input with a long period: SEQUITUR should compress the
+    // repetition heavily (few root symbols relative to input).
+    std::vector<std::uint64_t> period;
+    Rng rng(77);
+    for (int i = 0; i < 97; ++i)
+        period.push_back(rng.below(64));
+
+    Sequitur g;
+    for (int rep = 0; rep < 50; ++rep)
+        g.appendAll(period);
+
+    EXPECT_EQ(g.inputLength(), 97u * 50u);
+    const auto root = g.ruleBody(Sequitur::kRootRule);
+    EXPECT_LT(root.size(), 97u * 5u);
+    const auto out = g.expandRule(Sequitur::kRootRule);
+    ASSERT_EQ(out.size(), 97u * 50u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        ASSERT_EQ(out[i], period[i % 97]) << "at " << i;
+    g.checkInvariants(true);
+}
+
+} // namespace
+} // namespace tstream

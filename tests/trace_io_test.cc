@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Round-trip tests for binary trace serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "trace/trace_io.hh"
+#include "util/rng.hh"
+
+namespace tstream
+{
+namespace
+{
+
+std::string
+tmpPath(const char *name)
+{
+    return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(TraceIo, EmptyTraceRoundTrip)
+{
+    MissTrace t;
+    t.numCpus = 4;
+    t.instructions = 12345;
+    const auto path = tmpPath("empty.tst");
+    ASSERT_TRUE(saveTrace(t, path));
+    const MissTrace back = loadTrace(path);
+    EXPECT_EQ(back.numCpus, 4u);
+    EXPECT_EQ(back.instructions, 12345u);
+    EXPECT_TRUE(back.misses.empty());
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, RandomTraceRoundTrip)
+{
+    Rng rng(55);
+    MissTrace t;
+    t.numCpus = 16;
+    t.instructions = 99'000'000;
+    for (std::uint64_t i = 0; i < 10'000; ++i) {
+        MissRecord m;
+        m.seq = i * 3;
+        m.block = rng.next() >> 8;
+        m.cpu = static_cast<CpuId>(rng.below(16));
+        m.cls = static_cast<std::uint8_t>(rng.below(4));
+        m.fn = static_cast<FnId>(rng.below(500));
+        t.misses.push_back(m);
+    }
+
+    const auto path = tmpPath("random.tst");
+    ASSERT_TRUE(saveTrace(t, path));
+    const MissTrace back = loadTrace(path);
+    ASSERT_EQ(back.misses.size(), t.misses.size());
+    EXPECT_EQ(back.numCpus, t.numCpus);
+    EXPECT_EQ(back.instructions, t.instructions);
+    for (std::size_t i = 0; i < t.misses.size(); ++i) {
+        EXPECT_EQ(back.misses[i].seq, t.misses[i].seq);
+        EXPECT_EQ(back.misses[i].block, t.misses[i].block);
+        EXPECT_EQ(back.misses[i].cpu, t.misses[i].cpu);
+        EXPECT_EQ(back.misses[i].cls, t.misses[i].cls);
+        EXPECT_EQ(back.misses[i].fn, t.misses[i].fn);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, SaveToInvalidPathFails)
+{
+    MissTrace t;
+    EXPECT_FALSE(saveTrace(t, "/nonexistent-dir/x/y/z.tst"));
+}
+
+} // namespace
+} // namespace tstream

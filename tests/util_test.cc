@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Tests for the utility layer: deterministic RNG, Zipf sampling, the
+ * simulated allocators, address helpers, and histograms.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mem/address.hh"
+#include "mem/sim_alloc.hh"
+#include "stats/histogram.hh"
+#include "util/rng.hh"
+
+namespace tstream
+{
+namespace
+{
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(9);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = r.range(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        sawLo |= v == 3;
+        sawHi |= v == 6;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Zipf, SkewConcentratesMassAtHead)
+{
+    ZipfSampler z(1000, 0.9);
+    Rng r(5);
+    std::uint64_t head = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        if (z.sample(r) < 100)
+            ++head;
+    // With theta=0.9 the top 10% of items draw well over a third.
+    EXPECT_GT(static_cast<double>(head) / n, 0.35);
+}
+
+TEST(Zipf, ThetaZeroIsUniformish)
+{
+    ZipfSampler z(100, 0.0);
+    Rng r(6);
+    std::uint64_t head = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        if (z.sample(r) < 10)
+            ++head;
+    EXPECT_NEAR(static_cast<double>(head) / n, 0.10, 0.02);
+}
+
+TEST(Address, BlockHelpers)
+{
+    EXPECT_EQ(kBlockSize, 64u);
+    EXPECT_EQ(kPageSize, 4096u);
+    EXPECT_EQ(kBlocksPerPage, 64u);
+    EXPECT_EQ(blockOf(0), 0u);
+    EXPECT_EQ(blockOf(63), 0u);
+    EXPECT_EQ(blockOf(64), 1u);
+    EXPECT_EQ(blockBase(3), 192u);
+    EXPECT_EQ(blockAlign(130), 128u);
+    EXPECT_EQ(pageOf(4096), 1u);
+}
+
+TEST(Address, BlocksSpanned)
+{
+    EXPECT_EQ(blocksSpanned(0, 0), 0u);
+    EXPECT_EQ(blocksSpanned(0, 1), 1u);
+    EXPECT_EQ(blocksSpanned(0, 64), 1u);
+    EXPECT_EQ(blocksSpanned(0, 65), 2u);
+    EXPECT_EQ(blocksSpanned(63, 2), 2u);
+    EXPECT_EQ(blocksSpanned(0, 4096), 64u);
+}
+
+TEST(BumpAllocator, MonotonicAndAligned)
+{
+    BumpAllocator a(0x1000, 0x100000);
+    const Addr p1 = a.alloc(100, 64);
+    const Addr p2 = a.alloc(10, 64);
+    EXPECT_EQ(p1 % 64, 0u);
+    EXPECT_EQ(p2 % 64, 0u);
+    EXPECT_GT(p2, p1);
+    EXPECT_GE(p2 - p1, 100u);
+}
+
+TEST(BumpAllocator, UsedTracksConsumption)
+{
+    BumpAllocator a(0, 4096);
+    a.allocBlocks(2);
+    EXPECT_EQ(a.used(), 128u);
+}
+
+TEST(RecyclingAllocator, ReusesFreedChunks)
+{
+    RecyclingAllocator a(0x1000, 0x100000, 2048, /*jitter=*/1);
+    const Addr p1 = a.alloc();
+    a.free(p1);
+    EXPECT_EQ(a.alloc(), p1); // exact LIFO with jitter 1
+}
+
+TEST(RecyclingAllocator, JitterStaysWithinFreedSet)
+{
+    RecyclingAllocator a(0x1000, 0x100000, 1024, /*jitter=*/4);
+    std::set<Addr> freed;
+    std::vector<Addr> live;
+    for (int i = 0; i < 8; ++i)
+        live.push_back(a.alloc());
+    for (Addr p : live)
+        freed.insert(p), a.free(p);
+    for (int i = 0; i < 8; ++i) {
+        const Addr p = a.alloc();
+        EXPECT_TRUE(freed.count(p)) << "reuse must come from the "
+                                       "free list before fresh chunks";
+        freed.erase(p);
+    }
+}
+
+TEST(RecyclingAllocator, ChunkAlignment)
+{
+    RecyclingAllocator a(0x1000, 0x100000, 100);
+    EXPECT_EQ(a.chunkSize() % kBlockSize, 0u);
+    EXPECT_EQ(a.alloc() % kBlockSize, 0u);
+}
+
+TEST(Segments, UserHeapsAreDisjoint)
+{
+    EXPECT_GE(seg::userHeap(1) - seg::userHeap(0), seg::kUserStride);
+    EXPECT_LT(seg::userHeap(0), seg::kDmaRegion);
+    EXPECT_LT(seg::kKernelHeap + seg::kSegmentSize, seg::kBufferPool);
+}
+
+TEST(LogHistogram, BucketsAndCumulative)
+{
+    LogHistogram h(7, 1);
+    h.add(1, 10);
+    h.add(50, 20);
+    h.add(5000, 30);
+    h.add(5'000'000, 40);
+    EXPECT_EQ(h.total(), 100u);
+    EXPECT_NEAR(h.fraction(h.bucketOf(50)), 0.20, 1e-9);
+    EXPECT_NEAR(h.cumulativeAt(10000), 0.60, 1e-9);
+    EXPECT_NEAR(h.cumulativeAt(10'000'000), 1.00, 1e-9);
+}
+
+TEST(LogHistogram, OverflowClampsToLastBucket)
+{
+    LogHistogram h(3, 2);
+    h.add(999'999'999, 5);
+    EXPECT_EQ(h.counts().back(), 5u);
+}
+
+TEST(WeightedCdf, PercentilesAndCumulative)
+{
+    WeightedCdf c;
+    c.add(2, 50);
+    c.add(8, 25);
+    c.add(100, 25);
+    EXPECT_NEAR(c.percentile(40), 2.0, 1e-9);
+    EXPECT_NEAR(c.percentile(60), 8.0, 1e-9);
+    EXPECT_NEAR(c.percentile(99), 100.0, 1e-9);
+    EXPECT_NEAR(c.cumulativeAt(7), 0.50, 1e-9);
+    EXPECT_NEAR(c.cumulativeAt(8), 0.75, 1e-9);
+}
+
+TEST(WeightedCdf, EmptyIsZero)
+{
+    WeightedCdf c;
+    EXPECT_EQ(c.percentile(50), 0.0);
+    EXPECT_EQ(c.cumulativeAt(10), 0.0);
+}
+
+} // namespace
+} // namespace tstream

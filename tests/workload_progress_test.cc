@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Workload progress tests: the application emulators actually make
+ * forward progress (transactions commit, requests complete, batches
+ * finish) under the kernel's scheduler, in both system contexts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "kernel/kernel.hh"
+#include "mem/multichip.hh"
+#include "mem/singlechip.hh"
+#include "sim/dss_workload.hh"
+#include "sim/oltp_workload.hh"
+#include "sim/web_workload.hh"
+
+namespace tstream
+{
+namespace
+{
+
+template <typename System>
+std::unique_ptr<Engine>
+makeEngine(std::uint64_t seed)
+{
+    return std::make_unique<Engine>(std::make_unique<System>(), seed);
+}
+
+TEST(WorkloadProgress, OltpCommitsTransactions)
+{
+    auto eng = makeEngine<MultiChipSystem>(1);
+    Kernel kern(*eng);
+    OltpConfig cfg;
+    cfg.rescale(0.05);
+    OltpWorkload w(cfg);
+    w.setup(kern);
+    kern.run(3'000'000);
+    EXPECT_GT(w.committed(), 50u);
+}
+
+TEST(WorkloadProgress, OltpCommitsOnSingleChipToo)
+{
+    auto eng = makeEngine<SingleChipSystem>(2);
+    Kernel kern(*eng);
+    OltpConfig cfg;
+    cfg.rescale(0.05);
+    OltpWorkload w(cfg);
+    w.setup(kern);
+    kern.run(3'000'000);
+    EXPECT_GT(w.committed(), 50u);
+}
+
+TEST(WorkloadProgress, WebServesRequests)
+{
+    auto eng = makeEngine<MultiChipSystem>(3);
+    Kernel kern(*eng);
+    WebConfig cfg = WebConfig::apache();
+    cfg.rescale(0.2);
+    WebWorkload w(cfg);
+    w.setup(kern);
+    kern.run(4'000'000);
+    EXPECT_GT(w.requestsServed(), 30u);
+}
+
+TEST(WorkloadProgress, ZeusBatchesServeMoreRequestsPerQuantum)
+{
+    auto engA = makeEngine<MultiChipSystem>(4);
+    Kernel kernA(*engA);
+    WebConfig ca = WebConfig::apache();
+    ca.rescale(0.2);
+    WebWorkload apache(ca);
+    apache.setup(kernA);
+    kernA.run(3'000'000);
+
+    auto engZ = makeEngine<MultiChipSystem>(4);
+    Kernel kernZ(*engZ);
+    WebConfig cz = WebConfig::zeus();
+    cz.rescale(0.2);
+    WebWorkload zeus(cz);
+    zeus.setup(kernZ);
+    kernZ.run(3'000'000);
+
+    EXPECT_GT(apache.requestsServed(), 0u);
+    EXPECT_GT(zeus.requestsServed(), 0u);
+}
+
+TEST(WorkloadProgress, DssConsumesBatches)
+{
+    for (auto q : {DssConfig::Query::Q1, DssConfig::Query::Q2,
+                   DssConfig::Query::Q17}) {
+        auto eng = makeEngine<MultiChipSystem>(5);
+        Kernel kern(*eng);
+        DssConfig cfg;
+        cfg.query = q;
+        cfg.rescale(0.05);
+        DssWorkload w(cfg);
+        w.setup(kern);
+        kern.run(2'000'000);
+        EXPECT_GT(w.batchesDone(), 10u)
+            << "query " << static_cast<int>(q);
+    }
+}
+
+TEST(WorkloadProgress, WorkloadsKeepThreadsAlive)
+{
+    // Server workloads are closed loops: no thread should exit.
+    auto eng = makeEngine<MultiChipSystem>(6);
+    Kernel kern(*eng);
+    OltpConfig cfg;
+    cfg.rescale(0.05);
+    OltpWorkload w(cfg);
+    w.setup(kern);
+    const auto live = kern.liveThreads();
+    kern.run(2'000'000);
+    EXPECT_EQ(kern.liveThreads(), live);
+}
+
+TEST(WorkloadProgress, ScaledConfigsStayConsistent)
+{
+    OltpConfig o;
+    o.rescale(0.01);
+    EXPECT_GE(o.customerPages, 16u);
+    WebConfig wcfg = WebConfig::zeus();
+    wcfg.rescale(0.01);
+    EXPECT_GE(wcfg.workers, 4u);
+    EXPECT_GE(wcfg.perlProcs, 2u);
+    DssConfig d;
+    d.rescale(0.01);
+    EXPECT_GE(d.partPages, 16u);
+}
+
+} // namespace
+} // namespace tstream
