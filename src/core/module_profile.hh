@@ -2,6 +2,15 @@
  * @file
  * Code-module attribution of misses and temporal streams — the
  * machinery behind the paper's Tables 3, 4 and 5.
+ *
+ * Each miss record carries the FnId of the function that issued it;
+ * the category registry (trace/categories.hh) maps functions to the
+ * paper's Table 2 code modules (bulk copies, scheduler, STREAMS, DB2
+ * index/page/tuple, perl, ...). This profile folds the per-miss
+ * stream labels from stream_analysis.hh per category, yielding the
+ * tables' two columns: the category's share of all misses and its
+ * in-stream misses as a share of all misses (so the in-stream column
+ * sums to the "Overall % in streams" row).
  */
 
 #ifndef TSTREAM_CORE_MODULE_PROFILE_HH

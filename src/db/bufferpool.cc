@@ -21,7 +21,7 @@ BufferPool::BufferPool(Kernel &kern, const BufferPoolConfig &cfg)
 bool
 BufferPool::resident(PageId page) const
 {
-    return pageMap_.contains(page);
+    return pageMap_.count(page) != 0;
 }
 
 unsigned
@@ -47,7 +47,7 @@ BufferPool::evict(SysCtx &ctx)
 Addr
 BufferPool::fixNew(SysCtx &ctx, PageId page)
 {
-    if (pageMap_.contains(page))
+    if (pageMap_.count(page) != 0)
         return fix(ctx, page, /*dirty=*/true);
     ++useTick_;
     const Addr bucket =

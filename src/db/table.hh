@@ -2,6 +2,11 @@
  * @file
  * Heap tables: slotted pages of fixed-size tuples (the sqld layer —
  * sqldRowFetch/sqldRowUpdate in the paper's Table 2).
+ *
+ * Tuple fetches through the buffer pool are a large share of the "DB2
+ * index, page & tuple accesses" category in Tables 4 and 5: repeated
+ * OLTP transactions revisit pages in recurring orders (temporal
+ * streams), while DSS scans visit each page once (non-repetitive).
  */
 
 #ifndef TSTREAM_DB_TABLE_HH

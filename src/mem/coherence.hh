@@ -2,6 +2,14 @@
  * @file
  * Coherence states shared by the MSI (multi-chip) and MOSI
  * (single-chip, Piranha-like) protocol models.
+ *
+ * Coherence is central to the reproduction: the paper's Section 4.1
+ * taxonomy splits read misses by whether a remote writer invalidated
+ * the block (coherence miss), a DMA/bulk copy did (I-O coherence), or
+ * the block was evicted (replacement), and Figure 1 shows coherence
+ * dominating the multi-chip contexts. These states drive the
+ * invalidation behavior in mem/multichip.hh and mem/singlechip.hh
+ * that produces exactly those miss classes.
  */
 
 #ifndef TSTREAM_MEM_COHERENCE_HH

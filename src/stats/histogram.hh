@@ -2,6 +2,12 @@
  * @file
  * Log-bucketed histograms, weighted CDFs, and simple ASCII rendering —
  * the presentation layer for Figure 4-style distributions.
+ *
+ * Stream lengths and reuse distances span seven decades (Sections
+ * 4.4-4.5), so the figures bucket them logarithmically and weight each
+ * stream by its contribution (its length) rather than counting streams
+ * equally; this header provides exactly those two operations for the
+ * fig4 and ablation benches.
  */
 
 #ifndef TSTREAM_STATS_HISTOGRAM_HH

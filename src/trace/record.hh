@@ -2,6 +2,15 @@
  * @file
  * Access and miss records — the wire format between the workload
  * emulators, the cache hierarchy, and the analysis layer.
+ *
+ * An Access is one memory operation issued by the simulated server
+ * stack (including the DMA and non-allocating bulk-store variants
+ * whose invalidations produce the paper's I-O coherence misses); a
+ * MissRecord is one off-chip (or intra-chip) read miss that survived
+ * the hierarchy, annotated with the issuing CPU, function, and the
+ * Section 4.1 miss class. MissTrace — the ordered sequence of miss
+ * records — is the object every analysis in core/ consumes and the
+ * unit trace/trace_io.hh serializes.
  */
 
 #ifndef TSTREAM_TRACE_RECORD_HH
