@@ -2,22 +2,28 @@
  * @file
  * Shared harness for the per-figure/per-table bench binaries: runs the
  * (workload x context) grid in parallel, with a --quick mode for smoke
- * runs, and provides the formatting helpers the benches share.
+ * runs, a trace cache (TSTREAM_TRACE_CACHE) that reuses saved traces
+ * instead of re-simulating, and the formatting helpers the benches
+ * share.
  */
 
 #ifndef TSTREAM_BENCH_COMMON_HH
 #define TSTREAM_BENCH_COMMON_HH
 
+#include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <future>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/module_profile.hh"
 #include "core/stream_analysis.hh"
 #include "sim/experiment.hh"
+#include "trace/trace_io.hh"
 
 namespace tstream::bench
 {
@@ -47,12 +53,13 @@ traceKindName(TraceKind k)
     return "?";
 }
 
-/** Budgets used by every paper bench (calibrated in DESIGN.md). */
+/** Budgets used by every paper bench (presets in sim/experiment.hh,
+ *  shared with the tstream-trace CLI). */
 struct BenchBudgets
 {
-    std::uint64_t warmup = 25'000'000;
-    std::uint64_t measure = 30'000'000;
-    double scale = 1.0;
+    std::uint64_t warmup = kPaperBudgets.warmupInstructions;
+    std::uint64_t measure = kPaperBudgets.measureInstructions;
+    double scale = kPaperBudgets.scale;
 };
 
 /** Parse --quick / TSTREAM_QUICK=1 into reduced budgets. */
@@ -65,11 +72,89 @@ parseBudgets(int argc, char **argv)
         if (std::strcmp(argv[i], "--quick") == 0)
             quick = true;
     if (quick) {
-        b.warmup = 2'000'000;
-        b.measure = 4'000'000;
-        b.scale = 0.15;
+        b.warmup = kQuickBudgets.warmupInstructions;
+        b.measure = kQuickBudgets.measureInstructions;
+        b.scale = kQuickBudgets.scale;
     }
     return b;
+}
+
+/**
+ * Cache-file path stem for @p cfg, or "" when the cache is disabled.
+ * Set TSTREAM_TRACE_CACHE to a writable directory to enable: each
+ * (workload, context, budget) cell is keyed on configHash() and
+ * stored as `<stem>.off.tst` (off-chip trace, with the function table
+ * so module attribution survives) plus `<stem>.l1.tst` (unfiltered
+ * intra-chip trace, single-chip runs only).
+ */
+inline std::string
+traceCacheStem(const ExperimentConfig &cfg)
+{
+    const char *dir = std::getenv("TSTREAM_TRACE_CACHE");
+    if (!dir || !*dir)
+        return {};
+    char hash[17];
+    std::snprintf(hash, sizeof hash, "%016" PRIx64, configHash(cfg));
+    return std::string(dir) + "/" +
+           std::string(workloadName(cfg.workload)) + "-" +
+           std::string(contextName(cfg.context)) + "-" + hash;
+}
+
+/**
+ * Reload a previously cached run for @p cfg. Returns nullopt when the
+ * cache is disabled, the cell is absent, or a file fails to load (the
+ * caller then simulates; a stale or corrupt cache is never fatal).
+ */
+inline std::optional<ExperimentResult>
+traceCacheLoad(const ExperimentConfig &cfg)
+{
+    const std::string stem = traceCacheStem(cfg);
+    if (stem.empty())
+        return std::nullopt;
+
+    auto reader = TraceReader::open(stem + ".off.tst");
+    if (!reader)
+        return std::nullopt;
+    auto offChip = reader->readAll();
+    auto registry = reader->functions();
+    if (!offChip || !registry)
+        return std::nullopt;
+
+    ExperimentResult res;
+    res.offChip = std::move(*offChip);
+    res.registry = std::move(*registry);
+    res.instructions = res.offChip.instructions;
+    if (cfg.context == SystemContext::SingleChip) {
+        auto intra = loadTrace(stem + ".l1.tst");
+        if (!intra)
+            return std::nullopt;
+        res.intraChip = std::move(*intra);
+    }
+    std::fprintf(stderr,
+                 "[trace-cache] hit %s (skipping simulation)\n",
+                 stem.c_str());
+    return res;
+}
+
+/** Save a freshly simulated run for @p cfg. No-op when disabled. */
+inline void
+traceCacheStore(const ExperimentConfig &cfg, const ExperimentResult &res)
+{
+    const std::string stem = traceCacheStem(cfg);
+    if (stem.empty())
+        return;
+
+    TraceWriteOptions opts;
+    opts.configHash = configHash(cfg);
+    opts.registry = &res.registry;
+    opts.kind = TraceContentKind::OffChip;
+    bool ok = saveTrace(res.offChip, stem + ".off.tst", opts);
+    if (ok && cfg.context == SystemContext::SingleChip) {
+        opts.kind = TraceContentKind::IntraChip;
+        ok = saveTrace(res.intraChip, stem + ".l1.tst", opts);
+    }
+    std::fprintf(stderr, "[trace-cache] %s %s\n",
+                 ok ? "saved" : "failed to save", stem.c_str());
 }
 
 /** One completed run with its analyses. */
@@ -111,7 +196,13 @@ runGrid(const std::vector<WorkloadKind> &workloads,
             cfg.warmupInstructions = budgets.warmup;
             cfg.measureInstructions = budgets.measure;
             cfg.scale = budgets.scale;
-            ExperimentResult res = runExperiment(cfg);
+            ExperimentResult res;
+            if (auto cached = traceCacheLoad(cfg)) {
+                res = std::move(*cached);
+            } else {
+                res = runExperiment(cfg);
+                traceCacheStore(cfg, res);
+            }
 
             auto analyze = [&](MissTrace &&trace, TraceKind kind) {
                 RunOutput r;

@@ -1,5 +1,7 @@
 #include "sim/experiment.hh"
 
+#include <cstring>
+
 #include "kernel/kernel.hh"
 #include "sim/engine.hh"
 
@@ -26,6 +28,56 @@ ExperimentResult::intraChipOnChip() const
         if (static_cast<IntraClass>(m.cls) != IntraClass::OffChip)
             t.misses.push_back(m);
     return t;
+}
+
+namespace
+{
+
+/** FNV-1a accumulation step. */
+std::uint64_t
+mix(std::uint64_t h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xFF;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+std::uint64_t
+mixCache(std::uint64_t h, const CacheConfig &c)
+{
+    h = mix(h, c.sizeBytes);
+    return mix(h, c.ways);
+}
+
+} // namespace
+
+std::uint64_t
+configHash(const ExperimentConfig &cfg)
+{
+    std::uint64_t h = 14695981039346656037ULL;
+    // Schema salt: bump when the trace-affecting fields change.
+    h = mix(h, 0x7453545232ULL); // "tSTR2"
+    h = mix(h, static_cast<std::uint64_t>(cfg.workload));
+    h = mix(h, static_cast<std::uint64_t>(cfg.context));
+    h = mix(h, cfg.warmupInstructions);
+    h = mix(h, cfg.measureInstructions);
+    h = mix(h, cfg.seed);
+    std::uint64_t scaleBits = 0;
+    static_assert(sizeof(cfg.scale) == sizeof(scaleBits));
+    std::memcpy(&scaleBits, &cfg.scale, sizeof(scaleBits));
+    h = mix(h, scaleBits);
+    if (cfg.context == SystemContext::MultiChip) {
+        h = mix(h, cfg.multiChip.nodes);
+        h = mixCache(h, cfg.multiChip.l1);
+        h = mixCache(h, cfg.multiChip.l2);
+    } else {
+        h = mix(h, cfg.singleChip.cores);
+        h = mixCache(h, cfg.singleChip.l1);
+        h = mixCache(h, cfg.singleChip.l2);
+    }
+    return h;
 }
 
 ExperimentResult

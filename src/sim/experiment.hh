@@ -64,6 +64,26 @@ struct ExperimentConfig
     }
 };
 
+/**
+ * Canonical instruction budgets, shared by the bench harness
+ * (bench/common.hh parseBudgets) and the tstream-trace CLI so that
+ * offline analyses of recorded traces reproduce bench rows exactly —
+ * the equivalence holds only while both sides read these constants.
+ */
+struct BudgetPreset
+{
+    std::uint64_t warmupInstructions;
+    std::uint64_t measureInstructions;
+    double scale;
+};
+
+/** Paper-scale defaults (calibrated in DESIGN.md). */
+inline constexpr BudgetPreset kPaperBudgets{25'000'000, 30'000'000,
+                                            1.0};
+
+/** --quick smoke-run budgets. */
+inline constexpr BudgetPreset kQuickBudgets{2'000'000, 4'000'000, 0.15};
+
 /** Experiment output: the traces plus run diagnostics. */
 struct ExperimentResult
 {
@@ -79,6 +99,16 @@ struct ExperimentResult
 
 /** Run one experiment. */
 ExperimentResult runExperiment(const ExperimentConfig &cfg);
+
+/**
+ * Deterministic 64-bit hash over every field of @p cfg that affects
+ * the collected traces (workload, context, budgets, seed, scale, and
+ * the active context's cache geometry), plus a schema salt. Two
+ * configs with equal hashes produce byte-identical traces, so the
+ * hash keys the bench trace cache (TSTREAM_TRACE_CACHE) and is
+ * stored in v2 trace headers for provenance.
+ */
+std::uint64_t configHash(const ExperimentConfig &cfg);
 
 } // namespace tstream
 

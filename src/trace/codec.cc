@@ -1,0 +1,212 @@
+#include "trace/codec.hh"
+
+#include <algorithm>
+#include <cstring>
+
+namespace tstream
+{
+
+namespace
+{
+
+constexpr std::size_t kMinMatch = 4;
+constexpr int kHashBits = 14;
+
+std::uint32_t
+load32(const unsigned char *p)
+{
+    std::uint32_t v;
+    std::memcpy(&v, p, 4);
+    return v;
+}
+
+std::uint32_t
+hash32(std::uint32_t v)
+{
+    return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+/** LZ4 length extension: 255-run prefix plus a final byte < 255. */
+void
+putLen(std::vector<unsigned char> &out, std::size_t v)
+{
+    while (v >= 255) {
+        out.push_back(255);
+        v -= 255;
+    }
+    out.push_back(static_cast<unsigned char>(v));
+}
+
+class NoneCodec : public Codec
+{
+  public:
+    CodecId id() const override { return CodecId::None; }
+    std::string_view name() const override { return "none"; }
+
+    std::vector<unsigned char>
+    compress(const unsigned char *, std::size_t) const override
+    {
+        return {}; // always "incompressible": store raw
+    }
+
+    bool
+    decompress(const unsigned char *src, std::size_t srcLen,
+               unsigned char *dst, std::size_t dstLen) const override
+    {
+        if (srcLen != dstLen)
+            return false;
+        std::memcpy(dst, src, srcLen);
+        return true;
+    }
+};
+
+/**
+ * LZ4 block format: sequences of (token, literals, 16-bit LE match
+ * offset, extended match length). Token high nibble = literal length,
+ * low nibble = match length - 4; nibble value 15 chains into putLen()
+ * extension bytes. The final sequence is literals only. The standard
+ * end-of-block restrictions apply: the last 5 bytes are literals and
+ * no match starts within the last 12 bytes.
+ */
+class Lz4Codec : public Codec
+{
+  public:
+    CodecId id() const override { return CodecId::Lz4; }
+    std::string_view name() const override { return "lz4"; }
+
+    std::vector<unsigned char>
+    compress(const unsigned char *src, std::size_t n) const override
+    {
+        std::vector<unsigned char> out;
+        if (n == 0)
+            return out;
+        out.reserve(n);
+
+        auto emit = [&](std::size_t anchor, std::size_t lit,
+                        std::size_t off, std::size_t mlen) {
+            const std::size_t extMatch = mlen ? mlen - kMinMatch : 0;
+            unsigned char token = static_cast<unsigned char>(
+                std::min<std::size_t>(lit, 15) << 4);
+            if (mlen)
+                token |= static_cast<unsigned char>(
+                    std::min<std::size_t>(extMatch, 15));
+            out.push_back(token);
+            if (lit >= 15)
+                putLen(out, lit - 15);
+            out.insert(out.end(), src + anchor, src + anchor + lit);
+            if (mlen) {
+                out.push_back(static_cast<unsigned char>(off & 0xFF));
+                out.push_back(static_cast<unsigned char>(off >> 8));
+                if (extMatch >= 15)
+                    putLen(out, extMatch - 15);
+            }
+        };
+
+        std::size_t ip = 0, anchor = 0;
+        if (n > 12) {
+            std::vector<std::uint32_t> table(std::size_t(1) << kHashBits,
+                                             0); // position + 1; 0 empty
+            const std::size_t mflimit = n - 12;
+            const std::size_t matchEnd = n - 5;
+            while (ip < mflimit) {
+                const std::uint32_t h = hash32(load32(src + ip));
+                const std::uint32_t cand = table[h];
+                table[h] = static_cast<std::uint32_t>(ip + 1);
+                if (cand != 0) {
+                    const std::size_t mp = cand - 1;
+                    if (ip - mp <= 0xFFFF &&
+                        load32(src + mp) == load32(src + ip)) {
+                        std::size_t mlen = kMinMatch;
+                        while (ip + mlen < matchEnd &&
+                               src[mp + mlen] == src[ip + mlen])
+                            ++mlen;
+                        emit(anchor, ip - anchor, ip - mp, mlen);
+                        ip += mlen;
+                        anchor = ip;
+                        continue;
+                    }
+                }
+                ++ip;
+            }
+        }
+        emit(anchor, n - anchor, 0, 0);
+        if (out.size() >= n)
+            return {}; // incompressible: caller stores raw
+        return out;
+    }
+
+    bool
+    decompress(const unsigned char *src, std::size_t srcLen,
+               unsigned char *dst, std::size_t dstLen) const override
+    {
+        std::size_t ip = 0, op = 0;
+        auto readLen = [&](std::size_t &len) -> bool {
+            unsigned char b;
+            do {
+                if (ip >= srcLen)
+                    return false;
+                b = src[ip++];
+                len += b;
+            } while (b == 255);
+            return true;
+        };
+
+        while (ip < srcLen) {
+            const unsigned char token = src[ip++];
+            std::size_t lit = token >> 4;
+            if (lit == 15 && !readLen(lit))
+                return false;
+            if (ip + lit > srcLen || op + lit > dstLen)
+                return false;
+            std::memcpy(dst + op, src + ip, lit);
+            ip += lit;
+            op += lit;
+            if (ip == srcLen)
+                break; // final sequence: literals only
+            if (ip + 2 > srcLen)
+                return false;
+            const std::size_t off =
+                src[ip] | (std::size_t(src[ip + 1]) << 8);
+            ip += 2;
+            if (off == 0 || off > op)
+                return false;
+            std::size_t mlen = token & 15;
+            if (mlen == 15 && !readLen(mlen))
+                return false;
+            mlen += kMinMatch;
+            if (op + mlen > dstLen)
+                return false;
+            // Byte-wise copy: matches may overlap their own output.
+            for (std::size_t i = 0; i < mlen; ++i, ++op)
+                dst[op] = dst[op - off];
+        }
+        return op == dstLen;
+    }
+};
+
+const NoneCodec kNone;
+const Lz4Codec kLz4;
+
+} // namespace
+
+const Codec *
+codecById(std::uint32_t id)
+{
+    switch (static_cast<CodecId>(id)) {
+      case CodecId::None: return &kNone;
+      case CodecId::Lz4: return &kLz4;
+    }
+    return nullptr;
+}
+
+const Codec *
+codecByName(std::string_view name)
+{
+    if (name == "none")
+        return &kNone;
+    if (name == "lz4")
+        return &kLz4;
+    return nullptr;
+}
+
+} // namespace tstream

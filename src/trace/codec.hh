@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Block codecs for trace chunk payloads.
+ *
+ * The v2 trace format (trace/trace_io.hh, docs/TRACE_FORMAT.md)
+ * compresses each chunk payload independently through a Codec chosen
+ * at write time and recorded in the file header, so a reader can
+ * negotiate: look the id up with codecById() and reject the file with
+ * a diagnostic when the codec is unknown, rather than misparse it.
+ *
+ * Two codecs are built in:
+ *  - None: chunks are stored raw.
+ *  - Lz4: a dependency-free implementation of the LZ4 block format
+ *    (greedy hash-chain matcher, 64 KiB window). Byte-oriented and
+ *    fast to decode, it composes well with the delta+varint column
+ *    encoding, which turns recurring temporal streams into literal
+ *    byte repeats.
+ *
+ * Compression is advisory per chunk: when a codec cannot shrink a
+ * payload (compress() returns empty or no smaller), the writer stores
+ * the chunk raw and the reader detects this from stored == raw size.
+ */
+
+#ifndef TSTREAM_TRACE_CODEC_HH
+#define TSTREAM_TRACE_CODEC_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace tstream
+{
+
+/** On-disk codec identifier (u32 in the v2 trace header). */
+enum class CodecId : std::uint32_t
+{
+    None = 0, ///< chunks stored raw
+    Lz4 = 1,  ///< LZ4-style block compression (see codec.cc)
+};
+
+/** A block compressor/decompressor for trace chunk payloads. */
+class Codec
+{
+  public:
+    virtual ~Codec() = default;
+
+    virtual CodecId id() const = 0;
+    virtual std::string_view name() const = 0;
+
+    /**
+     * Compress @p n bytes at @p src.
+     * @return the compressed block, or an empty vector when the input
+     *         is empty or incompressible (the caller then stores the
+     *         raw payload; see the per-chunk fallback rule above).
+     */
+    virtual std::vector<unsigned char>
+    compress(const unsigned char *src, std::size_t n) const = 0;
+
+    /**
+     * Decompress @p srcLen bytes at @p src into exactly @p dstLen
+     * bytes at @p dst.
+     * @return false when the block is malformed or does not expand to
+     *         exactly @p dstLen bytes.
+     */
+    virtual bool decompress(const unsigned char *src, std::size_t srcLen,
+                            unsigned char *dst,
+                            std::size_t dstLen) const = 0;
+};
+
+/**
+ * Codec registered under on-disk id @p id, or nullptr when the id is
+ * unknown (codec negotiation failure; the reader reports the id).
+ */
+const Codec *codecById(std::uint32_t id);
+
+/** Codec by CLI-facing name ("none", "lz4"), or nullptr. */
+const Codec *codecByName(std::string_view name);
+
+} // namespace tstream
+
+#endif // TSTREAM_TRACE_CODEC_HH

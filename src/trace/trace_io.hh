@@ -1,33 +1,217 @@
 /**
  * @file
- * Binary miss-trace serialization: save collected traces to disk and
- * reload them for offline analysis, so expensive simulations need not
- * be re-run to try a different analysis.
+ * Versioned binary miss-trace serialization: collect a trace once,
+ * analyze it many times. Every figure and table of the paper is a
+ * different projection over the same per-context miss traces, so the
+ * simulation/analysis split runs through this file: benches and the
+ * `tstream-trace` CLI write traces here, and all offline analysis
+ * (and the bench trace cache) reads them back.
  *
- * Format (little-endian, fixed-width):
- *   magic "TSTR" | u32 version | u32 numCpus | u64 instructions |
- *   u64 count | count x { u64 seq | u64 block | u8 cpu | u8 cls |
- *   u16 fn }
+ * Two on-disk versions exist (byte-level layout, worked hexdump and
+ * the compatibility policy are in docs/TRACE_FORMAT.md):
+ *
+ *  - v1 (legacy): fixed-width header + 18-byte records. Read support
+ *    is permanent; writing is available via TraceWriteOptions for
+ *    tests and migration tooling.
+ *  - v2 (current): a self-describing header (per-field descriptors,
+ *    experiment config hash, content kind, codec id), an optional
+ *    function table (FnId -> name/category, so module attribution
+ *    works offline), and the records in independent chunks —
+ *    delta+varint column encoding, optionally compressed through
+ *    trace/codec.hh — located by a chunk index, so large traces can
+ *    be streamed chunk-at-a-time without loading whole files.
+ *
+ * Error contract: nothing in this API aborts on malformed input.
+ * Opening, reading and decoding return TraceResult<T>; failure
+ * carries a one-line human-readable diagnostic (bad magic, truncated
+ * header, unknown codec id, size mismatch, ...) that callers such as
+ * the CLI print verbatim. saveTrace() returns false on I/O failure
+ * or unusable options. Only internal invariant violations panic().
  */
 
 #ifndef TSTREAM_TRACE_TRACE_IO_HH
 #define TSTREAM_TRACE_TRACE_IO_HH
 
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
+#include "trace/categories.hh"
+#include "trace/codec.hh"
 #include "trace/record.hh"
 
 namespace tstream
 {
 
-/** Serialize @p trace to @p path. @return false on I/O failure. */
-bool saveTrace(const MissTrace &trace, const std::string &path);
+/**
+ * Minimal expected-style result: either a value or an error message.
+ * Test with operator bool before dereferencing; error() is only
+ * meaningful on failure.
+ */
+template <typename T>
+class TraceResult
+{
+  public:
+    TraceResult(T value) : value_(std::move(value)) {}
+
+    static TraceResult
+    failure(std::string message)
+    {
+        TraceResult r;
+        r.error_ = std::move(message);
+        return r;
+    }
+
+    explicit operator bool() const { return value_.has_value(); }
+
+    T &operator*() { return *value_; }
+    const T &operator*() const { return *value_; }
+    T *operator->() { return &*value_; }
+    const T *operator->() const { return &*value_; }
+
+    const std::string &error() const { return error_; }
+
+  private:
+    TraceResult() = default;
+
+    std::optional<T> value_;
+    std::string error_;
+};
+
+/** What the records of a trace file are (v2 header `kind`). */
+enum class TraceContentKind : std::uint32_t
+{
+    Unknown = 0,         ///< not recorded (all v1 files)
+    OffChip = 1,         ///< off-chip read misses, cls = MissClass
+    IntraChip = 2,       ///< all L1 read misses, cls = IntraClass
+    IntraChipOnChip = 3, ///< L1 misses satisfied on chip, cls = IntraClass
+};
+
+/** Short name of a content kind ("off-chip", ...). */
+std::string_view traceContentKindName(TraceContentKind k);
+
+/** Per-field descriptor from the v2 header (self-description). */
+struct TraceField
+{
+    std::uint8_t id = 0;       ///< FieldId (docs/TRACE_FORMAT.md)
+    std::uint8_t encoding = 0; ///< FieldEncoding
+    std::uint16_t widthBits = 0;
+};
+
+/** One function-table entry (FnId is the index). */
+struct TraceFunction
+{
+    std::string name;
+    Category category = Category::Uncategorized;
+};
+
+/** One chunk-index entry. */
+struct TraceChunk
+{
+    std::uint64_t offset = 0;   ///< file offset of the chunk header
+    std::uint64_t firstSeq = 0; ///< seq of the chunk's first record
+    std::uint32_t records = 0;
+    std::uint32_t storedBytes = 0; ///< on-disk payload size
+};
+
+/** Everything known about a trace file without decoding records. */
+struct TraceMeta
+{
+    std::uint32_t version = 0;
+    std::uint32_t numCpus = 0;
+    TraceContentKind kind = TraceContentKind::Unknown;
+    std::uint32_t codec = 0; ///< CodecId as stored
+    std::uint32_t chunkRecords = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t recordCount = 0;
+    std::uint64_t configHash = 0; ///< 0 when not recorded
+
+    std::vector<TraceField> fields;
+    std::vector<TraceFunction> functions; ///< empty when no table
+    std::vector<TraceChunk> chunks;
+};
+
+/** Options for saveTrace(). Defaults write the current v2 format. */
+struct TraceWriteOptions
+{
+    /** 2 (current) or 1 (legacy, for migration/compat tests). */
+    std::uint32_t version = 2;
+
+    /** Chunk payload codec; falls back to raw per incompressible
+     *  chunk (see trace/codec.hh). */
+    CodecId codec = CodecId::Lz4;
+
+    /** Records per chunk (clamped to [1, 2^24]). */
+    std::uint32_t chunkRecords = 64 * 1024;
+
+    /** What the records are; stored in the header. */
+    TraceContentKind kind = TraceContentKind::Unknown;
+
+    /** sim/experiment.hh configHash() of the producing run; 0 = none. */
+    std::uint64_t configHash = 0;
+
+    /**
+     * When set, the registry is embedded as the function table so
+     * offline analysis can attribute misses to code modules. Names
+     * longer than 255 bytes are truncated.
+     */
+    const FunctionRegistry *registry = nullptr;
+};
 
 /**
- * Load a trace previously written by saveTrace().
- * @return the trace; fatal() on malformed input.
+ * Streaming trace reader: parses header, field/function tables and
+ * the chunk index on open(), then decodes chunks on demand, so a
+ * paper-scale trace can be scanned without materializing it.
+ * Understands v1 files as a single synthetic chunk.
  */
-MissTrace loadTrace(const std::string &path);
+class TraceReader
+{
+  public:
+    /** Open @p path and parse all metadata. */
+    static TraceResult<TraceReader> open(const std::string &path);
+
+    const TraceMeta &meta() const { return meta_; }
+
+    /** Decode chunk @p index (0-based). Chunks are self-contained. */
+    TraceResult<std::vector<MissRecord>> readChunk(std::size_t index);
+
+    /** Decode every chunk into one MissTrace. */
+    TraceResult<MissTrace> readAll();
+
+    /** True when the file embeds a function table. */
+    bool hasFunctions() const { return !meta_.functions.empty(); }
+
+    /**
+     * Rebuild a FunctionRegistry from the embedded function table.
+     * Fails when there is no table or the table does not intern back
+     * to the same ids (malformed file).
+     */
+    TraceResult<FunctionRegistry> functions() const;
+
+  private:
+    TraceReader() : file_(nullptr, &std::fclose) {}
+
+    std::unique_ptr<std::FILE, int (*)(std::FILE *)> file_;
+    TraceMeta meta_;
+};
+
+/**
+ * Serialize @p trace to @p path per @p opts.
+ * @return false on I/O failure or unusable options (unknown version
+ *         or codec id).
+ */
+bool saveTrace(const MissTrace &trace, const std::string &path,
+               const TraceWriteOptions &opts = {});
+
+/**
+ * Load a whole trace previously written by saveTrace() (any version).
+ * Convenience wrapper over TraceReader; failure carries a diagnostic
+ * instead of aborting (see the error contract above).
+ */
+TraceResult<MissTrace> loadTrace(const std::string &path);
 
 } // namespace tstream
 

@@ -1,0 +1,565 @@
+/**
+ * @file
+ * `tstream-trace` — record, inspect and analyze saved miss traces.
+ *
+ * The collect-once / analyze-many entry point: `record` captures one
+ * (workload, context, budget) cell to a trace file, and the read-side
+ * subcommands re-run the paper's figure analyses offline, so a trace
+ * collected at paper scale can be projected into Figures 1-4 and the
+ * Table 3-5 module attribution without re-simulating.
+ *
+ * Subcommands:
+ *   record   run one experiment and save the trace (v2 by default)
+ *   info     print header, field/function tables and the chunk index
+ *   dump     print records as text, streamed chunk-at-a-time
+ *   analyze  fig1-fig4 stream analyses (+ module table) offline
+ *
+ * `record --quick` uses exactly the bench harness's --quick budgets
+ * (2 M warm-up, 4 M measured, 0.15x footprints, seed 42), so the
+ * offline numbers from `analyze` reproduce a `--quick` figure bench
+ * row bit-for-bit; the defaults match the benches' paper-scale
+ * budgets the same way.
+ */
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/module_profile.hh"
+#include "core/stream_analysis.hh"
+#include "sim/experiment.hh"
+#include "stats/histogram.hh"
+#include "trace/trace_io.hh"
+
+using namespace tstream;
+
+namespace
+{
+
+int
+usage(const char *msg)
+{
+    if (msg)
+        std::fprintf(stderr, "tstream-trace: %s\n\n", msg);
+    std::fprintf(stderr,
+        "usage:\n"
+        "  tstream-trace record --workload W --context C -o FILE [opts]\n"
+        "  tstream-trace info FILE\n"
+        "  tstream-trace dump FILE [--limit N] [--chunk I]\n"
+        "  tstream-trace analyze FILE [--section S]...\n"
+        "\n"
+        "record options:\n"
+        "  --workload W       apache|zeus|oltp|dss-q1|dss-q2|dss-q17\n"
+        "  --context C        multi-chip|single-chip\n"
+        "  --trace T          off-chip (default) | intra-chip (on-chip-\n"
+        "                     satisfied L1 misses) | intra-all\n"
+        "  --quick            bench --quick budgets (2M/4M, 0.15x)\n"
+        "  --warmup N         warm-up instructions (default 25000000)\n"
+        "  --measure N        measured instructions (default 30000000)\n"
+        "  --scale F          footprint scale (default 1.0)\n"
+        "  --seed N           RNG seed (default 42)\n"
+        "  --codec NAME       lz4 (default) | none\n"
+        "  --chunk-records N  records per chunk (default 65536)\n"
+        "  --v1               write the legacy v1 format\n"
+        "  -o FILE            output path (required)\n"
+        "\n"
+        "analyze sections (default: all that apply):\n"
+        "  classes   miss-class mix (fig1-style)\n"
+        "  streams   stream fractions (fig2-style)\n"
+        "  strides   strided x repetitive joint breakdown (fig3-style)\n"
+        "  lengths   length CDF and reuse-distance PDF (fig4-style)\n"
+        "  modules   per-module origin table (tables 3-5 style;\n"
+        "            needs an embedded function table)\n");
+    return 2;
+}
+
+bool
+parseWorkload(std::string_view s, WorkloadKind &out)
+{
+    struct Alias { std::string_view name; WorkloadKind kind; };
+    static const Alias kAliases[] = {
+        {"apache", WorkloadKind::Apache},
+        {"zeus", WorkloadKind::Zeus},
+        {"oltp", WorkloadKind::Oltp},
+        {"dss-q1", WorkloadKind::DssQ1},
+        {"dss-q2", WorkloadKind::DssQ2},
+        {"dss-q17", WorkloadKind::DssQ17},
+    };
+    for (const Alias &a : kAliases)
+        if (s == a.name || s == workloadName(a.kind)) {
+            out = a.kind;
+            return true;
+        }
+    return false;
+}
+
+bool
+parseContext(std::string_view s, SystemContext &out)
+{
+    if (s == "multi-chip" || s == "multi") {
+        out = SystemContext::MultiChip;
+        return true;
+    }
+    if (s == "single-chip" || s == "single") {
+        out = SystemContext::SingleChip;
+        return true;
+    }
+    return false;
+}
+
+/** cls names for printing, per the header's content kind. */
+std::string_view
+clsName(TraceContentKind kind, std::uint8_t cls)
+{
+    const bool intra = kind == TraceContentKind::IntraChip ||
+                       kind == TraceContentKind::IntraChipOnChip;
+    if (intra && cls < kNumIntraClasses)
+        return intraClassName(static_cast<IntraClass>(cls));
+    if (!intra && cls < kNumMissClasses)
+        return missClassName(static_cast<MissClass>(cls));
+    return "<invalid>";
+}
+
+// ---- record -----------------------------------------------------------------
+
+int
+cmdRecord(int argc, char **argv)
+{
+    ExperimentConfig cfg;
+    cfg.warmupInstructions = kPaperBudgets.warmupInstructions;
+    cfg.measureInstructions = kPaperBudgets.measureInstructions;
+    cfg.scale = kPaperBudgets.scale;
+    bool haveWorkload = false, haveContext = false;
+    std::string out;
+    std::string traceSel = "off-chip";
+    TraceWriteOptions opts;
+
+    for (int i = 0; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        auto value = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        const char *v;
+        if (arg == "--workload") {
+            if (!(v = value()) || !parseWorkload(v, cfg.workload))
+                return usage("bad or missing --workload");
+            haveWorkload = true;
+        } else if (arg == "--context") {
+            if (!(v = value()) || !parseContext(v, cfg.context))
+                return usage("bad or missing --context");
+            haveContext = true;
+        } else if (arg == "--trace") {
+            if (!(v = value()))
+                return usage("missing --trace value");
+            traceSel = v;
+            if (traceSel != "off-chip" && traceSel != "intra-chip" &&
+                traceSel != "intra-all")
+                return usage("bad --trace value");
+        } else if (arg == "--quick") {
+            // Same preset as bench --quick, so offline analysis
+            // reproduces the --quick bench rows bit-for-bit.
+            cfg.warmupInstructions = kQuickBudgets.warmupInstructions;
+            cfg.measureInstructions = kQuickBudgets.measureInstructions;
+            cfg.scale = kQuickBudgets.scale;
+        } else if (arg == "--warmup") {
+            if (!(v = value()))
+                return usage("missing --warmup value");
+            cfg.warmupInstructions = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--measure") {
+            if (!(v = value()))
+                return usage("missing --measure value");
+            cfg.measureInstructions = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--scale") {
+            if (!(v = value()))
+                return usage("missing --scale value");
+            cfg.scale = std::strtod(v, nullptr);
+        } else if (arg == "--seed") {
+            if (!(v = value()))
+                return usage("missing --seed value");
+            cfg.seed = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--codec") {
+            if (!(v = value()) || !codecByName(v))
+                return usage("unknown --codec (try lz4 or none)");
+            opts.codec = codecByName(v)->id();
+        } else if (arg == "--chunk-records") {
+            if (!(v = value()))
+                return usage("missing --chunk-records value");
+            opts.chunkRecords =
+                static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+        } else if (arg == "--v1") {
+            opts.version = 1;
+        } else if (arg == "-o" || arg == "--output") {
+            if (!(v = value()))
+                return usage("missing -o value");
+            out = v;
+        } else {
+            return usage(("unknown record option: " + std::string(arg))
+                             .c_str());
+        }
+    }
+    if (!haveWorkload || !haveContext || out.empty())
+        return usage("record needs --workload, --context and -o");
+    if (traceSel != "off-chip" &&
+        cfg.context != SystemContext::SingleChip)
+        return usage("intra-chip traces exist only in the single-chip "
+                     "context");
+
+    std::fprintf(stderr,
+                 "recording %s / %s (%" PRIu64 " warm-up + %" PRIu64
+                 " measured instructions, scale %.2f)...\n",
+                 std::string(workloadName(cfg.workload)).c_str(),
+                 std::string(contextName(cfg.context)).c_str(),
+                 cfg.warmupInstructions, cfg.measureInstructions,
+                 cfg.scale);
+    ExperimentResult res = runExperiment(cfg);
+
+    MissTrace trace;
+    if (traceSel == "off-chip") {
+        trace = std::move(res.offChip);
+        opts.kind = TraceContentKind::OffChip;
+    } else if (traceSel == "intra-chip") {
+        trace = res.intraChipOnChip();
+        opts.kind = TraceContentKind::IntraChipOnChip;
+    } else {
+        trace = std::move(res.intraChip);
+        opts.kind = TraceContentKind::IntraChip;
+    }
+    opts.configHash = configHash(cfg);
+    opts.registry = &res.registry;
+
+    if (!saveTrace(trace, out, opts)) {
+        std::fprintf(stderr, "tstream-trace: cannot write %s\n",
+                     out.c_str());
+        return 1;
+    }
+    std::printf("wrote %s: %zu misses over %" PRIu64
+                " instructions (%.2f MPKI), %s trace, config %016" PRIx64
+                "\n",
+                out.c_str(), trace.misses.size(), trace.instructions,
+                trace.mpki(),
+                std::string(traceContentKindName(opts.kind)).c_str(),
+                opts.configHash);
+    return 0;
+}
+
+// ---- info -------------------------------------------------------------------
+
+int
+cmdInfo(const std::string &path)
+{
+    auto reader = TraceReader::open(path);
+    if (!reader) {
+        std::fprintf(stderr, "tstream-trace: %s\n",
+                     reader.error().c_str());
+        return 1;
+    }
+    const TraceMeta &m = reader->meta();
+    const Codec *codec = codecById(m.codec);
+
+    std::printf("%s:\n", path.c_str());
+    std::printf("  version       %u\n", m.version);
+    std::printf("  content       %s\n",
+                std::string(traceContentKindName(m.kind)).c_str());
+    std::printf("  cpus          %u\n", m.numCpus);
+    std::printf("  instructions  %" PRIu64 "\n", m.instructions);
+    std::printf("  records       %" PRIu64 " (%.2f MPKI)\n",
+                m.recordCount,
+                m.instructions == 0
+                    ? 0.0
+                    : 1000.0 * static_cast<double>(m.recordCount) /
+                          static_cast<double>(m.instructions));
+    std::printf("  config hash   %016" PRIx64 "%s\n", m.configHash,
+                m.configHash == 0 ? " (not recorded)" : "");
+    std::printf("  codec         %s (id %u)\n",
+                codec ? std::string(codec->name()).c_str() : "?",
+                m.codec);
+    std::printf("  functions     %zu%s\n", m.functions.size(),
+                m.functions.empty() ? " (no module attribution)" : "");
+
+    std::printf("  fields        ");
+    for (const TraceField &fld : m.fields)
+        std::printf("id%u/enc%u/%ub ", fld.id, fld.encoding,
+                    fld.widthBits);
+    std::printf("\n");
+
+    std::uint64_t stored = 0;
+    for (const TraceChunk &c : m.chunks)
+        stored += c.storedBytes;
+    std::printf("  chunks        %zu (<= %u records each, %" PRIu64
+                " payload bytes",
+                m.chunks.size(), m.chunkRecords, stored);
+    if (m.recordCount > 0)
+        std::printf(", %.2f B/miss", static_cast<double>(stored) /
+                                         static_cast<double>(
+                                             m.recordCount));
+    std::printf(")\n");
+
+    const std::size_t show = std::min<std::size_t>(m.chunks.size(), 8);
+    for (std::size_t i = 0; i < show; ++i) {
+        const TraceChunk &c = m.chunks[i];
+        std::printf("    chunk %-4zu offset %-10" PRIu64
+                    " firstSeq %-10" PRIu64 " records %-8u bytes %u\n",
+                    i, c.offset, c.firstSeq, c.records, c.storedBytes);
+    }
+    if (show < m.chunks.size())
+        std::printf("    ... %zu more chunks\n", m.chunks.size() - show);
+    return 0;
+}
+
+// ---- dump -------------------------------------------------------------------
+
+int
+cmdDump(const std::string &path, std::uint64_t limit, long onlyChunk)
+{
+    auto reader = TraceReader::open(path);
+    if (!reader) {
+        std::fprintf(stderr, "tstream-trace: %s\n",
+                     reader.error().c_str());
+        return 1;
+    }
+    const TraceMeta &m = reader->meta();
+    auto registry = reader->hasFunctions()
+                        ? reader->functions()
+                        : TraceResult<FunctionRegistry>::failure("");
+
+    std::printf("%-12s %-16s %4s %-28s %s\n", "seq", "block", "cpu",
+                "class", "function");
+    std::uint64_t printed = 0;
+    for (std::size_t i = 0; i < m.chunks.size(); ++i) {
+        if (onlyChunk >= 0 && i != static_cast<std::size_t>(onlyChunk))
+            continue;
+        auto records = reader->readChunk(i);
+        if (!records) {
+            std::fprintf(stderr, "tstream-trace: %s\n",
+                         records.error().c_str());
+            return 1;
+        }
+        for (const MissRecord &r : *records) {
+            if (limit > 0 && printed >= limit) {
+                std::printf("... (limit %" PRIu64
+                            " reached; --limit 0 for all)\n",
+                            limit);
+                return 0;
+            }
+            const std::string fn =
+                registry && r.fn < registry->size()
+                    ? registry->name(r.fn)
+                    : std::to_string(r.fn);
+            std::printf("%-12" PRIu64 " %016" PRIx64 " %4u %-28s %s\n",
+                        r.seq, static_cast<std::uint64_t>(r.block),
+                        r.cpu,
+                        std::string(clsName(m.kind, r.cls)).c_str(),
+                        fn.c_str());
+            ++printed;
+        }
+    }
+    return 0;
+}
+
+// ---- analyze ----------------------------------------------------------------
+
+bool
+wantSection(const std::vector<std::string> &sections, const char *name)
+{
+    if (sections.empty())
+        return true;
+    return std::find(sections.begin(), sections.end(), name) !=
+           sections.end();
+}
+
+int
+cmdAnalyze(const std::string &path,
+           const std::vector<std::string> &sections)
+{
+    auto reader = TraceReader::open(path);
+    if (!reader) {
+        std::fprintf(stderr, "tstream-trace: %s\n",
+                     reader.error().c_str());
+        return 1;
+    }
+    auto loaded = reader->readAll();
+    if (!loaded) {
+        std::fprintf(stderr, "tstream-trace: %s: %s\n", path.c_str(),
+                     loaded.error().c_str());
+        return 1;
+    }
+    const MissTrace &trace = *loaded;
+    const TraceMeta &m = reader->meta();
+
+    std::printf("%s: %zu misses, %u cpus, %" PRIu64
+                " instructions (%.2f MPKI), %s trace\n\n",
+                path.c_str(), trace.misses.size(), trace.numCpus,
+                trace.instructions, trace.mpki(),
+                std::string(traceContentKindName(m.kind)).c_str());
+
+    if (wantSection(sections, "classes")) {
+        const bool intra = m.kind == TraceContentKind::IntraChip ||
+                           m.kind == TraceContentKind::IntraChipOnChip;
+        const std::size_t n =
+            intra ? kNumIntraClasses : kNumMissClasses;
+        std::vector<std::uint64_t> cls(n, 0);
+        for (const MissRecord &r : trace.misses)
+            if (r.cls < n)
+                ++cls[r.cls];
+        const double tot = std::max<double>(
+            1.0, static_cast<double>(trace.misses.size()));
+        std::printf("miss classes (fig1):\n");
+        for (std::size_t c = 0; c < n; ++c)
+            std::printf("  %-28s %9.1f%%  (%" PRIu64 ")\n",
+                        std::string(clsName(m.kind,
+                                            static_cast<std::uint8_t>(c)))
+                            .c_str(),
+                        100.0 * static_cast<double>(cls[c]) / tot,
+                        cls[c]);
+        std::printf("\n");
+    }
+
+    // The SEQUITUR pass dominates analyze time; skip it when only
+    // sections that never read StreamStats were requested.
+    const bool needStreams = wantSection(sections, "streams") ||
+                             wantSection(sections, "strides") ||
+                             wantSection(sections, "lengths") ||
+                             wantSection(sections, "modules");
+    if (!needStreams)
+        return 0;
+    const StreamStats s = analyzeStreams(trace);
+    const double tot =
+        std::max<double>(1.0, static_cast<double>(s.totalMisses));
+
+    if (wantSection(sections, "streams")) {
+        std::printf("stream fractions (fig2):\n");
+        std::printf("  %10s %10s %12s %10s\n", "non-rep", "new",
+                    "recurring", "in-streams");
+        std::printf("  %9.1f%% %9.1f%% %11.1f%% %9.1f%%\n",
+                    100.0 * static_cast<double>(s.nonRepetitive) / tot,
+                    100.0 * static_cast<double>(s.newStream) / tot,
+                    100.0 * static_cast<double>(s.recurringStream) / tot,
+                    100.0 * s.inStreamFraction());
+        std::printf("\n");
+    }
+
+    if (wantSection(sections, "strides")) {
+        std::printf("strides x streams (fig3):\n");
+        std::printf("  %10s %10s %10s %10s %8s\n", "rep+str",
+                    "rep+nonstr", "nonrep+str", "nonrep+ns", "strided");
+        std::printf(
+            "  %9.1f%% %9.1f%% %9.1f%% %9.1f%% %7.1f%%\n",
+            100.0 * static_cast<double>(s.stridedRepetitive) / tot,
+            100.0 * static_cast<double>(s.nonStridedRepetitive) / tot,
+            100.0 * static_cast<double>(s.stridedNonRepetitive) / tot,
+            100.0 * static_cast<double>(s.nonStridedNonRepetitive) / tot,
+            100.0 *
+                static_cast<double>(s.stridedRepetitive +
+                                    s.stridedNonRepetitive) /
+                tot);
+        std::printf("\n");
+    }
+
+    if (wantSection(sections, "lengths")) {
+        const std::vector<std::uint64_t> lenPoints = {
+            1, 2, 4, 8, 16, 32, 64, 128, 512, 1024, 4096};
+        WeightedCdf cdf;
+        for (const auto &[len, w] : s.lengthWeighted)
+            cdf.add(len, w);
+        std::printf("stream length CDF (fig4 left):\n ");
+        for (auto p : lenPoints)
+            std::printf(" <=%-4llu %5.1f%%",
+                        static_cast<unsigned long long>(p),
+                        100.0 * cdf.cumulativeAt(p));
+        std::printf("\n  median stream length: %.0f\n",
+                    s.medianStreamLength());
+
+        LogHistogram h(7, 1);
+        for (const auto &[dist, w] : s.reuseWeighted)
+            h.add(dist == 0 ? 1 : dist, w);
+        std::printf("reuse distance per decade (fig4 right):\n ");
+        for (int d = 0; d < 7; ++d)
+            std::printf(" 1e%d-1e%d %5.1f%%", d, d + 1,
+                        100.0 * h.fraction(static_cast<std::size_t>(d)));
+        std::printf("\n\n");
+    }
+
+    if (wantSection(sections, "modules")) {
+        if (!reader->hasFunctions()) {
+            std::printf("modules: trace has no function table; record "
+                        "with the default v2 writer to enable\n");
+        } else {
+            auto registry = reader->functions();
+            if (!registry) {
+                std::fprintf(stderr, "tstream-trace: %s\n",
+                             registry.error().c_str());
+                return 1;
+            }
+            const ModuleProfile prof =
+                profileModules(trace, s, *registry);
+            std::printf("module origins (tables 3-5):\n%s",
+                        renderModuleTable(prof, /*web_rows=*/true,
+                                          /*db_rows=*/true)
+                            .c_str());
+        }
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage("missing subcommand");
+    const std::string_view cmd = argv[1];
+
+    if (cmd == "record")
+        return cmdRecord(argc - 2, argv + 2);
+
+    if (cmd == "info") {
+        if (argc != 3)
+            return usage("info takes exactly one trace file");
+        return cmdInfo(argv[2]);
+    }
+
+    if (cmd == "dump") {
+        std::string path;
+        std::uint64_t limit = 32;
+        long chunk = -1;
+        for (int i = 2; i < argc; ++i) {
+            const std::string_view arg = argv[i];
+            if (arg == "--limit" && i + 1 < argc)
+                limit = std::strtoull(argv[++i], nullptr, 10);
+            else if (arg == "--chunk" && i + 1 < argc)
+                chunk = std::strtol(argv[++i], nullptr, 10);
+            else if (!arg.empty() && arg[0] != '-' && path.empty())
+                path = arg;
+            else
+                return usage("bad dump arguments");
+        }
+        if (path.empty())
+            return usage("dump needs a trace file");
+        return cmdDump(path, limit, chunk);
+    }
+
+    if (cmd == "analyze") {
+        std::string path;
+        std::vector<std::string> sections;
+        for (int i = 2; i < argc; ++i) {
+            const std::string_view arg = argv[i];
+            if (arg == "--section" && i + 1 < argc)
+                sections.emplace_back(argv[++i]);
+            else if (!arg.empty() && arg[0] != '-' && path.empty())
+                path = arg;
+            else
+                return usage("bad analyze arguments");
+        }
+        if (path.empty())
+            return usage("analyze needs a trace file");
+        return cmdAnalyze(path, sections);
+    }
+
+    if (cmd == "--help" || cmd == "-h" || cmd == "help")
+        return usage(nullptr);
+    return usage(("unknown subcommand: " + std::string(cmd)).c_str());
+}
