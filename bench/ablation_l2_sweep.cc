@@ -10,7 +10,14 @@
  * have no such bound. This bench sweeps the multi-chip L2 size for
  * OLTP and reports the reuse-distance mass per decade plus the
  * replacement/coherence split.
+ *
+ * The sweep is a custom cell grid (one cell per L2 size, same
+ * workload/context/budgets), so it shards and caches like any other
+ * bench: configHash() covers the cache geometry, so each L2 point is
+ * its own trace-cache entry.
  */
+
+#include <algorithm>
 
 #include "common.hh"
 
@@ -19,10 +26,84 @@
 using namespace tstream;
 using namespace tstream::bench;
 
+namespace
+{
+
+const std::uint64_t kL2SizesMb[] = {1, 2, 4, 8, 16};
+
+std::vector<Cell>
+l2SweepGrid(const BenchBudgets &budgets)
+{
+    std::vector<Cell> grid;
+    for (const std::uint64_t mb : kL2SizesMb) {
+        Cell c;
+        c.index = grid.size();
+        c.cfg.workload = WorkloadKind::Oltp;
+        c.cfg.context = SystemContext::MultiChip;
+        c.cfg.warmupInstructions = budgets.warmup;
+        c.cfg.measureInstructions = budgets.measure;
+        c.cfg.scale = budgets.scale;
+        c.cfg.multiChip.l2 = CacheConfig{mb * 1024 * 1024, 16};
+        c.id = strprintf("oltp/multi-chip/l2=%lluMB",
+                         static_cast<unsigned long long>(mb));
+        grid.push_back(std::move(c));
+    }
+    return grid;
+}
+
+std::vector<BenchRow>
+buildRows(const CellResult &res, std::uint64_t mb)
+{
+    const RunOutput &r = res.runs.front();
+
+    std::uint64_t cls[kNumMissClasses] = {};
+    for (const MissRecord &m : r.trace.misses)
+        cls[m.cls]++;
+    const double tot = std::max<double>(
+        1.0, static_cast<double>(r.trace.misses.size()));
+
+    LogHistogram h(7, 1);
+    for (const auto &[dist, w] : r.streams.reuseWeighted)
+        h.add(dist == 0 ? 1 : dist, w);
+
+    BenchRow row;
+    row.table = "l2_sweep";
+    row.trace = strprintf("%lluMB",
+                          static_cast<unsigned long long>(mb));
+    row.text = strprintf("%3lluMB %9.2f %7.1f%% %7.1f%%",
+                         static_cast<unsigned long long>(mb),
+                         r.trace.mpki(), 100.0 * cls[3] / tot,
+                         100.0 * cls[1] / tot);
+    row.metrics = {
+        {"l2_mb", static_cast<double>(mb)},
+        {"mpki", r.trace.mpki()},
+        {"replacement_pct", 100.0 * cls[3] / tot},
+        {"coherence_pct", 100.0 * cls[1] / tot},
+    };
+    for (int d = 0; d < 7; ++d) {
+        const double frac =
+            100.0 * h.fraction(static_cast<std::size_t>(d));
+        row.text += strprintf("  %6.1f%%", frac);
+        row.metrics.emplace_back(
+            strprintf("decade_1e%d_1e%d_pct", d, d + 1), frac);
+    }
+    return {std::move(row)};
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    const BenchBudgets budgets = parseBudgets(argc, argv);
+    const BenchOptions opts =
+        parseBenchArgs(argc, argv, "ablation_l2_sweep");
+    const auto grid = l2SweepGrid(opts.budgets);
+    const auto results = runCells(grid, opts.driver());
+
+    std::vector<BenchCell> cells;
+    for (const CellResult &res : results)
+        cells.push_back(makeBenchCell(
+            res, buildRows(res, kL2SizesMb[res.cell.index])));
 
     std::printf("Ablation B: L2 size sweep (OLTP, multi-chip)\n");
     rule();
@@ -31,42 +112,12 @@ main(int argc, char **argv)
         std::printf("  1e%d-1e%d", d, d + 1);
     std::printf("\n");
     rule();
-
-    for (const std::uint64_t mb : {1ull, 2ull, 4ull, 8ull, 16ull}) {
-        ExperimentConfig cfg;
-        cfg.workload = WorkloadKind::Oltp;
-        cfg.context = SystemContext::MultiChip;
-        cfg.warmupInstructions = budgets.warmup;
-        cfg.measureInstructions = budgets.measure;
-        cfg.scale = budgets.scale;
-        cfg.multiChip.l2 = CacheConfig{mb * 1024 * 1024, 16};
-        ExperimentResult res = runExperiment(cfg);
-
-        std::uint64_t cls[kNumMissClasses] = {};
-        for (const MissRecord &m : res.offChip.misses)
-            cls[m.cls]++;
-        const double tot = std::max<double>(
-            1.0,
-            static_cast<double>(res.offChip.misses.size()));
-
-        StreamStats st = analyzeStreams(res.offChip);
-        LogHistogram h(7, 1);
-        for (const auto &[dist, w] : st.reuseWeighted)
-            h.add(dist == 0 ? 1 : dist, w);
-
-        std::printf("%3lluMB %9.2f %7.1f%% %7.1f%%",
-                    static_cast<unsigned long long>(mb),
-                    res.offChip.mpki(), 100.0 * cls[3] / tot,
-                    100.0 * cls[1] / tot);
-        for (int d = 0; d < 7; ++d)
-            std::printf("  %6.1f%%",
-                        100.0 * h.fraction(static_cast<std::size_t>(d)));
-        std::printf("\n");
-    }
+    printTable(cells, "l2_sweep");
 
     std::printf("\nReading: larger L2s suppress short-reuse replacement "
                 "misses, pushing the\nreplacement reuse-distance mass "
                 "right, while coherence reuse distances are\ncapacity-"
                 "independent — the paper's storage-sizing argument.\n");
-    return 0;
+    return emitReport(opts, "ablation_l2_sweep", grid.size(),
+                      std::move(cells));
 }

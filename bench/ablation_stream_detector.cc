@@ -64,14 +64,54 @@ fixedWindowCoverage(const MissTrace &trace, unsigned w)
                             static_cast<double>(total);
 }
 
+std::vector<BenchRow>
+buildRows(const CellResult &res)
+{
+    std::vector<BenchRow> rows;
+    for (const RunOutput &r : res.runs) {
+        if (r.kind == TraceKind::IntraChip)
+            continue;
+        BenchRow row;
+        row.table = "coverage";
+        row.trace = std::string(traceKindName(r.kind));
+        row.text = strprintf(
+            "%-10s %-12s %8.1f%%",
+            std::string(workloadName(r.workload)).c_str(),
+            std::string(traceKindName(r.kind)).c_str(),
+            100.0 * r.streams.inStreamFraction());
+        row.metrics = {
+            {"sequitur_pct", 100.0 * r.streams.inStreamFraction()},
+        };
+        for (unsigned w : {2u, 4u, 8u, 16u}) {
+            const double cov =
+                100.0 * fixedWindowCoverage(r.trace, w);
+            row.text += strprintf(" %6.1f%%", cov);
+            row.metrics.emplace_back(strprintf("window_%u_pct", w),
+                                     cov);
+        }
+        row.text +=
+            strprintf(" %7.0f", r.streams.medianStreamLength());
+        row.metrics.emplace_back("median_length",
+                                 r.streams.medianStreamLength());
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    const BenchBudgets budgets = parseBudgets(argc, argv);
-    auto runs = runGrid({WorkloadKind::Oltp, WorkloadKind::Apache},
-                        budgets);
+    const BenchOptions opts =
+        parseBenchArgs(argc, argv, "ablation_stream_detector");
+    const auto grid = standardGrid(
+        {WorkloadKind::Oltp, WorkloadKind::Apache}, opts.budgets);
+    const auto results = runCells(grid, opts.driver());
+
+    std::vector<BenchCell> cells;
+    for (const CellResult &res : results)
+        cells.push_back(makeBenchCell(res, buildRows(res)));
 
     std::printf("Ablation A: SEQUITUR vs fixed-window stream "
                 "detection (coverage of misses)\n");
@@ -80,18 +120,7 @@ main(int argc, char **argv)
                 "context", "sequitur", "W=2", "W=4", "W=8", "W=16",
                 "med-len");
     rule();
-    for (const RunOutput &r : runs) {
-        if (r.kind == TraceKind::IntraChip)
-            continue;
-        std::printf("%-10s %-12s %8.1f%%",
-                    std::string(workloadName(r.workload)).c_str(),
-                    std::string(traceKindName(r.kind)).c_str(),
-                    100.0 * r.streams.inStreamFraction());
-        for (unsigned w : {2u, 4u, 8u, 16u})
-            std::printf(" %6.1f%%", 100.0 * fixedWindowCoverage(
-                                                r.trace, w));
-        std::printf(" %7.0f\n", r.streams.medianStreamLength());
-    }
+    printTable(cells, "coverage");
 
     std::printf("\nReading: small windows over-fragment long streams "
                 "(repetition is found but\nsplit into pieces a "
@@ -99,5 +128,6 @@ main(int argc, char **argv)
                 "short streams entirely. SEQUITUR's variable-length "
                 "rules adapt, motivating\nthe paper's argument against "
                 "fixed-depth fetch policies.\n");
-    return 0;
+    return emitReport(opts, "ablation_stream_detector", grid.size(),
+                      std::move(cells));
 }

@@ -1,29 +1,27 @@
 /**
  * @file
- * Shared harness for the per-figure/per-table bench binaries: runs the
- * (workload x context) grid in parallel, with a --quick mode for smoke
- * runs, a trace cache (TSTREAM_TRACE_CACHE) that reuses saved traces
- * instead of re-simulating, and the formatting helpers the benches
- * share.
+ * Shared glue for the per-figure/per-table bench binaries, now thin
+ * wrappers over the cell-level experiment driver (sim/driver.hh):
+ * the driver enumerates the (workload x context x budget) grid as
+ * independent cells, executes them on a bounded work-stealing pool
+ * (--jobs / TSTREAM_JOBS), shards deterministically across processes
+ * (--shard k/N / TSTREAM_SHARD), and reuses saved traces via
+ * TSTREAM_TRACE_CACHE. Every bench prints its table from BenchRow
+ * records and can emit the same rows as a versioned JSON report with
+ * --json (sim/bench_report.hh); docs/BENCHMARKING.md is the guide.
  */
 
 #ifndef TSTREAM_BENCH_COMMON_HH
 #define TSTREAM_BENCH_COMMON_HH
 
-#include <cinttypes>
+#include <cstdarg>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <future>
-#include <map>
-#include <optional>
 #include <string>
 #include <vector>
 
-#include "core/module_profile.hh"
-#include "core/stream_analysis.hh"
-#include "sim/experiment.hh"
-#include "trace/trace_io.hh"
+#include "sim/bench_report.hh"
+#include "sim/driver.hh"
+#include "util/work_pool.hh"
 
 namespace tstream::bench
 {
@@ -34,217 +32,16 @@ inline const std::vector<WorkloadKind> kAllWorkloads = {
     WorkloadKind::DssQ1,  WorkloadKind::DssQ2,  WorkloadKind::DssQ17,
 };
 
-/** The paper's three analysis contexts. */
-enum class TraceKind
-{
-    MultiChip,  ///< off-chip trace of the 16-node DSM
-    SingleChip, ///< off-chip trace of the 4-core CMP
-    IntraChip,  ///< on-chip-satisfied L1 misses of the CMP
-};
-
-inline std::string_view
-traceKindName(TraceKind k)
-{
-    switch (k) {
-      case TraceKind::MultiChip: return "multi-chip";
-      case TraceKind::SingleChip: return "single-chip";
-      case TraceKind::IntraChip: return "intra-chip";
-    }
-    return "?";
-}
-
-/** Budgets used by every paper bench (presets in sim/experiment.hh,
- *  shared with the tstream-trace CLI). */
-struct BenchBudgets
-{
-    std::uint64_t warmup = kPaperBudgets.warmupInstructions;
-    std::uint64_t measure = kPaperBudgets.measureInstructions;
-    double scale = kPaperBudgets.scale;
-};
-
-/** Parse --quick / TSTREAM_QUICK=1 into reduced budgets. */
-inline BenchBudgets
-parseBudgets(int argc, char **argv)
-{
-    BenchBudgets b;
-    bool quick = std::getenv("TSTREAM_QUICK") != nullptr;
-    for (int i = 1; i < argc; ++i)
-        if (std::strcmp(argv[i], "--quick") == 0)
-            quick = true;
-    if (quick) {
-        b.warmup = kQuickBudgets.warmupInstructions;
-        b.measure = kQuickBudgets.measureInstructions;
-        b.scale = kQuickBudgets.scale;
-    }
-    return b;
-}
-
-/**
- * Cache-file path stem for @p cfg, or "" when the cache is disabled.
- * Set TSTREAM_TRACE_CACHE to a writable directory to enable: each
- * (workload, context, budget) cell is keyed on configHash() and
- * stored as `<stem>.off.tst` (off-chip trace, with the function table
- * so module attribution survives) plus `<stem>.l1.tst` (unfiltered
- * intra-chip trace, single-chip runs only).
- */
+/** printf into a std::string (for building BenchRow::text). */
 inline std::string
-traceCacheStem(const ExperimentConfig &cfg)
+strprintf(const char *fmt, ...)
 {
-    const char *dir = std::getenv("TSTREAM_TRACE_CACHE");
-    if (!dir || !*dir)
-        return {};
-    char hash[17];
-    std::snprintf(hash, sizeof hash, "%016" PRIx64, configHash(cfg));
-    return std::string(dir) + "/" +
-           std::string(workloadName(cfg.workload)) + "-" +
-           std::string(contextName(cfg.context)) + "-" + hash;
-}
-
-/**
- * Reload a previously cached run for @p cfg. Returns nullopt when the
- * cache is disabled, the cell is absent, or a file fails to load (the
- * caller then simulates; a stale or corrupt cache is never fatal).
- */
-inline std::optional<ExperimentResult>
-traceCacheLoad(const ExperimentConfig &cfg)
-{
-    const std::string stem = traceCacheStem(cfg);
-    if (stem.empty())
-        return std::nullopt;
-
-    auto reader = TraceReader::open(stem + ".off.tst");
-    if (!reader)
-        return std::nullopt;
-    auto offChip = reader->readAll();
-    auto registry = reader->functions();
-    if (!offChip || !registry)
-        return std::nullopt;
-
-    ExperimentResult res;
-    res.offChip = std::move(*offChip);
-    res.registry = std::move(*registry);
-    res.instructions = res.offChip.instructions;
-    if (cfg.context == SystemContext::SingleChip) {
-        auto intra = loadTrace(stem + ".l1.tst");
-        if (!intra)
-            return std::nullopt;
-        res.intraChip = std::move(*intra);
-    }
-    std::fprintf(stderr,
-                 "[trace-cache] hit %s (skipping simulation)\n",
-                 stem.c_str());
-    return res;
-}
-
-/** Save a freshly simulated run for @p cfg. No-op when disabled. */
-inline void
-traceCacheStore(const ExperimentConfig &cfg, const ExperimentResult &res)
-{
-    const std::string stem = traceCacheStem(cfg);
-    if (stem.empty())
-        return;
-
-    TraceWriteOptions opts;
-    opts.configHash = configHash(cfg);
-    opts.registry = &res.registry;
-    opts.kind = TraceContentKind::OffChip;
-    bool ok = saveTrace(res.offChip, stem + ".off.tst", opts);
-    if (ok && cfg.context == SystemContext::SingleChip) {
-        opts.kind = TraceContentKind::IntraChip;
-        ok = saveTrace(res.intraChip, stem + ".l1.tst", opts);
-    }
-    std::fprintf(stderr, "[trace-cache] %s %s\n",
-                 ok ? "saved" : "failed to save", stem.c_str());
-}
-
-/** One completed run with its analyses. */
-struct RunOutput
-{
-    WorkloadKind workload;
-    TraceKind kind;
-    MissTrace trace;
-    StreamStats streams;
-    ModuleProfile modules;
-};
-
-/**
- * Run every requested workload in both system contexts, producing all
- * three trace kinds, in parallel across workloads.
- *
- * @param analyze_streams Run the SEQUITUR analysis per trace.
- * @param filter_intra Restrict the intra-chip trace to on-chip-
- *        satisfied misses (the paper's context (3)); pass false to
- *        keep all L1 misses (Figure 1 right needs the Off-chip bar).
- */
-inline std::vector<RunOutput>
-runGrid(const std::vector<WorkloadKind> &workloads,
-        const BenchBudgets &budgets, bool analyze_streams = true,
-        bool filter_intra = true)
-{
-    struct WorkloadRuns
-    {
-        RunOutput multi, single, intra;
-    };
-
-    auto runOne = [&](WorkloadKind w) {
-        WorkloadRuns out;
-        for (int pass = 0; pass < 2; ++pass) {
-            ExperimentConfig cfg;
-            cfg.workload = w;
-            cfg.context = pass == 0 ? SystemContext::MultiChip
-                                    : SystemContext::SingleChip;
-            cfg.warmupInstructions = budgets.warmup;
-            cfg.measureInstructions = budgets.measure;
-            cfg.scale = budgets.scale;
-            ExperimentResult res;
-            if (auto cached = traceCacheLoad(cfg)) {
-                res = std::move(*cached);
-            } else {
-                res = runExperiment(cfg);
-                traceCacheStore(cfg, res);
-            }
-
-            auto analyze = [&](MissTrace &&trace, TraceKind kind) {
-                RunOutput r;
-                r.workload = w;
-                r.kind = kind;
-                r.trace = std::move(trace);
-                if (analyze_streams) {
-                    r.streams = analyzeStreams(r.trace);
-                    r.modules =
-                        profileModules(r.trace, r.streams, res.registry);
-                }
-                return r;
-            };
-
-            if (pass == 0) {
-                out.multi =
-                    analyze(std::move(res.offChip), TraceKind::MultiChip);
-            } else {
-                out.single = analyze(std::move(res.offChip),
-                                     TraceKind::SingleChip);
-                out.intra = analyze(filter_intra
-                                        ? res.intraChipOnChip()
-                                        : std::move(res.intraChip),
-                                    TraceKind::IntraChip);
-            }
-        }
-        return out;
-    };
-
-    std::vector<std::future<WorkloadRuns>> futs;
-    futs.reserve(workloads.size());
-    for (WorkloadKind w : workloads)
-        futs.push_back(std::async(std::launch::async, runOne, w));
-
-    std::vector<RunOutput> flat;
-    for (auto &f : futs) {
-        WorkloadRuns r = f.get();
-        flat.push_back(std::move(r.multi));
-        flat.push_back(std::move(r.single));
-        flat.push_back(std::move(r.intra));
-    }
-    return flat;
+    char buf[512];
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof buf, fmt, ap);
+    va_end(ap);
+    return buf;
 }
 
 /** Horizontal rule for table output. */
@@ -254,6 +51,48 @@ rule(char c = '-')
     for (int i = 0; i < 78; ++i)
         std::putchar(c);
     std::putchar('\n');
+}
+
+/**
+ * Print every row of @p cells whose table tag is @p table, in cell
+ * order — the printed line is exactly BenchRow::text, which is also
+ * what lands in the JSON report, so the two are bit-identical.
+ */
+inline void
+printTable(const std::vector<BenchCell> &cells, const char *table)
+{
+    for (const BenchCell &c : cells)
+        for (const BenchRow &r : c.rows)
+            if (r.table == table)
+                std::printf("%s\n", r.text.c_str());
+}
+
+/**
+ * Write the bench's JSON report when --json was given. Returns the
+ * process exit status (non-zero when the write failed).
+ */
+inline int
+emitReport(const BenchOptions &opts, const char *benchName,
+           std::size_t gridCells, std::vector<BenchCell> cells)
+{
+    if (opts.jsonPath.empty())
+        return 0;
+    BenchDoc doc;
+    doc.bench = benchName;
+    doc.quick = opts.quick;
+    doc.budgets = opts.budgets;
+    doc.gridCells = gridCells;
+    doc.shard = opts.shard;
+    doc.jobs = opts.jobs != 0 ? opts.jobs : WorkPool::defaultJobs();
+    doc.cells = std::move(cells);
+    std::string err;
+    if (!writeBenchDoc(doc, opts.jsonPath, err)) {
+        std::fprintf(stderr, "%s: %s\n", benchName, err.c_str());
+        return 1;
+    }
+    std::fprintf(stderr, "[bench] wrote %s (%zu cells)\n",
+                 opts.jsonPath.c_str(), doc.cells.size());
+    return 0;
 }
 
 } // namespace tstream::bench

@@ -14,11 +14,67 @@
 using namespace tstream;
 using namespace tstream::bench;
 
+namespace
+{
+
+std::vector<BenchRow>
+buildRows(const CellResult &res)
+{
+    std::vector<BenchRow> rows;
+    for (const RunOutput &r : res.runs) {
+        BenchRow row;
+        row.table = "prefetcher";
+        row.trace = std::string(traceKindName(r.kind));
+        row.text = strprintf(
+            "%-10s %-12s %9.1f%% |       ",
+            std::string(workloadName(r.workload)).c_str(),
+            std::string(traceKindName(r.kind)).c_str(),
+            100.0 * r.streams.inStreamFraction());
+        row.metrics = {
+            {"in_streams_pct", 100.0 * r.streams.inStreamFraction()},
+        };
+        double acc8 = 0.0;
+        for (unsigned d : {1u, 4u, 8u, 16u, 32u}) {
+            TsPrefetcherConfig cfg;
+            cfg.replayDepth = d;
+            TsPrefetcher pf(cfg);
+            const TsPrefetcherStats st = pf.evaluate(r.trace);
+            row.text += strprintf(" %6.1f%%", 100.0 * st.coverage());
+            row.metrics.emplace_back(
+                strprintf("coverage_depth_%u_pct", d),
+                100.0 * st.coverage());
+            if (d == 8)
+                acc8 = st.accuracy();
+        }
+        // The paper's Section 4.3 synergy: add a stride engine.
+        TsPrefetcherConfig hc;
+        hc.replayDepth = 8;
+        TsPrefetcher hybrid(hc);
+        const TsPrefetcherStats hs = hybrid.evaluateHybrid(r.trace);
+        row.text += strprintf(" %6.1f%% %7.1f%%", 100.0 * acc8,
+                              100.0 * hs.coverage());
+        row.metrics.emplace_back("accuracy_depth_8_pct",
+                                 100.0 * acc8);
+        row.metrics.emplace_back("hybrid_coverage_depth_8_pct",
+                                 100.0 * hs.coverage());
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    const BenchBudgets budgets = parseBudgets(argc, argv);
-    auto runs = runGrid(kAllWorkloads, budgets);
+    const BenchOptions opts =
+        parseBenchArgs(argc, argv, "ext_prefetcher");
+    const auto grid = standardGrid(kAllWorkloads, opts.budgets);
+    const auto results = runCells(grid, opts.driver());
+
+    std::vector<BenchCell> cells;
+    for (const CellResult &res : results)
+        cells.push_back(makeBenchCell(res, buildRows(res)));
 
     std::printf("Extension: temporal-streaming prefetcher coverage / "
                 "accuracy\n");
@@ -29,30 +85,7 @@ main(int argc, char **argv)
         std::printf("  cov@%-2u", d);
     std::printf("  acc@8  hybrid@8\n");
     rule();
-
-    for (const RunOutput &r : runs) {
-        std::printf("%-10s %-12s %9.1f%% |       ",
-                    std::string(workloadName(r.workload)).c_str(),
-                    std::string(traceKindName(r.kind)).c_str(),
-                    100.0 * r.streams.inStreamFraction());
-        double acc8 = 0.0;
-        for (unsigned d : {1u, 4u, 8u, 16u, 32u}) {
-            TsPrefetcherConfig cfg;
-            cfg.replayDepth = d;
-            TsPrefetcher pf(cfg);
-            const TsPrefetcherStats st = pf.evaluate(r.trace);
-            std::printf(" %6.1f%%", 100.0 * st.coverage());
-            if (d == 8)
-                acc8 = st.accuracy();
-        }
-        // The paper's Section 4.3 synergy: add a stride engine.
-        TsPrefetcherConfig hc;
-        hc.replayDepth = 8;
-        TsPrefetcher hybrid(hc);
-        const TsPrefetcherStats hs = hybrid.evaluateHybrid(r.trace);
-        std::printf(" %6.1f%% %7.1f%%\n", 100.0 * acc8,
-                    100.0 * hs.coverage());
-    }
+    printTable(cells, "prefetcher");
 
     std::printf("\nReading: coverage tracks the in-stream fraction and "
                 "grows with replay depth\nwhere streams are long "
@@ -63,5 +96,6 @@ main(int argc, char **argv)
                 "non-repetitive DSS misses (the Section 4.3 synergy) "
                 "while temporal replay\nkeeps the pointer-chasing "
                 "coverage.\n");
-    return 0;
+    return emitReport(opts, "ext_prefetcher", grid.size(),
+                      std::move(cells));
 }

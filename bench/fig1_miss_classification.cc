@@ -16,19 +16,94 @@
  * coherence.
  */
 
+#include <algorithm>
+
 #include "common.hh"
 
 using namespace tstream;
 using namespace tstream::bench;
 
+namespace
+{
+
+std::vector<BenchRow>
+buildRows(const CellResult &res)
+{
+    std::vector<BenchRow> rows;
+    for (const RunOutput &r : res.runs) {
+        std::uint64_t cls[kNumMissClasses] = {};
+        for (const MissRecord &m : r.trace.misses)
+            cls[m.cls]++;
+        const double tot = std::max<double>(
+            1.0, static_cast<double>(r.trace.misses.size()));
+        BenchRow row;
+        row.trace = std::string(traceKindName(r.kind));
+        if (r.kind != TraceKind::IntraChip) {
+            const double mpki = r.trace.mpki();
+            row.table = "offchip";
+            row.text = strprintf(
+                "%-10s %-12s %8.2f %9.1f%% %5.1f%% %7.1f%% %9.1f%% "
+                "%10zu",
+                std::string(workloadName(r.workload)).c_str(),
+                std::string(traceKindName(r.kind)).c_str(), mpki,
+                100.0 * cls[0] / tot, 100.0 * cls[2] / tot,
+                100.0 * cls[3] / tot, 100.0 * cls[1] / tot,
+                r.trace.misses.size());
+            row.metrics = {
+                {"mpki", mpki},
+                {"compulsory_pct", 100.0 * cls[0] / tot},
+                {"io_coherence_pct", 100.0 * cls[2] / tot},
+                {"replacement_pct", 100.0 * cls[3] / tot},
+                {"coherence_pct", 100.0 * cls[1] / tot},
+                {"misses",
+                 static_cast<double>(r.trace.misses.size())},
+            };
+        } else {
+            // Coherence share of on-chip-satisfied traffic (the
+            // paper's "one third to one half of all L2 and peer-L1
+            // accesses").
+            const double onchip = std::max<double>(
+                1.0, static_cast<double>(cls[0] + cls[1] + cls[2]));
+            const double cohShare =
+                100.0 * (cls[0] + cls[1]) / onchip;
+            row.table = "intra";
+            row.text = strprintf(
+                "%-10s %8.2f %8.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%%",
+                std::string(workloadName(r.workload)).c_str(),
+                r.trace.mpki(), 100.0 * cls[0] / tot,
+                100.0 * cls[1] / tot, 100.0 * cls[2] / tot,
+                100.0 * cls[3] / tot, cohShare);
+            row.metrics = {
+                {"mpki", r.trace.mpki()},
+                {"peer_l1_pct", 100.0 * cls[0] / tot},
+                {"coherence_l2_pct", 100.0 * cls[1] / tot},
+                {"replacement_l2_pct", 100.0 * cls[2] / tot},
+                {"offchip_pct", 100.0 * cls[3] / tot},
+                {"coherence_share_pct", cohShare},
+            };
+        }
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    const BenchBudgets budgets = parseBudgets(argc, argv);
+    const BenchOptions opts =
+        parseBenchArgs(argc, argv, "fig1_miss_classification");
+    const auto grid = standardGrid(kAllWorkloads, opts.budgets);
     // Figure 1 needs neither stream analysis nor intra filtering (the
     // right panel includes the Off-chip bar).
-    auto runs = runGrid(kAllWorkloads, budgets, /*analyze_streams=*/false,
-                        /*filter_intra=*/false);
+    const auto results = runCells(
+        grid, opts.driver(/*analyze_streams=*/false,
+                          /*filter_intra=*/false));
+
+    std::vector<BenchCell> cells;
+    for (const CellResult &res : results)
+        cells.push_back(makeBenchCell(res, buildRows(res)));
 
     std::printf("Figure 1 (left): off-chip read misses per 1000 "
                 "instructions\n");
@@ -37,24 +112,7 @@ main(int argc, char **argv)
                 "context", "MPKI", "Compulsory", "I/O", "Repl",
                 "Coherence", "misses");
     rule();
-    for (const RunOutput &r : runs) {
-        if (r.kind == TraceKind::IntraChip)
-            continue;
-        std::uint64_t cls[kNumMissClasses] = {};
-        for (const MissRecord &m : r.trace.misses)
-            cls[m.cls]++;
-        const double mpki = r.trace.mpki();
-        const double tot =
-            std::max<double>(1.0, static_cast<double>(
-                                      r.trace.misses.size()));
-        std::printf(
-            "%-10s %-12s %8.2f %9.1f%% %5.1f%% %7.1f%% %9.1f%% %10zu\n",
-            std::string(workloadName(r.workload)).c_str(),
-            std::string(traceKindName(r.kind)).c_str(), mpki,
-            100.0 * cls[0] / tot, 100.0 * cls[2] / tot,
-            100.0 * cls[3] / tot, 100.0 * cls[1] / tot,
-            r.trace.misses.size());
-    }
+    printTable(cells, "offchip");
 
     std::printf("\nFigure 1 (right): intra-chip (L1) read misses per "
                 "1000 instructions\n");
@@ -62,30 +120,12 @@ main(int argc, char **argv)
     std::printf("%-10s %8s %9s %8s %8s %8s %8s\n", "app", "MPKI",
                 "Peer-L1", "Coh:L2", "Repl:L2", "Off-chip", "coh-shr");
     rule();
-    for (const RunOutput &r : runs) {
-        if (r.kind != TraceKind::IntraChip)
-            continue;
-        std::uint64_t cls[kNumIntraClasses] = {};
-        for (const MissRecord &m : r.trace.misses)
-            cls[m.cls]++;
-        const double tot =
-            std::max<double>(1.0, static_cast<double>(
-                                      r.trace.misses.size()));
-        // Coherence share of on-chip-satisfied traffic (the paper's
-        // "one third to one half of all L2 and peer-L1 accesses").
-        const double onchip = std::max<double>(
-            1.0, static_cast<double>(cls[0] + cls[1] + cls[2]));
-        const double cohShare = 100.0 * (cls[0] + cls[1]) / onchip;
-        std::printf(
-            "%-10s %8.2f %8.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n",
-            std::string(workloadName(r.workload)).c_str(),
-            r.trace.mpki(), 100.0 * cls[0] / tot, 100.0 * cls[1] / tot,
-            100.0 * cls[2] / tot, 100.0 * cls[3] / tot, cohShare);
-    }
+    printTable(cells, "intra");
 
     std::printf("\nPaper shape check: multi-chip web/OLTP coherence-"
                 "dominated; single-chip has no\nprocessor coherence "
                 "off-chip; DSS compulsory-dominated; on-chip traffic "
                 "has a\nsubstantial coherence component.\n");
-    return 0;
+    return emitReport(opts, "fig1_miss_classification", grid.size(),
+                      std::move(cells));
 }

@@ -9,37 +9,69 @@
  * highly repetitive but single-chip only about half; DSS the lowest.
  */
 
+#include <algorithm>
+
 #include "common.hh"
 
 using namespace tstream;
 using namespace tstream::bench;
 
+namespace
+{
+
+std::vector<BenchRow>
+buildRows(const CellResult &res)
+{
+    std::vector<BenchRow> rows;
+    for (const RunOutput &r : res.runs) {
+        const StreamStats &s = r.streams;
+        const double tot = std::max<double>(
+            1.0, static_cast<double>(s.totalMisses));
+        BenchRow row;
+        row.table = "streams";
+        row.trace = std::string(traceKindName(r.kind));
+        row.text = strprintf(
+            "%-10s %-12s %9.1f%% %9.1f%% %11.1f%% %9.1f%%",
+            std::string(workloadName(r.workload)).c_str(),
+            std::string(traceKindName(r.kind)).c_str(),
+            100.0 * s.nonRepetitive / tot, 100.0 * s.newStream / tot,
+            100.0 * s.recurringStream / tot,
+            100.0 * s.inStreamFraction());
+        row.metrics = {
+            {"non_repetitive_pct", 100.0 * s.nonRepetitive / tot},
+            {"new_stream_pct", 100.0 * s.newStream / tot},
+            {"recurring_stream_pct", 100.0 * s.recurringStream / tot},
+            {"in_streams_pct", 100.0 * s.inStreamFraction()},
+        };
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    const BenchBudgets budgets = parseBudgets(argc, argv);
-    auto runs = runGrid(kAllWorkloads, budgets);
+    const BenchOptions opts =
+        parseBenchArgs(argc, argv, "fig2_stream_fraction");
+    const auto grid = standardGrid(kAllWorkloads, opts.budgets);
+    const auto results = runCells(grid, opts.driver());
+
+    std::vector<BenchCell> cells;
+    for (const CellResult &res : results)
+        cells.push_back(makeBenchCell(res, buildRows(res)));
 
     std::printf("Figure 2: fraction of misses in temporal streams\n");
     rule();
     std::printf("%-10s %-12s %10s %10s %12s %10s\n", "app", "context",
                 "non-rep", "new", "recurring", "in-streams");
     rule();
-    for (const RunOutput &r : runs) {
-        const StreamStats &s = r.streams;
-        const double tot = std::max<double>(
-            1.0, static_cast<double>(s.totalMisses));
-        std::printf("%-10s %-12s %9.1f%% %9.1f%% %11.1f%% %9.1f%%\n",
-                    std::string(workloadName(r.workload)).c_str(),
-                    std::string(traceKindName(r.kind)).c_str(),
-                    100.0 * s.nonRepetitive / tot,
-                    100.0 * s.newStream / tot,
-                    100.0 * s.recurringStream / tot,
-                    100.0 * s.inStreamFraction());
-    }
+    printTable(cells, "streams");
 
     std::printf("\nPaper shape check: 35-90%% of misses in streams; web "
                 "~75-85%%; OLTP single-chip\nmarkedly less repetitive "
                 "than multi-chip; DSS lowest.\n");
-    return 0;
+    return emitReport(opts, "fig2_stream_fraction", grid.size(),
+                      std::move(cells));
 }

@@ -9,16 +9,67 @@
  * temporal streams are largely disjoint.
  */
 
+#include <algorithm>
+
 #include "common.hh"
 
 using namespace tstream;
 using namespace tstream::bench;
 
+namespace
+{
+
+std::vector<BenchRow>
+buildRows(const CellResult &res)
+{
+    std::vector<BenchRow> rows;
+    for (const RunOutput &r : res.runs) {
+        const StreamStats &s = r.streams;
+        const double tot = std::max<double>(
+            1.0, static_cast<double>(s.totalMisses));
+        const double strided =
+            100.0 * (s.stridedRepetitive + s.stridedNonRepetitive) /
+            tot;
+        BenchRow row;
+        row.table = "strides";
+        row.trace = std::string(traceKindName(r.kind));
+        row.text = strprintf(
+            "%-10s %-12s %9.1f%% %9.1f%% %9.1f%% %9.1f%% %7.1f%%",
+            std::string(workloadName(r.workload)).c_str(),
+            std::string(traceKindName(r.kind)).c_str(),
+            100.0 * s.stridedRepetitive / tot,
+            100.0 * s.nonStridedRepetitive / tot,
+            100.0 * s.stridedNonRepetitive / tot,
+            100.0 * s.nonStridedNonRepetitive / tot, strided);
+        row.metrics = {
+            {"strided_repetitive_pct",
+             100.0 * s.stridedRepetitive / tot},
+            {"non_strided_repetitive_pct",
+             100.0 * s.nonStridedRepetitive / tot},
+            {"strided_non_repetitive_pct",
+             100.0 * s.stridedNonRepetitive / tot},
+            {"non_strided_non_repetitive_pct",
+             100.0 * s.nonStridedNonRepetitive / tot},
+            {"strided_pct", strided},
+        };
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    const BenchBudgets budgets = parseBudgets(argc, argv);
-    auto runs = runGrid(kAllWorkloads, budgets);
+    const BenchOptions opts =
+        parseBenchArgs(argc, argv, "fig3_stride_breakdown");
+    const auto grid = standardGrid(kAllWorkloads, opts.budgets);
+    const auto results = runCells(grid, opts.driver());
+
+    std::vector<BenchCell> cells;
+    for (const CellResult &res : results)
+        cells.push_back(makeBenchCell(res, buildRows(res)));
 
     std::printf("Figure 3: strides and temporal streams\n");
     rule();
@@ -26,25 +77,11 @@ main(int argc, char **argv)
                 "context", "rep+str", "rep+nonstr", "nonrep+str",
                 "nonrep+ns", "strided");
     rule();
-    for (const RunOutput &r : runs) {
-        const StreamStats &s = r.streams;
-        const double tot = std::max<double>(
-            1.0, static_cast<double>(s.totalMisses));
-        const double strided =
-            100.0 * (s.stridedRepetitive + s.stridedNonRepetitive) /
-            tot;
-        std::printf(
-            "%-10s %-12s %9.1f%% %9.1f%% %9.1f%% %9.1f%% %7.1f%%\n",
-            std::string(workloadName(r.workload)).c_str(),
-            std::string(traceKindName(r.kind)).c_str(),
-            100.0 * s.stridedRepetitive / tot,
-            100.0 * s.nonStridedRepetitive / tot,
-            100.0 * s.stridedNonRepetitive / tot,
-            100.0 * s.nonStridedNonRepetitive / tot, strided);
-    }
+    printTable(cells, "strides");
 
     std::printf("\nPaper shape check: DSS most strided; web/OLTP mostly "
                 "non-strided; the\nstrided-and-repetitive overlap is "
                 "small outside DSS.\n");
-    return 0;
+    return emitReport(opts, "fig3_stride_breakdown", grid.size(),
+                      std::move(cells));
 }

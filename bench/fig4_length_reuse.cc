@@ -18,35 +18,90 @@
 using namespace tstream;
 using namespace tstream::bench;
 
+namespace
+{
+
+const std::vector<std::uint64_t> kLenPoints = {1,  2,   4,   8,  16,
+                                               32, 64,  128, 512,
+                                               1024, 4096};
+
+std::vector<BenchRow>
+buildRows(const CellResult &res)
+{
+    std::vector<BenchRow> rows;
+    for (const RunOutput &r : res.runs) {
+        {
+            WeightedCdf cdf;
+            for (const auto &[len, w] : r.streams.lengthWeighted)
+                cdf.add(len, w);
+            BenchRow row;
+            row.table = "length_cdf";
+            row.trace = std::string(traceKindName(r.kind));
+            row.text = strprintf(
+                "%-10s %-12s",
+                std::string(workloadName(r.workload)).c_str(),
+                std::string(traceKindName(r.kind)).c_str());
+            for (auto p : kLenPoints) {
+                row.text +=
+                    strprintf(" %6.1f%%", 100.0 * cdf.cumulativeAt(p));
+                row.metrics.emplace_back(
+                    strprintf("cdf_le_%llu",
+                              static_cast<unsigned long long>(p)),
+                    100.0 * cdf.cumulativeAt(p));
+            }
+            row.text += strprintf(" %6.0f",
+                                  r.streams.medianStreamLength());
+            row.metrics.emplace_back("median_length",
+                                     r.streams.medianStreamLength());
+            rows.push_back(std::move(row));
+        }
+        {
+            LogHistogram h(7, 1);
+            for (const auto &[dist, w] : r.streams.reuseWeighted)
+                h.add(dist == 0 ? 1 : dist, w);
+            BenchRow row;
+            row.table = "reuse_pdf";
+            row.trace = std::string(traceKindName(r.kind));
+            row.text = strprintf(
+                "%-10s %-12s",
+                std::string(workloadName(r.workload)).c_str(),
+                std::string(traceKindName(r.kind)).c_str());
+            for (int d = 0; d < 7; ++d) {
+                const double frac =
+                    100.0 * h.fraction(static_cast<std::size_t>(d));
+                row.text += strprintf("  %6.1f%%", frac);
+                row.metrics.emplace_back(
+                    strprintf("decade_1e%d_1e%d_pct", d, d + 1), frac);
+            }
+            rows.push_back(std::move(row));
+        }
+    }
+    return rows;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    const BenchBudgets budgets = parseBudgets(argc, argv);
-    auto runs = runGrid(kAllWorkloads, budgets);
+    const BenchOptions opts =
+        parseBenchArgs(argc, argv, "fig4_length_reuse");
+    const auto grid = standardGrid(kAllWorkloads, opts.budgets);
+    const auto results = runCells(grid, opts.driver());
 
-    const std::vector<std::uint64_t> lenPoints = {1,  2,   4,   8,  16,
-                                                  32, 64,  128, 512,
-                                                  1024, 4096};
+    std::vector<BenchCell> cells;
+    for (const CellResult &res : results)
+        cells.push_back(makeBenchCell(res, buildRows(res)));
 
     std::printf("Figure 4 (left): cumulative stream-length "
                 "distribution, weighted by contribution\n");
     rule();
     std::printf("%-10s %-12s", "app", "context");
-    for (auto p : lenPoints)
+    for (auto p : kLenPoints)
         std::printf(" <=%-5llu", static_cast<unsigned long long>(p));
     std::printf(" median\n");
     rule();
-    for (const RunOutput &r : runs) {
-        WeightedCdf cdf;
-        for (const auto &[len, w] : r.streams.lengthWeighted)
-            cdf.add(len, w);
-        std::printf("%-10s %-12s",
-                    std::string(workloadName(r.workload)).c_str(),
-                    std::string(traceKindName(r.kind)).c_str());
-        for (auto p : lenPoints)
-            std::printf(" %6.1f%%", 100.0 * cdf.cumulativeAt(p));
-        std::printf(" %6.0f\n", r.streams.medianStreamLength());
-    }
+    printTable(cells, "length_cdf");
 
     std::printf("\nFigure 4 (right): reuse-distance distribution "
                 "(weight = stream length),\nper-decade shares\n");
@@ -56,22 +111,11 @@ main(int argc, char **argv)
         std::printf("  1e%d-1e%d", d, d + 1);
     std::printf("\n");
     rule();
-    for (const RunOutput &r : runs) {
-        LogHistogram h(7, 1);
-        for (const auto &[dist, w] : r.streams.reuseWeighted)
-            h.add(dist == 0 ? 1 : dist, w);
-        std::printf("%-10s %-12s",
-                    std::string(workloadName(r.workload)).c_str(),
-                    std::string(traceKindName(r.kind)).c_str());
-        for (int d = 0; d < 7; ++d)
-            std::printf("  %6.1f%%", 100.0 * h.fraction(
-                                                 static_cast<std::size_t>(
-                                                     d)));
-        std::printf("\n");
-    }
+    printTable(cells, "reuse_pdf");
 
     std::printf("\nPaper shape check: median length ~8-10; heavy tail; "
                 "DSS step near 64-block\n(page) streams; multi-chip "
                 "reuse distances shorter than single-chip.\n");
-    return 0;
+    return emitReport(opts, "fig4_length_reuse", grid.size(),
+                      std::move(cells));
 }

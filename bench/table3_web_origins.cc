@@ -18,6 +18,7 @@ int
 main(int argc, char **argv)
 {
     return runOriginsTable(
+        "table3_web_origins",
         "Table 3: temporal stream origins in Web applications",
         {WorkloadKind::Apache, WorkloadKind::Zeus}, /*web=*/true,
         /*db=*/false, argc, argv);

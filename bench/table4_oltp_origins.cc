@@ -18,6 +18,7 @@ int
 main(int argc, char **argv)
 {
     return runOriginsTable(
+        "table4_oltp_origins",
         "Table 4: temporal stream origins in OLTP (DB2)",
         {WorkloadKind::Oltp}, /*web=*/false, /*db=*/true, argc, argv);
 }

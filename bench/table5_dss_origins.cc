@@ -17,6 +17,7 @@ int
 main(int argc, char **argv)
 {
     return runOriginsTable(
+        "table5_dss_origins",
         "Table 5: temporal stream origins in DSS (DB2)",
         {WorkloadKind::DssQ1, WorkloadKind::DssQ2, WorkloadKind::DssQ17},
         /*web=*/false, /*db=*/true, argc, argv);

@@ -1,7 +1,10 @@
 /**
  * @file
  * Shared driver for the Tables 3/4/5 benches: run one workload class
- * across the three contexts and print the per-category origin table.
+ * across the three contexts on the cell driver and print the
+ * per-category origin table. JSON rows carry one entry per category
+ * (label = category name) plus the overall row, each with the exact
+ * printed line and the two percentage columns as metrics.
  */
 
 #ifndef TSTREAM_BENCH_TABLE_ORIGINS_COMMON_HH
@@ -14,25 +17,59 @@ namespace tstream::bench
 
 /** Print one paper-style origins table for @p workloads. */
 inline int
-runOriginsTable(const char *title,
+runOriginsTable(const char *benchName, const char *title,
                 const std::vector<WorkloadKind> &workloads, bool web_rows,
                 bool db_rows, int argc, char **argv)
 {
-    const BenchBudgets budgets = parseBudgets(argc, argv);
-    auto runs = runGrid(workloads, budgets);
+    const BenchOptions opts = parseBenchArgs(argc, argv, benchName);
+    const auto grid = standardGrid(workloads, opts.budgets);
+    const auto results = runCells(grid, opts.driver());
+
+    std::vector<BenchCell> cells;
+    for (const CellResult &res : results) {
+        std::vector<BenchRow> rows;
+        for (const RunOutput &r : res.runs) {
+            for (Category c : moduleTableCategories(web_rows, db_rows)) {
+                BenchRow row;
+                row.table = "origins";
+                row.trace = std::string(traceKindName(r.kind));
+                row.label = std::string(categoryName(c));
+                row.text = renderModuleRow(r.modules, c);
+                row.metrics = {
+                    {"pct_misses", r.modules.pctMisses(c)},
+                    {"pct_in_streams", r.modules.pctInStreams(c)},
+                };
+                rows.push_back(std::move(row));
+            }
+            BenchRow overall;
+            overall.table = "origins";
+            overall.trace = std::string(traceKindName(r.kind));
+            overall.label = "overall";
+            overall.text = renderModuleOverallRow(r.modules);
+            overall.metrics = {
+                {"overall_pct_in_streams",
+                 r.modules.overallPctInStreams()},
+            };
+            rows.push_back(std::move(overall));
+        }
+        cells.push_back(makeBenchCell(res, std::move(rows)));
+    }
 
     std::printf("%s\n", title);
-    for (const RunOutput &r : runs) {
-        rule();
-        std::printf("%s / %s  (%zu misses)\n",
-                    std::string(workloadName(r.workload)).c_str(),
-                    std::string(traceKindName(r.kind)).c_str(),
-                    r.trace.misses.size());
-        rule();
-        std::printf("%s", renderModuleTable(r.modules, web_rows, db_rows)
-                              .c_str());
+    for (const CellResult &res : results) {
+        for (const RunOutput &r : res.runs) {
+            rule();
+            std::printf("%s / %s  (%zu misses)\n",
+                        std::string(workloadName(r.workload)).c_str(),
+                        std::string(traceKindName(r.kind)).c_str(),
+                        r.trace.misses.size());
+            rule();
+            std::printf("%s",
+                        renderModuleTable(r.modules, web_rows, db_rows)
+                            .c_str());
+        }
     }
-    return 0;
+    return emitReport(opts, benchName, grid.size(), std::move(cells));
 }
 
 } // namespace tstream::bench

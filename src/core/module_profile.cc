@@ -25,52 +25,71 @@ profileModules(const MissTrace &trace, const StreamStats &stats,
     return p;
 }
 
+std::vector<Category>
+moduleTableCategories(bool web_rows, bool db_rows)
+{
+    std::vector<Category> cats = {
+        Category::Uncategorized,    Category::BulkMemoryCopies,
+        Category::SystemCalls,      Category::KernelScheduler,
+        Category::KernelMmuTrap,    Category::KernelSync,
+        Category::KernelOther,
+    };
+    if (web_rows) {
+        for (Category c :
+             {Category::KernelStreams, Category::KernelIpAssembly,
+              Category::WebWorker, Category::CgiPerlInput,
+              Category::CgiPerlEngine, Category::CgiPerlOther})
+            cats.push_back(c);
+    }
+    if (db_rows) {
+        for (Category c :
+             {Category::KernelBlockDev, Category::DbIndexPageTuple,
+              Category::DbRequestControl, Category::DbIpc,
+              Category::DbRuntimeInterp, Category::DbOther})
+            cats.push_back(c);
+    }
+    return cats;
+}
+
+std::string
+renderModuleRow(const ModuleProfile &p, Category c)
+{
+    char line[160];
+    std::snprintf(line, sizeof(line), "  %-38s %7.1f%% %10.1f%%",
+                  std::string(categoryName(c)).c_str(), p.pctMisses(c),
+                  p.pctInStreams(c));
+    return line;
+}
+
+std::string
+renderModuleOverallRow(const ModuleProfile &p)
+{
+    char line[160];
+    std::snprintf(line, sizeof(line), "  %-38s %8s %10.1f%%",
+                  "Overall % in streams", "", p.overallPctInStreams());
+    return line;
+}
+
 std::string
 renderModuleTable(const ModuleProfile &p, bool web_rows, bool db_rows)
 {
     std::string out;
     char line[160];
 
-    auto emit = [&](Category c) {
-        std::snprintf(line, sizeof(line), "  %-38s %7.1f%% %10.1f%%\n",
-                      std::string(categoryName(c)).c_str(),
-                      p.pctMisses(c), p.pctInStreams(c));
-        out += line;
-    };
-
     std::snprintf(line, sizeof(line), "  %-38s %8s %11s\n", "Category",
                   "% misses", "% in streams");
     out += line;
 
-    emit(Category::Uncategorized);
-    out += "  -- Cross-application categories --\n";
-    emit(Category::BulkMemoryCopies);
-    emit(Category::SystemCalls);
-    emit(Category::KernelScheduler);
-    emit(Category::KernelMmuTrap);
-    emit(Category::KernelSync);
-    emit(Category::KernelOther);
-    if (web_rows) {
-        out += "  -- Web-specific categories --\n";
-        emit(Category::KernelStreams);
-        emit(Category::KernelIpAssembly);
-        emit(Category::WebWorker);
-        emit(Category::CgiPerlInput);
-        emit(Category::CgiPerlEngine);
-        emit(Category::CgiPerlOther);
+    for (Category c : moduleTableCategories(web_rows, db_rows)) {
+        if (c == Category::BulkMemoryCopies)
+            out += "  -- Cross-application categories --\n";
+        else if (c == Category::KernelStreams)
+            out += "  -- Web-specific categories --\n";
+        else if (c == Category::KernelBlockDev)
+            out += "  -- DB2-specific categories --\n";
+        out += renderModuleRow(p, c) + "\n";
     }
-    if (db_rows) {
-        out += "  -- DB2-specific categories --\n";
-        emit(Category::KernelBlockDev);
-        emit(Category::DbIndexPageTuple);
-        emit(Category::DbRequestControl);
-        emit(Category::DbIpc);
-        emit(Category::DbRuntimeInterp);
-        emit(Category::DbOther);
-    }
-    std::snprintf(line, sizeof(line), "  %-38s %8s %10.1f%%\n",
-                  "Overall % in streams", "", p.overallPctInStreams());
-    out += line;
+    out += renderModuleOverallRow(p) + "\n";
     return out;
 }
 

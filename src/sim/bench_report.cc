@@ -1,0 +1,452 @@
+#include "sim/bench_report.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tstream
+{
+
+namespace
+{
+
+std::string
+hashToHex(std::uint64_t h)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016" PRIx64, h);
+    return buf;
+}
+
+bool
+hexToHash(const std::string &s, std::uint64_t &out)
+{
+    if (s.size() != 16)
+        return false;
+    char *end = nullptr;
+    out = std::strtoull(s.c_str(), &end, 16);
+    return end && *end == '\0';
+}
+
+} // namespace
+
+BenchCell
+makeBenchCell(const CellResult &res, std::vector<BenchRow> rows)
+{
+    BenchCell c;
+    c.index = res.cell.index;
+    c.id = res.cell.id;
+    c.workload = std::string(workloadName(res.cell.cfg.workload));
+    c.context = std::string(contextName(res.cell.cfg.context));
+    c.configHash = configHash(res.cell.cfg);
+    c.cacheHit = res.cacheHit;
+    c.wallSeconds = res.wallSeconds;
+    c.instructions = res.instructions;
+    c.rows = std::move(rows);
+    return c;
+}
+
+json::Value
+benchDocToJson(const BenchDoc &doc)
+{
+    json::Value v = json::Value::object();
+    v["schema"] = json::Value(kBenchDocSchema);
+    v["bench"] = json::Value(doc.bench);
+    v["quick"] = json::Value(doc.quick);
+
+    json::Value budgets = json::Value::object();
+    budgets["warmup"] = json::Value(doc.budgets.warmup);
+    budgets["measure"] = json::Value(doc.budgets.measure);
+    budgets["scale"] = json::Value(doc.budgets.scale);
+    v["budgets"] = std::move(budgets);
+
+    v["grid_cells"] = json::Value(
+        static_cast<std::uint64_t>(doc.gridCells));
+
+    json::Value shard = json::Value::object();
+    shard["index"] = json::Value(doc.shard.index);
+    shard["count"] = json::Value(doc.shard.count);
+    v["shard"] = std::move(shard);
+    v["jobs"] = json::Value(doc.jobs);
+
+    json::Value cells = json::Value::array();
+    for (const BenchCell &c : doc.cells) {
+        json::Value jc = json::Value::object();
+        jc["index"] = json::Value(static_cast<std::uint64_t>(c.index));
+        jc["id"] = json::Value(c.id);
+        jc["workload"] = json::Value(c.workload);
+        jc["context"] = json::Value(c.context);
+        jc["config_hash"] = json::Value(hashToHex(c.configHash));
+        jc["cache_hit"] = json::Value(c.cacheHit);
+        jc["wall_seconds"] = json::Value(c.wallSeconds);
+        jc["instructions"] = json::Value(c.instructions);
+
+        json::Value rows = json::Value::array();
+        for (const BenchRow &r : c.rows) {
+            json::Value jr = json::Value::object();
+            jr["table"] = json::Value(r.table);
+            jr["trace"] = json::Value(r.trace);
+            if (!r.label.empty())
+                jr["label"] = json::Value(r.label);
+            jr["text"] = json::Value(r.text);
+            json::Value metrics = json::Value::object();
+            for (const auto &[name, value] : r.metrics)
+                metrics[name] = json::Value(value);
+            jr["metrics"] = std::move(metrics);
+            rows.push(std::move(jr));
+        }
+        jc["rows"] = std::move(rows);
+        cells.push(std::move(jc));
+    }
+    v["cells"] = std::move(cells);
+    return v;
+}
+
+namespace
+{
+
+const json::Value *
+need(const json::Value &v, const char *key, std::string &err)
+{
+    const json::Value *f = v.find(key);
+    if (!f)
+        err = std::string("missing field: ") + key;
+    return f;
+}
+
+} // namespace
+
+bool
+benchDocFromJson(const json::Value &v, BenchDoc &out, std::string &err)
+{
+    if (!v.isObject()) {
+        err = "bench document is not an object";
+        return false;
+    }
+    const json::Value *schema = need(v, "schema", err);
+    if (!schema)
+        return false;
+    if (schema->asString() != kBenchDocSchema) {
+        err = "unsupported schema: " + schema->asString();
+        return false;
+    }
+
+    const json::Value *bench = need(v, "bench", err);
+    const json::Value *budgets = need(v, "budgets", err);
+    const json::Value *grid = need(v, "grid_cells", err);
+    const json::Value *cells = need(v, "cells", err);
+    if (!bench || !budgets || !grid || !cells)
+        return false;
+    if (!budgets->isObject() || !cells->isArray()) {
+        err = "malformed budgets/cells";
+        return false;
+    }
+
+    out = BenchDoc{};
+    out.bench = bench->asString();
+    if (const json::Value *q = v.find("quick"))
+        out.quick = q->asBool();
+    const json::Value *warm = need(*budgets, "warmup", err);
+    const json::Value *meas = need(*budgets, "measure", err);
+    const json::Value *scale = need(*budgets, "scale", err);
+    if (!warm || !meas || !scale)
+        return false;
+    out.budgets.warmup = warm->asUint();
+    out.budgets.measure = meas->asUint();
+    out.budgets.scale = scale->asDouble();
+    out.gridCells = static_cast<std::size_t>(grid->asUint());
+    if (const json::Value *shard = v.find("shard")) {
+        if (const json::Value *i = shard->find("index"))
+            out.shard.index = static_cast<unsigned>(i->asUint());
+        if (const json::Value *n = shard->find("count"))
+            out.shard.count = static_cast<unsigned>(n->asUint());
+    }
+    if (const json::Value *jobs = v.find("jobs"))
+        out.jobs = static_cast<unsigned>(jobs->asUint());
+
+    for (const json::Value &jc : cells->items()) {
+        BenchCell c;
+        const json::Value *index = need(jc, "index", err);
+        const json::Value *id = need(jc, "id", err);
+        const json::Value *hash = need(jc, "config_hash", err);
+        const json::Value *rows = need(jc, "rows", err);
+        if (!index || !id || !hash || !rows)
+            return false;
+        c.index = static_cast<std::size_t>(index->asUint());
+        c.id = id->asString();
+        if (const json::Value *w = jc.find("workload"))
+            c.workload = w->asString();
+        if (const json::Value *ctx = jc.find("context"))
+            c.context = ctx->asString();
+        if (!hexToHash(hash->asString(), c.configHash)) {
+            err = "cell " + c.id + ": bad config_hash";
+            return false;
+        }
+        if (const json::Value *f = jc.find("cache_hit"))
+            c.cacheHit = f->asBool();
+        if (const json::Value *f = jc.find("wall_seconds"))
+            c.wallSeconds = f->asDouble();
+        if (const json::Value *f = jc.find("instructions"))
+            c.instructions = f->asUint();
+        if (!rows->isArray()) {
+            err = "cell " + c.id + ": rows is not an array";
+            return false;
+        }
+        for (const json::Value &jr : rows->items()) {
+            BenchRow r;
+            if (const json::Value *f = jr.find("table"))
+                r.table = f->asString();
+            if (const json::Value *f = jr.find("trace"))
+                r.trace = f->asString();
+            if (const json::Value *f = jr.find("label"))
+                r.label = f->asString();
+            const json::Value *text = need(jr, "text", err);
+            if (!text)
+                return false;
+            r.text = text->asString();
+            if (const json::Value *metrics = jr.find("metrics"))
+                for (const auto &[name, value] : metrics->members())
+                    r.metrics.emplace_back(name, value.asDouble());
+            c.rows.push_back(std::move(r));
+        }
+        out.cells.push_back(std::move(c));
+    }
+    return true;
+}
+
+bool
+writeBenchDoc(const BenchDoc &doc, const std::string &path,
+              std::string &err)
+{
+    return json::writeFile(benchDocToJson(doc), path, err);
+}
+
+json::Value
+combinedReportToJson(const std::vector<BenchDoc> &docs)
+{
+    json::Value v = json::Value::object();
+    v["schema"] = json::Value(kBenchReportSchema);
+    json::Value benches = json::Value::array();
+    for (const BenchDoc &doc : docs)
+        benches.push(benchDocToJson(doc));
+    v["benches"] = std::move(benches);
+    return v;
+}
+
+bool
+readBenchDocs(const std::string &path, std::vector<BenchDoc> &out,
+              std::string &err)
+{
+    json::Value v;
+    if (!json::parseFile(path, v, err))
+        return false;
+    const json::Value *schema = v.find("schema");
+    if (!schema) {
+        err = path + ": not a bench report (no schema field)";
+        return false;
+    }
+    if (schema->asString() == kBenchDocSchema) {
+        BenchDoc doc;
+        if (!benchDocFromJson(v, doc, err)) {
+            err = path + ": " + err;
+            return false;
+        }
+        out.push_back(std::move(doc));
+        return true;
+    }
+    if (schema->asString() == kBenchReportSchema) {
+        const json::Value *benches = v.find("benches");
+        if (!benches || !benches->isArray()) {
+            err = path + ": combined report without benches array";
+            return false;
+        }
+        for (const json::Value &jb : benches->items()) {
+            BenchDoc doc;
+            if (!benchDocFromJson(jb, doc, err)) {
+                err = path + ": " + err;
+                return false;
+            }
+            out.push_back(std::move(doc));
+        }
+        return true;
+    }
+    err = path + ": unsupported schema " + schema->asString();
+    return false;
+}
+
+namespace
+{
+
+bool
+rowsEqual(const BenchRow &a, const BenchRow &b, std::string &why)
+{
+    if (a.table != b.table || a.trace != b.trace ||
+        a.label != b.label) {
+        why = "row keys differ (" + a.table + "/" + a.trace + " vs " +
+              b.table + "/" + b.trace + ")";
+        return false;
+    }
+    if (a.text != b.text) {
+        why = "row text differs:\n  a: " + a.text + "\n  b: " + b.text;
+        return false;
+    }
+    if (a.metrics.size() != b.metrics.size()) {
+        why = "row metric counts differ for " + a.table + "/" + a.trace;
+        return false;
+    }
+    for (std::size_t i = 0; i < a.metrics.size(); ++i) {
+        if (a.metrics[i].first != b.metrics[i].first ||
+            a.metrics[i].second != b.metrics[i].second) {
+            char buf[64];
+            std::snprintf(buf, sizeof buf, " (%.17g vs %.17g)",
+                          a.metrics[i].second, b.metrics[i].second);
+            why = "metric " + a.metrics[i].first + " differs in row " +
+                  a.table + "/" + a.trace + buf;
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+cellsEqual(const BenchCell &a, const BenchCell &b, std::string &why)
+{
+    if (a.index != b.index || a.id != b.id ||
+        a.workload != b.workload || a.context != b.context) {
+        why = "cell identity differs (" + a.id + " vs " + b.id + ")";
+        return false;
+    }
+    if (a.configHash != b.configHash) {
+        why = "cell " + a.id + ": config hashes differ (" +
+              hashToHex(a.configHash) + " vs " +
+              hashToHex(b.configHash) + ")";
+        return false;
+    }
+    if (a.instructions != b.instructions) {
+        why = "cell " + a.id + ": simulated instructions differ";
+        return false;
+    }
+    if (a.rows.size() != b.rows.size()) {
+        why = "cell " + a.id + ": row counts differ";
+        return false;
+    }
+    for (std::size_t i = 0; i < a.rows.size(); ++i)
+        if (!rowsEqual(a.rows[i], b.rows[i], why)) {
+            why = "cell " + a.id + ": " + why;
+            return false;
+        }
+    return true;
+}
+
+bool
+headersCompatible(const BenchDoc &a, const BenchDoc &b,
+                  std::string &why)
+{
+    if (a.bench != b.bench) {
+        why = "bench names differ (" + a.bench + " vs " + b.bench + ")";
+        return false;
+    }
+    if (a.quick != b.quick || a.budgets.warmup != b.budgets.warmup ||
+        a.budgets.measure != b.budgets.measure ||
+        a.budgets.scale != b.budgets.scale) {
+        why = "budgets differ for bench " + a.bench;
+        return false;
+    }
+    if (a.gridCells != b.gridCells) {
+        why = "grid sizes differ for bench " + a.bench;
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+mergeBenchDocs(const std::vector<BenchDoc> &docs, BenchDoc &out,
+               std::string &err)
+{
+    if (docs.empty()) {
+        err = "nothing to merge";
+        return false;
+    }
+    out = BenchDoc{};
+    out.bench = docs[0].bench;
+    out.quick = docs[0].quick;
+    out.budgets = docs[0].budgets;
+    out.gridCells = docs[0].gridCells;
+    out.shard = ShardSpec{0, 1};
+    for (const BenchDoc &doc : docs) {
+        if (!headersCompatible(docs[0], doc, err))
+            return false;
+        out.jobs = std::max(out.jobs, doc.jobs);
+    }
+
+    for (const BenchDoc &doc : docs)
+        for (const BenchCell &cell : doc.cells) {
+            auto dup = std::find_if(
+                out.cells.begin(), out.cells.end(),
+                [&](const BenchCell &c) {
+                    return c.index == cell.index;
+                });
+            if (dup != out.cells.end()) {
+                std::string why;
+                if (!cellsEqual(*dup, cell, why)) {
+                    err = "conflicting duplicates of cell " + cell.id +
+                          ": " + why;
+                    return false;
+                }
+                continue;
+            }
+            out.cells.push_back(cell);
+        }
+
+    std::sort(out.cells.begin(), out.cells.end(),
+              [](const BenchCell &a, const BenchCell &b) {
+                  return a.index < b.index;
+              });
+
+    std::string missing;
+    std::size_t next = 0;
+    for (const BenchCell &c : out.cells) {
+        for (; next < c.index; ++next)
+            missing += (missing.empty() ? "" : ", ") +
+                       std::to_string(next);
+        next = c.index + 1;
+    }
+    for (; next < out.gridCells; ++next)
+        missing +=
+            (missing.empty() ? "" : ", ") + std::to_string(next);
+    if (!missing.empty()) {
+        err = "bench " + out.bench +
+              ": merged shards do not cover the grid; missing cell "
+              "indexes: " +
+              missing;
+        return false;
+    }
+    if (out.cells.size() != out.gridCells) {
+        err = "bench " + out.bench + ": cell indexes out of range";
+        return false;
+    }
+    return true;
+}
+
+bool
+benchDocsEquivalent(const BenchDoc &a, const BenchDoc &b,
+                    std::string &why)
+{
+    if (!headersCompatible(a, b, why))
+        return false;
+    if (a.cells.size() != b.cells.size()) {
+        why = "bench " + a.bench + ": cell counts differ (" +
+              std::to_string(a.cells.size()) + " vs " +
+              std::to_string(b.cells.size()) + ")";
+        return false;
+    }
+    for (std::size_t i = 0; i < a.cells.size(); ++i)
+        if (!cellsEqual(a.cells[i], b.cells[i], why))
+            return false;
+    return true;
+}
+
+} // namespace tstream

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Versioned machine-readable bench reports — the `--json` output of
+ * every figure/table bench and the interchange format of the
+ * tstream-bench front-end.
+ *
+ * One *bench document* (schema "tstream-bench/v1") describes one
+ * bench binary's (possibly sharded) run: the budgets, the total grid
+ * size, and one entry per executed cell carrying the cell id, its
+ * configHash() provenance, wall/sim time, and the bench's rows — each
+ * row holds both the exact printed table line (`text`) and the named
+ * numeric metrics behind it, so a JSON report is bit-identical to the
+ * printed table and still machine-comparable. Shard documents of the
+ * same bench merge into the unsharded document (exact cover of the
+ * grid is verified); equivalence ignores non-deterministic fields
+ * (wall time, cache hits, jobs, shard) so "merged 2-shard run equals
+ * unsharded run" is a checkable invariant. Several bench documents
+ * bundle into a *combined report* (schema "tstream-bench-report/v1").
+ *
+ * Field-by-field schema documentation: docs/BENCHMARKING.md.
+ */
+
+#ifndef TSTREAM_SIM_BENCH_REPORT_HH
+#define TSTREAM_SIM_BENCH_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/driver.hh"
+#include "util/json.hh"
+
+namespace tstream
+{
+
+inline constexpr std::string_view kBenchDocSchema = "tstream-bench/v1";
+inline constexpr std::string_view kBenchReportSchema =
+    "tstream-bench-report/v1";
+
+/** One printed table row with its machine-readable metrics. */
+struct BenchRow
+{
+    std::string table; ///< which printed table/panel the row is in
+    std::string trace; ///< trace kind or sweep key ("multi-chip", "4MB")
+    std::string label; ///< optional sub-key (e.g. origin category)
+    std::string text;  ///< the exact printed line (no trailing newline)
+    std::vector<std::pair<std::string, double>> metrics;
+};
+
+/** One executed cell inside a bench document. */
+struct BenchCell
+{
+    std::size_t index = 0;
+    std::string id;
+    std::string workload;
+    std::string context;
+    std::uint64_t configHash = 0;
+    bool cacheHit = false;
+    double wallSeconds = 0.0;
+    std::uint64_t instructions = 0;
+    std::vector<BenchRow> rows;
+};
+
+/** One bench binary's (possibly sharded) run. */
+struct BenchDoc
+{
+    std::string bench; ///< binary name, e.g. "fig2_stream_fraction"
+    bool quick = false;
+    BenchBudgets budgets;
+    std::size_t gridCells = 0; ///< total grid size (cover check)
+    ShardSpec shard;
+    unsigned jobs = 0;
+    std::vector<BenchCell> cells; ///< ascending by index
+};
+
+/** Build a report cell from a driver result plus the bench's rows. */
+BenchCell makeBenchCell(const CellResult &res,
+                        std::vector<BenchRow> rows);
+
+json::Value benchDocToJson(const BenchDoc &doc);
+
+/** Parse one bench document; false + @p err on schema mismatch. */
+bool benchDocFromJson(const json::Value &v, BenchDoc &out,
+                      std::string &err);
+
+/** Serialize @p doc to @p path (pretty JSON). */
+bool writeBenchDoc(const BenchDoc &doc, const std::string &path,
+                   std::string &err);
+
+/** A combined report bundling several bench documents. */
+json::Value combinedReportToJson(const std::vector<BenchDoc> &docs);
+
+/**
+ * Read bench documents from @p path: accepts a single bench document
+ * or a combined report (appends every contained document).
+ */
+bool readBenchDocs(const std::string &path, std::vector<BenchDoc> &out,
+                   std::string &err);
+
+/**
+ * Merge shard documents of one bench into the unsharded document:
+ * headers (bench, quick, budgets, grid size) must agree, duplicate
+ * cells must be equivalent, and the union must cover every grid index
+ * exactly — a missing cell is an error naming the absent indexes.
+ */
+bool mergeBenchDocs(const std::vector<BenchDoc> &docs, BenchDoc &out,
+                    std::string &err);
+
+/**
+ * Deterministic-content equivalence: bench, quick, budgets, grid
+ * size, and every cell's (index, id, workload, context, configHash,
+ * instructions, rows) must match exactly; wallSeconds, cacheHit,
+ * jobs and shard are execution details and ignored. On mismatch
+ * @p why describes the first difference.
+ */
+bool benchDocsEquivalent(const BenchDoc &a, const BenchDoc &b,
+                         std::string &why);
+
+} // namespace tstream
+
+#endif // TSTREAM_SIM_BENCH_REPORT_HH

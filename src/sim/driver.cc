@@ -1,0 +1,356 @@
+#include "sim/driver.hh"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <thread>
+
+#include "trace/trace_io.hh"
+#include "util/work_pool.hh"
+
+namespace tstream
+{
+
+std::string_view
+traceKindName(TraceKind k)
+{
+    switch (k) {
+      case TraceKind::MultiChip: return "multi-chip";
+      case TraceKind::SingleChip: return "single-chip";
+      case TraceKind::IntraChip: return "intra-chip";
+    }
+    return "?";
+}
+
+bool
+parseShardSpec(std::string_view text, ShardSpec &out)
+{
+    const std::size_t slash = text.find('/');
+    if (slash == std::string_view::npos || slash == 0 ||
+        slash + 1 >= text.size())
+        return false;
+    const std::string k(text.substr(0, slash));
+    const std::string n(text.substr(slash + 1));
+    char *end = nullptr;
+    const unsigned long ki = std::strtoul(k.c_str(), &end, 10);
+    if (!end || *end != '\0')
+        return false;
+    const unsigned long ni = std::strtoul(n.c_str(), &end, 10);
+    if (!end || *end != '\0')
+        return false;
+    if (ni == 0 || ki >= ni)
+        return false;
+    out.index = static_cast<unsigned>(ki);
+    out.count = static_cast<unsigned>(ni);
+    return true;
+}
+
+std::vector<Cell>
+standardGrid(const std::vector<WorkloadKind> &workloads,
+             const BenchBudgets &budgets)
+{
+    std::vector<Cell> grid;
+    grid.reserve(workloads.size() * 2);
+    for (WorkloadKind w : workloads) {
+        for (SystemContext ctx :
+             {SystemContext::MultiChip, SystemContext::SingleChip}) {
+            Cell c;
+            c.index = grid.size();
+            c.cfg.workload = w;
+            c.cfg.context = ctx;
+            c.cfg.warmupInstructions = budgets.warmup;
+            c.cfg.measureInstructions = budgets.measure;
+            c.cfg.scale = budgets.scale;
+            c.id = std::string(workloadName(w)) + "/" +
+                   std::string(contextName(ctx));
+            grid.push_back(std::move(c));
+        }
+    }
+    return grid;
+}
+
+std::vector<Cell>
+shardCells(const std::vector<Cell> &grid, const ShardSpec &shard)
+{
+    std::vector<Cell> mine;
+    for (const Cell &c : grid)
+        if (shard.owns(c.index))
+            mine.push_back(c);
+    return mine;
+}
+
+namespace
+{
+
+CellResult
+runCell(const Cell &cell, const DriverOptions &opts)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+
+    CellResult out;
+    out.cell = cell;
+
+    ExperimentResult res;
+    if (auto cached = traceCacheLoad(cell.cfg)) {
+        res = std::move(*cached);
+        out.cacheHit = true;
+    } else {
+        res = runExperiment(cell.cfg);
+        traceCacheStore(cell.cfg, res);
+    }
+    out.instructions = res.instructions;
+
+    auto analyze = [&](MissTrace &&trace, TraceKind kind) {
+        RunOutput r;
+        r.workload = cell.cfg.workload;
+        r.kind = kind;
+        r.trace = std::move(trace);
+        if (opts.analyzeStreams) {
+            r.streams = analyzeStreams(r.trace);
+            r.modules = profileModules(r.trace, r.streams, res.registry);
+        }
+        return r;
+    };
+
+    if (cell.cfg.context == SystemContext::MultiChip) {
+        out.runs.push_back(
+            analyze(std::move(res.offChip), TraceKind::MultiChip));
+    } else {
+        out.runs.push_back(
+            analyze(std::move(res.offChip), TraceKind::SingleChip));
+        out.runs.push_back(analyze(opts.filterIntra
+                                       ? res.intraChipOnChip()
+                                       : std::move(res.intraChip),
+                                   TraceKind::IntraChip));
+    }
+
+    out.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    return out;
+}
+
+} // namespace
+
+std::vector<CellResult>
+runCells(const std::vector<Cell> &grid, const DriverOptions &opts)
+{
+    const std::vector<Cell> mine = shardCells(grid, opts.shard);
+
+    std::vector<CellResult> out(mine.size());
+    WorkPool pool(opts.jobs);
+    for (std::size_t i = 0; i < mine.size(); ++i)
+        pool.submit(
+            [&, i] { out[i] = runCell(mine[i], opts); });
+    pool.wait();
+    return out;
+}
+
+// ---- bench command line -----------------------------------------------------
+
+namespace
+{
+
+[[noreturn]] void
+benchUsage(const char *benchName, const char *msg, int status)
+{
+    std::FILE *to = status == 0 ? stdout : stderr;
+    if (msg)
+        std::fprintf(to, "%s: %s\n\n", benchName, msg);
+    std::fprintf(to,
+        "usage: %s [options]\n"
+        "\n"
+        "options:\n"
+        "  --quick        reduced smoke budgets (also: TSTREAM_QUICK=1)\n"
+        "  --jobs N       worker threads for the cell pool\n"
+        "                 (also: TSTREAM_JOBS=N; default: hardware)\n"
+        "  --shard k/N    run only grid cells with index %% N == k\n"
+        "                 (also: TSTREAM_SHARD=k/N; default 0/1)\n"
+        "  --json PATH    write a machine-readable report (schema in\n"
+        "                 docs/BENCHMARKING.md) next to the table\n"
+        "  --help         this message\n"
+        "\n"
+        "See docs/BENCHMARKING.md for sharded multi-process recipes\n"
+        "and the trace cache (TSTREAM_TRACE_CACHE).\n",
+        benchName);
+    std::exit(status);
+}
+
+} // namespace
+
+BenchOptions
+parseBenchArgs(int argc, char **argv, const char *benchName)
+{
+    BenchOptions opts;
+    opts.quick = std::getenv("TSTREAM_QUICK") != nullptr;
+    if (const char *env = std::getenv("TSTREAM_SHARD"))
+        if (!parseShardSpec(env, opts.shard))
+            benchUsage(benchName, "bad TSTREAM_SHARD (want k/N)", 2);
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        auto value = [&](const char *what) -> const char * {
+            if (i + 1 >= argc)
+                benchUsage(benchName,
+                           (std::string("missing value for ") + what)
+                               .c_str(),
+                           2);
+            return argv[++i];
+        };
+        if (arg == "--quick") {
+            opts.quick = true;
+        } else if (arg == "--jobs") {
+            const char *v = value("--jobs");
+            char *end = nullptr;
+            const long n = std::strtol(v, &end, 10);
+            if (!end || *end != '\0' || n <= 0)
+                benchUsage(benchName, "--jobs wants a positive integer",
+                           2);
+            opts.jobs = static_cast<unsigned>(n);
+        } else if (arg == "--shard") {
+            if (!parseShardSpec(value("--shard"), opts.shard))
+                benchUsage(benchName, "--shard wants k/N with k < N", 2);
+        } else if (arg == "--json") {
+            opts.jsonPath = value("--json");
+        } else if (arg == "--help" || arg == "-h") {
+            benchUsage(benchName, nullptr, 0);
+        } else {
+            // Reject anything unrecognized: a typo like --qiuck must
+            // not silently run at paper scale for hours.
+            benchUsage(benchName,
+                       (std::string("unknown option: ") +
+                        std::string(arg))
+                           .c_str(),
+                       2);
+        }
+    }
+
+    if (opts.quick) {
+        opts.budgets.warmup = kQuickBudgets.warmupInstructions;
+        opts.budgets.measure = kQuickBudgets.measureInstructions;
+        opts.budgets.scale = kQuickBudgets.scale;
+    }
+    return opts;
+}
+
+// ---- trace cache ------------------------------------------------------------
+
+std::string
+traceCacheStem(const ExperimentConfig &cfg)
+{
+    const char *dir = std::getenv("TSTREAM_TRACE_CACHE");
+    if (!dir || !*dir)
+        return {};
+    char hash[17];
+    std::snprintf(hash, sizeof hash, "%016" PRIx64, configHash(cfg));
+    return std::string(dir) + "/" +
+           std::string(workloadName(cfg.workload)) + "-" +
+           std::string(contextName(cfg.context)) + "-" + hash;
+}
+
+std::optional<ExperimentResult>
+traceCacheLoad(const ExperimentConfig &cfg)
+{
+    const std::string stem = traceCacheStem(cfg);
+    if (stem.empty())
+        return std::nullopt;
+
+    auto reader = TraceReader::open(stem + ".off.tst");
+    if (!reader)
+        return std::nullopt;
+    auto offChip = reader->readAll();
+    auto registry = reader->functions();
+    if (!offChip || !registry)
+        return std::nullopt;
+
+    ExperimentResult res;
+    res.offChip = std::move(*offChip);
+    res.registry = std::move(*registry);
+    res.instructions = res.offChip.instructions;
+    if (cfg.context == SystemContext::SingleChip) {
+        auto intra = loadTrace(stem + ".l1.tst");
+        if (!intra)
+            return std::nullopt;
+        res.intraChip = std::move(*intra);
+    }
+    std::fprintf(stderr,
+                 "[trace-cache] hit %s (skipping simulation)\n",
+                 stem.c_str());
+    return res;
+}
+
+namespace
+{
+
+/** Write via a writer-unique temp name, then rename into place. The
+ *  pid + thread id makes the name unique across the concurrent
+ *  processes that may race on one shared cache cell. */
+bool
+saveTraceAtomic(const MissTrace &trace, const std::string &path,
+                const TraceWriteOptions &opts)
+{
+    char suffix[64];
+    std::snprintf(suffix, sizeof suffix, ".tmp.%ld.%ld",
+                  static_cast<long>(::getpid()),
+                  static_cast<long>(
+                      std::hash<std::thread::id>{}(
+                          std::this_thread::get_id()) &
+                      0x7fffffff));
+    const std::string tmp = path + suffix;
+    if (!saveTrace(trace, tmp, opts))
+        return false;
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp, ec);
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+void
+traceCacheStore(const ExperimentConfig &cfg,
+                const ExperimentResult &res)
+{
+    const std::string stem = traceCacheStem(cfg);
+    if (stem.empty())
+        return;
+
+    // Create the cache directory (and any shard-specific parents the
+    // operator baked into TSTREAM_TRACE_CACHE) on first use instead of
+    // failing every cell store against a missing directory.
+    const std::filesystem::path dir =
+        std::filesystem::path(stem).parent_path();
+    std::error_code ec;
+    if (!dir.empty() && !std::filesystem::exists(dir, ec)) {
+        std::filesystem::create_directories(dir, ec);
+        if (ec) {
+            std::fprintf(stderr,
+                         "[trace-cache] cannot create %s: %s\n",
+                         dir.string().c_str(), ec.message().c_str());
+            return;
+        }
+    }
+
+    TraceWriteOptions opts;
+    opts.configHash = configHash(cfg);
+    opts.registry = &res.registry;
+    opts.kind = TraceContentKind::OffChip;
+    bool ok = saveTraceAtomic(res.offChip, stem + ".off.tst", opts);
+    if (ok && cfg.context == SystemContext::SingleChip) {
+        opts.kind = TraceContentKind::IntraChip;
+        ok = saveTraceAtomic(res.intraChip, stem + ".l1.tst", opts);
+    }
+    std::fprintf(stderr, "[trace-cache] %s %s\n",
+                 ok ? "saved" : "failed to save", stem.c_str());
+}
+
+} // namespace tstream

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Sharded cell-level experiment driver.
+ *
+ * The paper's results form a (workload x context x budget) grid; this
+ * driver enumerates that grid as independent *cells*, executes them on
+ * a bounded work-stealing thread pool (util/work_pool.hh) sized by
+ * --jobs / TSTREAM_JOBS, and supports deterministic multi-process
+ * sharding via --shard k/N / TSTREAM_SHARD=k/N: shard k owns exactly
+ * the cells whose grid index is congruent to k mod N, so the N shards
+ * are a disjoint exact cover of the grid for any N and a merged run
+ * equals an unsharded one cell-for-cell. All shards can point at one
+ * TSTREAM_TRACE_CACHE directory (cells are keyed on configHash(), and
+ * distinct shards own distinct cells, so they never write the same
+ * file). Results always come back in deterministic grid order,
+ * independent of the job count, so printed tables and --json reports
+ * (sim/bench_report.hh) are reproducible.
+ *
+ * Every figure/table bench binary (bench/) is a thin main() over this
+ * driver; docs/BENCHMARKING.md is the operator's guide.
+ */
+
+#ifndef TSTREAM_SIM_DRIVER_HH
+#define TSTREAM_SIM_DRIVER_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/module_profile.hh"
+#include "core/stream_analysis.hh"
+#include "sim/experiment.hh"
+
+namespace tstream
+{
+
+/** The paper's three analysis contexts (trace kinds). */
+enum class TraceKind
+{
+    MultiChip,  ///< off-chip trace of the 16-node DSM
+    SingleChip, ///< off-chip trace of the 4-core CMP
+    IntraChip,  ///< on-chip-satisfied L1 misses of the CMP
+};
+
+std::string_view traceKindName(TraceKind k);
+
+/** Instruction budgets for one sweep (presets in sim/experiment.hh). */
+struct BenchBudgets
+{
+    std::uint64_t warmup = kPaperBudgets.warmupInstructions;
+    std::uint64_t measure = kPaperBudgets.measureInstructions;
+    double scale = kPaperBudgets.scale;
+};
+
+/** Deterministic k-of-N shard assignment. */
+struct ShardSpec
+{
+    unsigned index = 0;
+    unsigned count = 1;
+
+    bool
+    owns(std::size_t cellIndex) const
+    {
+        return count <= 1 || cellIndex % count == index;
+    }
+};
+
+/** Parse "k/N" (k < N, N >= 1) into @p out. */
+bool parseShardSpec(std::string_view text, ShardSpec &out);
+
+/**
+ * One independent unit of work: a fully specified experiment plus its
+ * position in the enumeration (the sharding key) and a stable
+ * human-readable id.
+ */
+struct Cell
+{
+    std::size_t index = 0;
+    std::string id; ///< e.g. "oltp/single-chip"
+    ExperimentConfig cfg;
+};
+
+/**
+ * The standard bench grid: for each workload, one multi-chip cell then
+ * one single-chip cell (a single-chip cell yields both the off-chip
+ * and the intra-chip trace from one simulation). Enumeration order is
+ * deterministic: workload-major in the order given.
+ */
+std::vector<Cell> standardGrid(const std::vector<WorkloadKind> &workloads,
+                               const BenchBudgets &budgets);
+
+/** The cells of @p grid owned by @p shard, in grid order. */
+std::vector<Cell> shardCells(const std::vector<Cell> &grid,
+                             const ShardSpec &shard);
+
+/** One analyzed trace out of a cell. */
+struct RunOutput
+{
+    WorkloadKind workload;
+    TraceKind kind;
+    MissTrace trace;
+    StreamStats streams;
+    ModuleProfile modules;
+};
+
+/** One executed cell: its traces, analyses and run diagnostics. */
+struct CellResult
+{
+    Cell cell;
+    /** MultiChip cell: {multi}. SingleChip cell: {single, intra}. */
+    std::vector<RunOutput> runs;
+    double wallSeconds = 0.0;          ///< execute + analyze wall time
+    std::uint64_t instructions = 0;    ///< simulated instructions
+    bool cacheHit = false;             ///< served from TSTREAM_TRACE_CACHE
+};
+
+/** Execution options for runCells(). */
+struct DriverOptions
+{
+    unsigned jobs = 0; ///< 0 = TSTREAM_JOBS or hardware concurrency
+    ShardSpec shard;
+    bool analyzeStreams = true; ///< run SEQUITUR + module attribution
+    bool filterIntra = true;    ///< restrict intra trace to on-chip hits
+};
+
+/**
+ * Execute the cells of @p grid owned by opts.shard on a bounded
+ * work-stealing pool of opts.jobs threads. Results are returned in
+ * grid order regardless of completion order. Cells are served from
+ * the trace cache when TSTREAM_TRACE_CACHE is set and the cell was
+ * recorded before (by any shard or bench).
+ */
+std::vector<CellResult> runCells(const std::vector<Cell> &grid,
+                                 const DriverOptions &opts);
+
+// ---- bench command line -----------------------------------------------------
+
+/** Options shared by every figure/table bench binary. */
+struct BenchOptions
+{
+    BenchBudgets budgets;
+    bool quick = false;
+    unsigned jobs = 0;
+    ShardSpec shard;
+    std::string jsonPath; ///< empty = no JSON report
+
+    DriverOptions
+    driver(bool analyze_streams = true, bool filter_intra = true) const
+    {
+        DriverOptions d;
+        d.jobs = jobs;
+        d.shard = shard;
+        d.analyzeStreams = analyze_streams;
+        d.filterIntra = filter_intra;
+        return d;
+    }
+};
+
+/**
+ * Strict bench argument parser: --quick, --jobs N, --shard k/N,
+ * --json PATH, --help, plus the TSTREAM_QUICK / TSTREAM_JOBS /
+ * TSTREAM_SHARD environment fallbacks. Any unknown flag prints a
+ * usage message naming @p benchName and exits with status 2 (a typo
+ * like --qiuck must not silently run at paper scale for hours);
+ * --help exits 0.
+ */
+BenchOptions parseBenchArgs(int argc, char **argv,
+                            const char *benchName);
+
+// ---- trace cache ------------------------------------------------------------
+
+/**
+ * Cache-file path stem for @p cfg, or "" when the cache is disabled.
+ * Set TSTREAM_TRACE_CACHE to a directory to enable: each (workload,
+ * context, budget) cell is keyed on configHash() and stored as
+ * `<stem>.off.tst` (off-chip trace, with the function table so module
+ * attribution survives) plus `<stem>.l1.tst` (unfiltered intra-chip
+ * trace, single-chip cells only). The directory is created on first
+ * store if missing.
+ */
+std::string traceCacheStem(const ExperimentConfig &cfg);
+
+/**
+ * Reload a previously cached run for @p cfg. Returns nullopt when the
+ * cache is disabled, the cell is absent, or a file fails to load (the
+ * caller then simulates; a stale or corrupt cache is never fatal).
+ */
+std::optional<ExperimentResult>
+traceCacheLoad(const ExperimentConfig &cfg);
+
+/**
+ * Save a freshly simulated run for @p cfg, creating the cache
+ * directory if needed. Files are written to a temporary name and
+ * renamed into place so concurrent processes recording the same cell
+ * never observe a half-written trace. No-op when disabled.
+ */
+void traceCacheStore(const ExperimentConfig &cfg,
+                     const ExperimentResult &res);
+
+} // namespace tstream
+
+#endif // TSTREAM_SIM_DRIVER_HH

@@ -1,0 +1,144 @@
+/** @file Tests for the minimal JSON model (util/json.hh). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/json.hh"
+
+namespace tstream::json
+{
+namespace
+{
+
+Value
+parseOk(const std::string &text)
+{
+    Value v;
+    std::string err;
+    EXPECT_TRUE(Value::parse(text, v, err)) << err;
+    return v;
+}
+
+TEST(JsonTest, ParsesScalars)
+{
+    EXPECT_TRUE(parseOk("null").isNull());
+    EXPECT_TRUE(parseOk("true").asBool());
+    EXPECT_FALSE(parseOk("false").asBool());
+    EXPECT_EQ(parseOk("42").asInt(), 42);
+    EXPECT_EQ(parseOk("-7").asInt(), -7);
+    EXPECT_TRUE(parseOk("42").isInt());
+    EXPECT_TRUE(parseOk("42.5").isDouble());
+    EXPECT_DOUBLE_EQ(parseOk("42.5").asDouble(), 42.5);
+    EXPECT_DOUBLE_EQ(parseOk("1e3").asDouble(), 1000.0);
+    EXPECT_EQ(parseOk("\"hi\"").asString(), "hi");
+}
+
+TEST(JsonTest, ParsesNested)
+{
+    const Value v = parseOk(
+        R"({"a": [1, 2, {"b": "c"}], "d": {"e": null}})");
+    ASSERT_TRUE(v.isObject());
+    const Value *a = v.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_TRUE(a->isArray());
+    ASSERT_EQ(a->items().size(), 3u);
+    EXPECT_EQ(a->items()[0].asInt(), 1);
+    EXPECT_EQ(a->items()[2].find("b")->asString(), "c");
+    EXPECT_TRUE(v.find("d")->find("e")->isNull());
+}
+
+TEST(JsonTest, StringEscapes)
+{
+    EXPECT_EQ(parseOk(R"("a\"b\\c\nd\te")").asString(),
+              "a\"b\\c\nd\te");
+    // \u escape incl. a surrogate pair (U+1F600).
+    EXPECT_EQ(parseOk(R"("A")").asString(), "A");
+    EXPECT_EQ(parseOk(R"("😀")").asString(),
+              "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonTest, RejectsMalformed)
+{
+    Value v;
+    std::string err;
+    EXPECT_FALSE(Value::parse("", v, err));
+    EXPECT_FALSE(Value::parse("{", v, err));
+    EXPECT_FALSE(Value::parse("[1,]", v, err));
+    EXPECT_FALSE(Value::parse("{\"a\" 1}", v, err));
+    EXPECT_FALSE(Value::parse("tru", v, err));
+    EXPECT_FALSE(Value::parse("1 2", v, err)); // trailing garbage
+    EXPECT_FALSE(Value::parse("\"abc", v, err));
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder)
+{
+    Value v = Value::object();
+    v["zeta"] = Value(1);
+    v["alpha"] = Value(2);
+    v["mid"] = Value(3);
+    ASSERT_EQ(v.members().size(), 3u);
+    EXPECT_EQ(v.members()[0].first, "zeta");
+    EXPECT_EQ(v.members()[1].first, "alpha");
+    EXPECT_EQ(v.members()[2].first, "mid");
+    // operator[] on an existing key updates in place.
+    v["alpha"] = Value(9);
+    EXPECT_EQ(v.members().size(), 3u);
+    EXPECT_EQ(v.find("alpha")->asInt(), 9);
+}
+
+TEST(JsonTest, DumpParseRoundTripIsExact)
+{
+    Value v = Value::object();
+    v["int"] = Value(std::int64_t{1234567890123456789LL});
+    v["neg"] = Value(-42);
+    v["pi"] = Value(3.141592653589793);
+    v["tiny"] = Value(1e-17);
+    v["pct"] = Value(88.44581859765782);
+    v["whole"] = Value(75.0); // Double that prints like an Int
+    v["s"] = Value("line1\nline2 \"quoted\"");
+    Value arr = Value::array();
+    arr.push(Value(true));
+    arr.push(Value());
+    v["arr"] = std::move(arr);
+
+    for (int indent : {0, 2}) {
+        Value back;
+        std::string err;
+        ASSERT_TRUE(Value::parse(v.dump(indent), back, err)) << err;
+        EXPECT_EQ(back.find("int")->asInt(), 1234567890123456789LL);
+        EXPECT_EQ(back.find("pi")->asDouble(), 3.141592653589793);
+        EXPECT_EQ(back.find("tiny")->asDouble(), 1e-17);
+        EXPECT_EQ(back.find("pct")->asDouble(), 88.44581859765782);
+        EXPECT_EQ(back.find("whole")->asDouble(), 75.0);
+        EXPECT_TRUE(back.find("whole")->isDouble());
+        EXPECT_EQ(back.find("s")->asString(),
+                  "line1\nline2 \"quoted\"");
+        EXPECT_EQ(back, v);
+    }
+}
+
+TEST(JsonTest, NumericEqualityAcrossKinds)
+{
+    EXPECT_EQ(Value(3), Value(3.0));
+    EXPECT_NE(Value(3), Value(3.5));
+}
+
+TEST(JsonTest, FileRoundTrip)
+{
+    const std::string path =
+        testing::TempDir() + "/json_roundtrip.json";
+    Value v = Value::object();
+    v["k"] = Value("v");
+    std::string err;
+    ASSERT_TRUE(writeFile(v, path, err)) << err;
+    Value back;
+    ASSERT_TRUE(parseFile(path, back, err)) << err;
+    EXPECT_EQ(back, v);
+
+    EXPECT_FALSE(parseFile(path + ".missing", back, err));
+    EXPECT_NE(err.find("cannot open"), std::string::npos);
+}
+
+} // namespace
+} // namespace tstream::json

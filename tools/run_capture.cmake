@@ -1,0 +1,25 @@
+# Run a command and capture its stdout to a file, failing the test if
+# the command fails. Used by the bench e2e tests so that a bench's
+# printed table can be compared against its --json report
+# (`tstream-bench check-stdout`).
+#
+# Usage:
+#   cmake -DCMD=<binary> "-DARGS=a|b|c" -DOUT=<file>
+#         [-DCACHE_DIR=<trace cache dir>] -P run_capture.cmake
+#
+# ARGS is |-separated (not a CMake ;-list: semicolons do not survive
+# the add_test -> CTestTestfile -> cmake -D round trip unmangled).
+if(NOT DEFINED CMD OR NOT DEFINED OUT)
+  message(FATAL_ERROR "run_capture.cmake needs -DCMD and -DOUT")
+endif()
+string(REPLACE "|" ";" ARGS "${ARGS}")
+if(DEFINED CACHE_DIR)
+  set(ENV{TSTREAM_TRACE_CACHE} "${CACHE_DIR}")
+endif()
+execute_process(
+  COMMAND ${CMD} ${ARGS}
+  OUTPUT_FILE ${OUT}
+  RESULT_VARIABLE rv)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "${CMD} failed with status ${rv}")
+endif()

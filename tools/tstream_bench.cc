@@ -1,0 +1,472 @@
+/**
+ * @file
+ * `tstream-bench` — front-end for the sharded bench driver.
+ *
+ * Runs a named list of figure/table benches (each a binary built from
+ * bench/), collects their --json reports into one combined document,
+ * merges shard outputs back into unsharded reports, and checks the
+ * invariants the driver promises. Subcommands:
+ *
+ *   run          run benches (forwarding --quick/--jobs/--shard) and
+ *                bundle their reports into one combined JSON document
+ *   merge        merge shard reports; fails unless the shards are a
+ *                disjoint exact cover of every bench's grid
+ *   check-equal  verify two reports are equivalent cell-for-cell
+ *                (ignoring wall time and other execution details)
+ *   check-stdout verify every row of a report appears verbatim in a
+ *                captured stdout file (the bit-identity guarantee)
+ *   print        re-render the tables of a report from its rows
+ *   list         show the known bench names
+ *
+ * See docs/BENCHMARKING.md for recipes (multi-process sharding, CI,
+ * baselines).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/bench_report.hh"
+
+using namespace tstream;
+
+namespace
+{
+
+struct BenchAlias
+{
+    const char *alias;
+    const char *binary;
+};
+
+const BenchAlias kBenches[] = {
+    {"fig1", "fig1_miss_classification"},
+    {"fig2", "fig2_stream_fraction"},
+    {"fig3", "fig3_stride_breakdown"},
+    {"fig4", "fig4_length_reuse"},
+    {"table3", "table3_web_origins"},
+    {"table4", "table4_oltp_origins"},
+    {"table5", "table5_dss_origins"},
+    {"ablation_a", "ablation_stream_detector"},
+    {"ablation_b", "ablation_l2_sweep"},
+    {"ext", "ext_prefetcher"},
+};
+
+int
+usage(const char *msg)
+{
+    if (msg)
+        std::fprintf(stderr, "tstream-bench: %s\n\n", msg);
+    std::fprintf(stderr,
+        "usage:\n"
+        "  tstream-bench run [--quick] [--jobs N] [--shard k/N]\n"
+        "                [--bench-dir DIR] -o OUT.json BENCH...\n"
+        "  tstream-bench merge -o OUT.json IN.json...\n"
+        "  tstream-bench check-equal A.json B.json\n"
+        "  tstream-bench check-stdout REPORT.json STDOUT.txt\n"
+        "  tstream-bench print REPORT.json\n"
+        "  tstream-bench list\n"
+        "\n"
+        "run executes each named bench binary (see `list`; `paper` =\n"
+        "fig1-fig4 + tables, `all` adds the ablations and the\n"
+        "prefetcher extension), forwards --quick/--jobs/--shard, and\n"
+        "bundles the per-bench JSON reports into one combined\n"
+        "document. Shard reports from separate processes/machines are\n"
+        "reassembled with merge, which fails if any grid cell is\n"
+        "missing. check-equal ignores wall time, cache hits and shard\n"
+        "geometry, so `merge(shard 0/2, shard 1/2)` must check-equal\n"
+        "the unsharded run. Recipes: docs/BENCHMARKING.md.\n");
+    return 2;
+}
+
+const char *
+resolveBench(const std::string &name)
+{
+    for (const BenchAlias &b : kBenches)
+        if (name == b.alias || name == b.binary)
+            return b.binary;
+    return nullptr;
+}
+
+std::string
+shellQuote(const std::string &s)
+{
+    std::string out = "'";
+    for (char c : s) {
+        if (c == '\'')
+            out += "'\\''";
+        else
+            out += c;
+    }
+    out += "'";
+    return out;
+}
+
+std::string
+dirName(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    if (slash == 0)
+        return "/";
+    return path.substr(0, slash);
+}
+
+// ---- run --------------------------------------------------------------------
+
+int
+cmdRun(int argc, char **argv, const char *argv0)
+{
+    bool quick = false;
+    unsigned jobs = 0;
+    std::string shard;
+    std::string benchDir = dirName(argv0) + "/../bench";
+    std::string out;
+    std::vector<std::string> names;
+
+    for (int i = 0; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        auto value = [&](const char *what) -> const char * {
+            if (i + 1 >= argc) {
+                usage((std::string("missing value for ") + what)
+                          .c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--jobs") {
+            const char *v = value("--jobs");
+            char *end = nullptr;
+            const long n = std::strtol(v, &end, 10);
+            if (!end || *end != '\0' || n <= 0)
+                return usage("--jobs wants a positive integer");
+            jobs = static_cast<unsigned>(n);
+        } else if (arg == "--shard") {
+            shard = value("--shard");
+            ShardSpec spec;
+            if (!parseShardSpec(shard, spec))
+                return usage("--shard wants k/N with k < N");
+        } else if (arg == "--bench-dir") {
+            benchDir = value("--bench-dir");
+        } else if (arg == "-o" || arg == "--output") {
+            out = value("-o");
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage(
+                ("unknown run option: " + std::string(arg)).c_str());
+        } else {
+            if (arg == "paper") {
+                for (const char *n :
+                     {"fig1", "fig2", "fig3", "fig4", "table3",
+                      "table4", "table5"})
+                    names.push_back(n);
+            } else if (arg == "all") {
+                for (const BenchAlias &b : kBenches)
+                    names.push_back(b.alias);
+            } else {
+                names.push_back(std::string(arg));
+            }
+        }
+    }
+    if (out.empty())
+        return usage("run needs -o OUT.json");
+    if (names.empty())
+        return usage("run needs at least one bench name (see list)");
+
+    std::vector<BenchDoc> docs;
+    for (const std::string &name : names) {
+        const char *binary = resolveBench(name);
+        if (!binary)
+            return usage(("unknown bench: " + name +
+                          " (see tstream-bench list)")
+                             .c_str());
+        const std::string part = out + "." + binary + ".json";
+        std::string cmd = shellQuote(benchDir + "/" + binary);
+        if (quick)
+            cmd += " --quick";
+        if (jobs > 0)
+            cmd += " --jobs " + std::to_string(jobs);
+        if (!shard.empty())
+            cmd += " --shard " + shard;
+        cmd += " --json " + shellQuote(part);
+
+        std::fprintf(stderr, "[tstream-bench] %s\n", cmd.c_str());
+        const int rc = std::system(cmd.c_str());
+        if (rc != 0) {
+            std::fprintf(stderr,
+                         "tstream-bench: %s failed (status %d)\n",
+                         binary, rc);
+            return 1;
+        }
+        std::string err;
+        if (!readBenchDocs(part, docs, err)) {
+            std::fprintf(stderr, "tstream-bench: %s\n", err.c_str());
+            return 1;
+        }
+        std::remove(part.c_str());
+    }
+
+    std::string err;
+    if (docs.size() == 1) {
+        if (!writeBenchDoc(docs[0], out, err)) {
+            std::fprintf(stderr, "tstream-bench: %s\n", err.c_str());
+            return 1;
+        }
+    } else if (!json::writeFile(combinedReportToJson(docs), out,
+                                err)) {
+        std::fprintf(stderr, "tstream-bench: %s\n", err.c_str());
+        return 1;
+    }
+    std::fprintf(stderr, "[tstream-bench] wrote %s (%zu benches)\n",
+                 out.c_str(), docs.size());
+    return 0;
+}
+
+// ---- merge ------------------------------------------------------------------
+
+/** Group by bench name preserving first-seen order. */
+std::vector<std::vector<BenchDoc>>
+groupByBench(std::vector<BenchDoc> docs)
+{
+    std::vector<std::vector<BenchDoc>> groups;
+    for (BenchDoc &doc : docs) {
+        bool placed = false;
+        for (auto &g : groups)
+            if (g.front().bench == doc.bench) {
+                g.push_back(std::move(doc));
+                placed = true;
+                break;
+            }
+        if (!placed) {
+            groups.emplace_back();
+            groups.back().push_back(std::move(doc));
+        }
+    }
+    return groups;
+}
+
+int
+cmdMerge(int argc, char **argv)
+{
+    std::string out;
+    std::vector<std::string> inputs;
+    for (int i = 0; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if ((arg == "-o" || arg == "--output") && i + 1 < argc)
+            out = argv[++i];
+        else if (!arg.empty() && arg[0] == '-')
+            return usage(
+                ("unknown merge option: " + std::string(arg)).c_str());
+        else
+            inputs.emplace_back(arg);
+    }
+    if (out.empty() || inputs.empty())
+        return usage("merge needs -o OUT.json and input reports");
+
+    std::vector<BenchDoc> docs;
+    std::string err;
+    for (const std::string &path : inputs)
+        if (!readBenchDocs(path, docs, err)) {
+            std::fprintf(stderr, "tstream-bench: %s\n", err.c_str());
+            return 1;
+        }
+
+    std::vector<BenchDoc> merged;
+    for (auto &group : groupByBench(std::move(docs))) {
+        BenchDoc doc;
+        if (!mergeBenchDocs(group, doc, err)) {
+            std::fprintf(stderr, "tstream-bench: %s\n", err.c_str());
+            return 1;
+        }
+        merged.push_back(std::move(doc));
+    }
+
+    if (merged.size() == 1) {
+        if (!writeBenchDoc(merged[0], out, err)) {
+            std::fprintf(stderr, "tstream-bench: %s\n", err.c_str());
+            return 1;
+        }
+    } else if (!json::writeFile(combinedReportToJson(merged), out,
+                                err)) {
+        std::fprintf(stderr, "tstream-bench: %s\n", err.c_str());
+        return 1;
+    }
+    std::size_t cells = 0;
+    for (const BenchDoc &doc : merged)
+        cells += doc.cells.size();
+    std::fprintf(stderr,
+                 "[tstream-bench] merged %zu input file(s) into %s "
+                 "(%zu benches, %zu cells, full cover)\n",
+                 inputs.size(), out.c_str(), merged.size(), cells);
+    return 0;
+}
+
+// ---- check-equal / check-stdout / print ------------------------------------
+
+int
+cmdCheckEqual(const std::string &pathA, const std::string &pathB)
+{
+    std::vector<BenchDoc> a, b;
+    std::string err;
+    if (!readBenchDocs(pathA, a, err) ||
+        !readBenchDocs(pathB, b, err)) {
+        std::fprintf(stderr, "tstream-bench: %s\n", err.c_str());
+        return 1;
+    }
+    if (a.size() != b.size()) {
+        std::fprintf(stderr,
+                     "tstream-bench: bench counts differ (%zu vs "
+                     "%zu)\n",
+                     a.size(), b.size());
+        return 1;
+    }
+    for (const BenchDoc &da : a) {
+        const BenchDoc *db = nullptr;
+        for (const BenchDoc &cand : b)
+            if (cand.bench == da.bench)
+                db = &cand;
+        if (!db) {
+            std::fprintf(stderr,
+                         "tstream-bench: bench %s missing from %s\n",
+                         da.bench.c_str(), pathB.c_str());
+            return 1;
+        }
+        std::string why;
+        if (!benchDocsEquivalent(da, *db, why)) {
+            std::fprintf(stderr, "tstream-bench: %s: %s\n",
+                         da.bench.c_str(), why.c_str());
+            return 1;
+        }
+    }
+    std::printf("reports equivalent: %s == %s\n", pathA.c_str(),
+                pathB.c_str());
+    return 0;
+}
+
+int
+cmdCheckStdout(const std::string &reportPath,
+               const std::string &stdoutPath)
+{
+    std::vector<BenchDoc> docs;
+    std::string err;
+    if (!readBenchDocs(reportPath, docs, err)) {
+        std::fprintf(stderr, "tstream-bench: %s\n", err.c_str());
+        return 1;
+    }
+    std::ifstream in(stdoutPath, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "tstream-bench: cannot open %s\n",
+                     stdoutPath.c_str());
+        return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+
+    std::size_t rows = 0;
+    for (const BenchDoc &doc : docs)
+        for (const BenchCell &cell : doc.cells)
+            for (const BenchRow &row : cell.rows) {
+                ++rows;
+                if (text.find(row.text) == std::string::npos) {
+                    std::fprintf(
+                        stderr,
+                        "tstream-bench: row not found verbatim in "
+                        "%s:\n  bench %s cell %s\n  text: %s\n",
+                        stdoutPath.c_str(), doc.bench.c_str(),
+                        cell.id.c_str(), row.text.c_str());
+                    return 1;
+                }
+            }
+    std::printf("all %zu report rows appear verbatim in %s\n", rows,
+                stdoutPath.c_str());
+    return 0;
+}
+
+int
+cmdPrint(const std::string &path)
+{
+    std::vector<BenchDoc> docs;
+    std::string err;
+    if (!readBenchDocs(path, docs, err)) {
+        std::fprintf(stderr, "tstream-bench: %s\n", err.c_str());
+        return 1;
+    }
+    for (const BenchDoc &doc : docs) {
+        std::printf("== %s%s (%zu/%zu cells", doc.bench.c_str(),
+                    doc.quick ? " --quick" : "", doc.cells.size(),
+                    doc.gridCells);
+        if (doc.shard.count > 1)
+            std::printf(", shard %u/%u", doc.shard.index,
+                        doc.shard.count);
+        std::printf(") ==\n");
+        // Rows grouped by table tag, cells in grid order inside each.
+        std::vector<std::string> tables;
+        for (const BenchCell &cell : doc.cells)
+            for (const BenchRow &row : cell.rows) {
+                bool seen = false;
+                for (const std::string &t : tables)
+                    seen = seen || t == row.table;
+                if (!seen)
+                    tables.push_back(row.table);
+            }
+        for (const std::string &table : tables) {
+            std::printf("-- %s --\n", table.c_str());
+            for (const BenchCell &cell : doc.cells)
+                for (const BenchRow &row : cell.rows)
+                    if (row.table == table)
+                        std::printf("%s\n", row.text.c_str());
+        }
+        std::printf("\n");
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage("missing subcommand");
+    const std::string_view cmd = argv[1];
+
+    if (cmd == "run")
+        return cmdRun(argc - 2, argv + 2, argv[0]);
+    if (cmd == "merge")
+        return cmdMerge(argc - 2, argv + 2);
+    if (cmd == "check-equal") {
+        if (argc != 4)
+            return usage("check-equal takes exactly two reports");
+        return cmdCheckEqual(argv[2], argv[3]);
+    }
+    if (cmd == "check-stdout") {
+        if (argc != 4)
+            return usage(
+                "check-stdout takes a report and a stdout capture");
+        return cmdCheckStdout(argv[2], argv[3]);
+    }
+    if (cmd == "print") {
+        if (argc != 3)
+            return usage("print takes exactly one report");
+        return cmdPrint(argv[2]);
+    }
+    if (cmd == "list") {
+        std::printf("%-12s %s\n", "alias", "binary");
+        for (const BenchAlias &b : kBenches)
+            std::printf("%-12s %s\n", b.alias, b.binary);
+        std::printf("%-12s fig1-fig4 + table3-table5\n", "paper");
+        std::printf("%-12s every bench above\n", "all");
+        return 0;
+    }
+    if (cmd == "--help" || cmd == "-h" || cmd == "help")
+        return usage(nullptr);
+    return usage(("unknown subcommand: " + std::string(cmd)).c_str());
+}
