@@ -31,29 +31,42 @@ namespace
 
 const std::uint64_t kL2SizesMb[] = {1, 2, 4, 8, 16};
 
+/** Swept workloads: the paper's OLTP plus the scenario KV store
+ *  (whose LRU churn makes the capacity argument visible too). */
+const WorkloadKind kSweepWorkloads[] = {WorkloadKind::Oltp,
+                                        WorkloadKind::KvStore};
+
 std::vector<Cell>
 l2SweepGrid(const BenchBudgets &budgets)
 {
     std::vector<Cell> grid;
-    for (const std::uint64_t mb : kL2SizesMb) {
-        Cell c;
-        c.index = grid.size();
-        c.cfg.workload = WorkloadKind::Oltp;
-        c.cfg.context = SystemContext::MultiChip;
-        c.cfg.warmupInstructions = budgets.warmup;
-        c.cfg.measureInstructions = budgets.measure;
-        c.cfg.scale = budgets.scale;
-        c.cfg.multiChip.l2 = CacheConfig{mb * 1024 * 1024, 16};
-        c.id = strprintf("oltp/multi-chip/l2=%lluMB",
-                         static_cast<unsigned long long>(mb));
-        grid.push_back(std::move(c));
+    for (const WorkloadKind w : kSweepWorkloads) {
+        for (const std::uint64_t mb : kL2SizesMb) {
+            Cell c;
+            c.index = grid.size();
+            c.cfg.workload = w;
+            c.cfg.context = SystemContext::MultiChip;
+            c.cfg.warmupInstructions = budgets.warmup;
+            c.cfg.measureInstructions = budgets.measure;
+            c.cfg.scale = budgets.scale;
+            c.cfg.multiChip.l2 = CacheConfig{mb * 1024 * 1024, 16};
+            c.id = strprintf("%s/multi-chip/l2=%lluMB",
+                             std::string(workloadName(w)).c_str(),
+                             static_cast<unsigned long long>(mb));
+            grid.push_back(std::move(c));
+        }
     }
     return grid;
 }
 
 std::vector<BenchRow>
-buildRows(const CellResult &res, std::uint64_t mb)
+buildRows(const CellResult &res)
 {
+    // The swept size comes from the cell's own config, not from grid
+    // index arithmetic, so reordering the sweep loops cannot mislabel
+    // rows.
+    const std::uint64_t mb =
+        res.cell.cfg.multiChip.l2.sizeBytes / (1024 * 1024);
     const RunOutput &r = res.runs.front();
 
     std::uint64_t cls[kNumMissClasses] = {};
@@ -70,7 +83,9 @@ buildRows(const CellResult &res, std::uint64_t mb)
     row.table = "l2_sweep";
     row.trace = strprintf("%lluMB",
                           static_cast<unsigned long long>(mb));
-    row.text = strprintf("%3lluMB %9.2f %7.1f%% %7.1f%%",
+    row.label = std::string(workloadName(r.workload));
+    row.text = strprintf("%-10s %3lluMB %9.2f %7.1f%% %7.1f%%",
+                         std::string(workloadName(r.workload)).c_str(),
                          static_cast<unsigned long long>(mb),
                          r.trace.mpki(), 100.0 * cls[3] / tot,
                          100.0 * cls[1] / tot);
@@ -98,16 +113,15 @@ main(int argc, char **argv)
     const BenchOptions opts =
         parseBenchArgs(argc, argv, "ablation_l2_sweep");
     const auto grid = l2SweepGrid(opts.budgets);
-    const auto results = runCells(grid, opts.driver());
+    const auto cells = runBenchCells(
+        grid, opts, opts.driver(),
+        [](const CellResult &res) { return buildRows(res); });
 
-    std::vector<BenchCell> cells;
-    for (const CellResult &res : results)
-        cells.push_back(makeBenchCell(
-            res, buildRows(res, kL2SizesMb[res.cell.index])));
-
-    std::printf("Ablation B: L2 size sweep (OLTP, multi-chip)\n");
+    std::printf("Ablation B: L2 size sweep (OLTP + KVstore, "
+                "multi-chip)\n");
     rule();
-    std::printf("%-8s %8s %8s %8s", "L2", "mpki", "repl", "coh");
+    std::printf("%-10s %-5s %8s %8s %8s", "app", "L2", "mpki", "repl",
+                "coh");
     for (int d = 0; d < 7; ++d)
         std::printf("  1e%d-1e%d", d, d + 1);
     std::printf("\n");

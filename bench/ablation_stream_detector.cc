@@ -105,13 +105,15 @@ main(int argc, char **argv)
 {
     const BenchOptions opts =
         parseBenchArgs(argc, argv, "ablation_stream_detector");
+    // OLTP and Apache as in PR 3, plus the KV store so the detector
+    // comparison covers a scenario workload too.
     const auto grid = standardGrid(
-        {WorkloadKind::Oltp, WorkloadKind::Apache}, opts.budgets);
-    const auto results = runCells(grid, opts.driver());
-
-    std::vector<BenchCell> cells;
-    for (const CellResult &res : results)
-        cells.push_back(makeBenchCell(res, buildRows(res)));
+        {WorkloadKind::Oltp, WorkloadKind::Apache,
+         WorkloadKind::KvStore},
+        opts.budgets);
+    const auto cells = runBenchCells(
+        grid, opts, opts.driver(),
+        [](const CellResult &res) { return buildRows(res); });
 
     std::printf("Ablation A: SEQUITUR vs fixed-window stream "
                 "detection (coverage of misses)\n");

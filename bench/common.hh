@@ -16,6 +16,7 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -26,11 +27,29 @@
 namespace tstream::bench
 {
 
-/** All six applications in the paper's figure order. */
-inline const std::vector<WorkloadKind> kAllWorkloads = {
+/** The paper's six applications in its figure order (Tables 3-5 keep
+ *  exactly these rows). */
+inline const std::vector<WorkloadKind> kPaperWorkloads = {
     WorkloadKind::Apache, WorkloadKind::Zeus,   WorkloadKind::Oltp,
     WorkloadKind::DssQ1,  WorkloadKind::DssQ2,  WorkloadKind::DssQ17,
 };
+
+/** The post-paper scenario suite (key-value store, message broker,
+ *  phased mix — see src/kv, src/mq, sim/phased_workload.hh). */
+inline const std::vector<WorkloadKind> kScenarioWorkloads = {
+    WorkloadKind::KvStore,
+    WorkloadKind::Broker,
+    WorkloadKind::PhasedMix,
+};
+
+/** The full suite the figure benches sweep: paper six + scenarios
+ *  (built by concatenation so the three lists cannot drift). */
+inline const std::vector<WorkloadKind> kAllWorkloads = [] {
+    std::vector<WorkloadKind> all = kPaperWorkloads;
+    all.insert(all.end(), kScenarioWorkloads.begin(),
+               kScenarioWorkloads.end());
+    return all;
+}();
 
 /** printf into a std::string (for building BenchRow::text). */
 inline std::string
@@ -65,6 +84,72 @@ printTable(const std::vector<BenchCell> &cells, const char *table)
         for (const BenchRow &r : c.rows)
             if (r.table == table)
                 std::printf("%s\n", r.text.c_str());
+}
+
+/**
+ * Execute @p grid for one bench and build its report cells: the cells
+ * this shard owns are run on the driver pool, except — under
+ * `--resume` — those already present in the existing `--json` report,
+ * whose stored rows are reused verbatim (the simulator is
+ * deterministic, so a stored cell equals a re-run one). A resume
+ * mismatch (schema version, budgets, grid size, or a cell's config
+ * hash) aborts with an error instead of mixing configurations.
+ * @p build maps one executed CellResult to its table rows. Cells come
+ * back in grid order either way.
+ */
+template <typename Build>
+std::vector<BenchCell>
+runBenchCells(const std::vector<Cell> &grid, const BenchOptions &opts,
+              const DriverOptions &dopts, Build &&build)
+{
+    std::vector<BenchCell> prior;
+    if (opts.resume) {
+        std::string err;
+        std::vector<BenchCell> all;
+        if (!loadResumeCells(opts.jsonPath, opts.benchName, opts.quick,
+                             opts.budgets, grid, all, err)) {
+            std::fprintf(stderr, "%s: --resume: %s\n",
+                         opts.benchName.c_str(), err.c_str());
+            std::exit(1);
+        }
+        // Keep only the cells this shard owns, so a resumed shard run
+        // emits exactly what a fresh shard run would.
+        for (BenchCell &c : all)
+            if (dopts.shard.owns(c.index))
+                prior.push_back(std::move(c));
+        if (!prior.empty())
+            std::fprintf(stderr,
+                         "[bench] --resume: reusing %zu cell(s) "
+                         "from %s\n",
+                         prior.size(), opts.jsonPath.c_str());
+    }
+
+    std::vector<bool> have(grid.size(), false);
+    for (const BenchCell &c : prior)
+        have[c.index] = true;
+    std::vector<Cell> todo;
+    for (const Cell &c : grid)
+        if (dopts.shard.owns(c.index) && !have[c.index])
+            todo.push_back(c);
+
+    DriverOptions run = dopts;
+    run.shard = ShardSpec{}; // todo is already shard-filtered
+    const std::vector<CellResult> results = runCells(todo, run);
+
+    std::vector<BenchCell> cells;
+    cells.reserve(prior.size() + results.size());
+    std::size_t p = 0, f = 0;
+    while (p < prior.size() || f < results.size()) {
+        if (f >= results.size() ||
+            (p < prior.size() &&
+             prior[p].index < results[f].cell.index))
+            cells.push_back(std::move(prior[p++]));
+        else {
+            const CellResult &res = results[f++];
+            cells.push_back(makeBenchCell(res, build(res)));
+        }
+    }
+    return cells;
 }
 
 /**

@@ -97,13 +97,10 @@ main(int argc, char **argv)
     const auto grid = standardGrid(kAllWorkloads, opts.budgets);
     // Figure 1 needs neither stream analysis nor intra filtering (the
     // right panel includes the Off-chip bar).
-    const auto results = runCells(
-        grid, opts.driver(/*analyze_streams=*/false,
-                          /*filter_intra=*/false));
-
-    std::vector<BenchCell> cells;
-    for (const CellResult &res : results)
-        cells.push_back(makeBenchCell(res, buildRows(res)));
+    const auto cells = runBenchCells(
+        grid, opts,
+        opts.driver(/*analyze_streams=*/false, /*filter_intra=*/false),
+        [](const CellResult &res) { return buildRows(res); });
 
     std::printf("Figure 1 (left): off-chip read misses per 1000 "
                 "instructions\n");

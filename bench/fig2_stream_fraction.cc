@@ -56,11 +56,9 @@ main(int argc, char **argv)
     const BenchOptions opts =
         parseBenchArgs(argc, argv, "fig2_stream_fraction");
     const auto grid = standardGrid(kAllWorkloads, opts.budgets);
-    const auto results = runCells(grid, opts.driver());
-
-    std::vector<BenchCell> cells;
-    for (const CellResult &res : results)
-        cells.push_back(makeBenchCell(res, buildRows(res)));
+    const auto cells = runBenchCells(
+        grid, opts, opts.driver(),
+        [](const CellResult &res) { return buildRows(res); });
 
     std::printf("Figure 2: fraction of misses in temporal streams\n");
     rule();

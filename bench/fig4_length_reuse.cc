@@ -87,11 +87,9 @@ main(int argc, char **argv)
     const BenchOptions opts =
         parseBenchArgs(argc, argv, "fig4_length_reuse");
     const auto grid = standardGrid(kAllWorkloads, opts.budgets);
-    const auto results = runCells(grid, opts.driver());
-
-    std::vector<BenchCell> cells;
-    for (const CellResult &res : results)
-        cells.push_back(makeBenchCell(res, buildRows(res)));
+    const auto cells = runBenchCells(
+        grid, opts, opts.driver(),
+        [](const CellResult &res) { return buildRows(res); });
 
     std::printf("Figure 4 (left): cumulative stream-length "
                 "distribution, weighted by contribution\n");

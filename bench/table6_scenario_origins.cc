@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Post-paper extension "Table 6": temporal stream origins in the
+ * scenario suite — the key-value store (src/kv), the message broker
+ * (src/mq), and the phased mix — per category, per context.
+ *
+ * Expected shape: the KV store's hash/chain walks and the broker's
+ * log replay mirror the paper's web-serving results — high overall
+ * in-stream shares driven by recycled buffers (slabs, log segments)
+ * and fixed-address metadata; kernel categories (scheduler, syscalls,
+ * copies, IP) carry the rest, exactly as in Tables 3-5.
+ */
+
+#include "table_origins_common.hh"
+
+using namespace tstream;
+using namespace tstream::bench;
+
+int
+main(int argc, char **argv)
+{
+    return runOriginsTable(
+        "table6_scenario_origins",
+        "Table 6 (extension): temporal stream origins in the scenario "
+        "suite",
+        kScenarioWorkloads, /*web=*/false, /*db=*/false, argc, argv,
+        /*scenario=*/true);
+}

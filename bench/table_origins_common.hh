@@ -19,17 +19,20 @@ namespace tstream::bench
 inline int
 runOriginsTable(const char *benchName, const char *title,
                 const std::vector<WorkloadKind> &workloads, bool web_rows,
-                bool db_rows, int argc, char **argv)
+                bool db_rows, int argc, char **argv,
+                bool scenario_rows = false)
 {
     const BenchOptions opts = parseBenchArgs(argc, argv, benchName);
     const auto grid = standardGrid(workloads, opts.budgets);
-    const auto results = runCells(grid, opts.driver());
 
-    std::vector<BenchCell> cells;
-    for (const CellResult &res : results) {
+    // The printed blocks need the table header lines around each row
+    // group, so the per-cell rows carry a "header" row first whose
+    // text is the block heading, followed by one row per category.
+    auto build = [&](const CellResult &res) {
         std::vector<BenchRow> rows;
         for (const RunOutput &r : res.runs) {
-            for (Category c : moduleTableCategories(web_rows, db_rows)) {
+            for (Category c : moduleTableCategories(web_rows, db_rows,
+                                                    scenario_rows)) {
                 BenchRow row;
                 row.table = "origins";
                 row.trace = std::string(traceKindName(r.kind));
@@ -51,24 +54,34 @@ runOriginsTable(const char *benchName, const char *title,
                  r.modules.overallPctInStreams()},
             };
             rows.push_back(std::move(overall));
+
+            BenchRow block;
+            block.table = "origins_block";
+            block.trace = std::string(traceKindName(r.kind));
+            block.text = strprintf(
+                "%s / %s  (%zu misses)",
+                std::string(workloadName(r.workload)).c_str(),
+                std::string(traceKindName(r.kind)).c_str(),
+                r.trace.misses.size());
+            block.text += "\n" + renderModuleTable(r.modules, web_rows,
+                                                   db_rows,
+                                                   scenario_rows);
+            while (!block.text.empty() && block.text.back() == '\n')
+                block.text.pop_back();
+            rows.push_back(std::move(block));
         }
-        cells.push_back(makeBenchCell(res, std::move(rows)));
-    }
+        return rows;
+    };
+
+    const auto cells = runBenchCells(grid, opts, opts.driver(), build);
 
     std::printf("%s\n", title);
-    for (const CellResult &res : results) {
-        for (const RunOutput &r : res.runs) {
-            rule();
-            std::printf("%s / %s  (%zu misses)\n",
-                        std::string(workloadName(r.workload)).c_str(),
-                        std::string(traceKindName(r.kind)).c_str(),
-                        r.trace.misses.size());
-            rule();
-            std::printf("%s",
-                        renderModuleTable(r.modules, web_rows, db_rows)
-                            .c_str());
-        }
-    }
+    for (const BenchCell &cell : cells)
+        for (const BenchRow &row : cell.rows)
+            if (row.table == "origins_block") {
+                rule();
+                std::printf("%s\n", row.text.c_str());
+            }
     return emitReport(opts, benchName, grid.size(), std::move(cells));
 }
 

@@ -26,7 +26,7 @@ profileModules(const MissTrace &trace, const StreamStats &stats,
 }
 
 std::vector<Category>
-moduleTableCategories(bool web_rows, bool db_rows)
+moduleTableCategories(bool web_rows, bool db_rows, bool scenario_rows)
 {
     std::vector<Category> cats = {
         Category::Uncategorized,    Category::BulkMemoryCopies,
@@ -46,6 +46,12 @@ moduleTableCategories(bool web_rows, bool db_rows)
              {Category::KernelBlockDev, Category::DbIndexPageTuple,
               Category::DbRequestControl, Category::DbIpc,
               Category::DbRuntimeInterp, Category::DbOther})
+            cats.push_back(c);
+    }
+    if (scenario_rows) {
+        for (Category c :
+             {Category::KvHashIndex, Category::KvSlabLru,
+              Category::MqTopicLog, Category::MqCursorIndex})
             cats.push_back(c);
     }
     return cats;
@@ -71,7 +77,8 @@ renderModuleOverallRow(const ModuleProfile &p)
 }
 
 std::string
-renderModuleTable(const ModuleProfile &p, bool web_rows, bool db_rows)
+renderModuleTable(const ModuleProfile &p, bool web_rows, bool db_rows,
+                  bool scenario_rows)
 {
     std::string out;
     char line[160];
@@ -80,13 +87,16 @@ renderModuleTable(const ModuleProfile &p, bool web_rows, bool db_rows)
                   "% misses", "% in streams");
     out += line;
 
-    for (Category c : moduleTableCategories(web_rows, db_rows)) {
+    for (Category c :
+         moduleTableCategories(web_rows, db_rows, scenario_rows)) {
         if (c == Category::BulkMemoryCopies)
             out += "  -- Cross-application categories --\n";
         else if (c == Category::KernelStreams)
             out += "  -- Web-specific categories --\n";
         else if (c == Category::KernelBlockDev)
             out += "  -- DB2-specific categories --\n";
+        else if (c == Category::KvHashIndex)
+            out += "  -- Scenario categories (KV / MQ) --\n";
         out += renderModuleRow(p, c) + "\n";
     }
     out += renderModuleOverallRow(p) + "\n";

@@ -82,10 +82,11 @@ ModuleProfile profileModules(const MissTrace &trace,
 
 /**
  * The categories of a Table 3/4/5-style block, in printed order:
- * Uncategorized, the cross-application rows, then the web and/or DB
- * rows.
+ * Uncategorized, the cross-application rows, then the web, DB and/or
+ * scenario (KV / MQ) rows.
  */
-std::vector<Category> moduleTableCategories(bool web_rows, bool db_rows);
+std::vector<Category> moduleTableCategories(bool web_rows, bool db_rows,
+                                            bool scenario_rows = false);
 
 /** One printed category line ("  <name>  x.x%  y.y%"), no newline. */
 std::string renderModuleRow(const ModuleProfile &p, Category c);
@@ -95,13 +96,14 @@ std::string renderModuleOverallRow(const ModuleProfile &p);
 
 /**
  * Render a Table 3/4/5-style block for one context: one line per
- * category (restricted to cross-application plus web or DB rows) with
- * "% misses" and "% in streams" columns. Composed from
- * renderModuleRow()/renderModuleOverallRow(), so per-row consumers
- * (the bench --json reports) stay bit-identical to this block.
+ * category (restricted to cross-application plus web, DB and/or
+ * scenario rows) with "% misses" and "% in streams" columns. Composed
+ * from renderModuleRow()/renderModuleOverallRow(), so per-row
+ * consumers (the bench --json reports) stay bit-identical to this
+ * block.
  */
 std::string renderModuleTable(const ModuleProfile &p, bool web_rows,
-                              bool db_rows);
+                              bool db_rows, bool scenario_rows = false);
 
 } // namespace tstream
 

@@ -1,0 +1,251 @@
+#include "kv/kvstore.hh"
+
+#include <algorithm>
+
+namespace tstream
+{
+
+namespace
+{
+
+/** Header bytes of one item (key, flags, CAS, LRU links). */
+constexpr std::uint32_t kHeaderBytes = 64;
+
+/** Bytes of one hash bucket head (pointer + lock byte + depth). */
+constexpr std::uint32_t kBucketBytes = 16;
+
+/** Carve a bounded recycling arena for item headers out of @p heap. */
+RecyclingAllocator
+makeHeaderArena(BumpAllocator &heap, std::uint32_t capacity)
+{
+    const Addr bytes = Addr{capacity + 64} * kHeaderBytes;
+    const Addr base = heap.alloc(bytes, kBlockSize);
+    return RecyclingAllocator(base, base + bytes, kHeaderBytes);
+}
+
+} // namespace
+
+KvStore::KvStore(const KvConfig &cfg, FunctionRegistry &reg,
+                 unsigned pid)
+    : cfg_(cfg),
+      heap_(seg::userHeap(pid), seg::userHeap(pid) + seg::kUserStride),
+      headers_(makeHeaderArena(heap_, cfg.capacity)),
+      fnHash_(reg.intern("mc_assoc_find", Category::KvHashIndex)),
+      fnItem_(reg.intern("mc_item_get", Category::KvHashIndex)),
+      fnSlab_(reg.intern("mc_slabs_alloc", Category::KvSlabLru)),
+      fnLru_(reg.intern("mc_lru_update", Category::KvSlabLru))
+{
+    bucketBase_ =
+        heap_.alloc(Addr{cfg_.buckets} * kBucketBytes, kBlockSize);
+    lruHead_ = heap_.allocBlocks(1);
+    statsBlock_ = heap_.allocBlocks(1);
+
+    // Carve one slab arena per size class out of the user segment;
+    // each recycles fixed-size value chunks LIFO with a little
+    // magazine jitter, memcached-slab style. Each class is sized for
+    // the worst case (every resident item in that class).
+    slabs_.reserve(cfg_.valueBlocksMax);
+    for (std::uint32_t c = 1; c <= cfg_.valueBlocksMax; ++c) {
+        const Addr bytes = Addr{cfg_.capacity + 64} * c * kBlockSize;
+        const Addr base = heap_.alloc(bytes, kBlockSize);
+        slabs_.emplace_back(base, base + bytes, Addr{c} * kBlockSize);
+    }
+
+    table_.assign(cfg_.buckets, kNoItem);
+    items_.reserve(cfg_.capacity);
+}
+
+std::uint32_t
+KvStore::bucketOf(std::uint64_t key) const
+{
+    // Fibonacci-style mix; buckets need not be a power of two.
+    return static_cast<std::uint32_t>((key * 0x9E3779B97F4A7C15ull >>
+                                       33) %
+                                      cfg_.buckets);
+}
+
+std::uint32_t
+KvStore::findInChain(SysCtx &ctx, std::uint32_t bucket,
+                     std::uint64_t key)
+{
+    // Bucket head probe, then the pointer chase along chained item
+    // headers — each probe is one header read at a recycled address.
+    ctx.exec(25); // hash + segment selection
+    ctx.userRead(bucketBase_ + Addr{bucket} * kBucketBytes,
+                 kBucketBytes, fnHash_);
+    for (std::uint32_t it = table_[bucket]; it != kNoItem;
+         it = items_[it].next) {
+        ctx.userRead(items_[it].header, kHeaderBytes, fnHash_);
+        if (items_[it].key == key)
+            return it;
+    }
+    return kNoItem;
+}
+
+void
+KvStore::lruUnlink(std::uint32_t idx)
+{
+    Item &it = items_[idx];
+    if (it.lruPrev != kNoItem)
+        items_[it.lruPrev].lruNext = it.lruNext;
+    else
+        lruFirst_ = it.lruNext;
+    if (it.lruNext != kNoItem)
+        items_[it.lruNext].lruPrev = it.lruPrev;
+    else
+        lruLast_ = it.lruPrev;
+    it.lruPrev = it.lruNext = kNoItem;
+}
+
+void
+KvStore::lruTouch(SysCtx &ctx, std::uint32_t idx)
+{
+    // Move to MRU: update the neighbours' links (their headers) and
+    // the global head block — the head block is the hottest line in
+    // the cache process, as in memcached's cache_lock era.
+    if (lruFirst_ != idx) {
+        if (items_[idx].lruPrev != kNoItem)
+            ctx.userWrite(items_[items_[idx].lruPrev].header + 48, 8,
+                          fnLru_);
+        lruUnlink(idx);
+        if (lruFirst_ != kNoItem) {
+            items_[lruFirst_].lruPrev = idx;
+            items_[idx].lruNext = lruFirst_;
+        }
+        lruFirst_ = idx;
+        if (lruLast_ == kNoItem)
+            lruLast_ = idx;
+    }
+    ctx.userRead(lruHead_, 16, fnLru_);
+    ctx.userWrite(lruHead_, 16, fnLru_);
+    ctx.userWrite(items_[idx].header + 48, 16, fnLru_);
+}
+
+void
+KvStore::unlinkFromChain(std::uint32_t bucket, std::uint32_t idx)
+{
+    std::uint32_t *slot = &table_[bucket];
+    while (*slot != kNoItem && *slot != idx)
+        slot = &items_[*slot].next;
+    if (*slot == idx)
+        *slot = items_[idx].next;
+    items_[idx].next = kNoItem;
+}
+
+std::uint32_t
+KvStore::evictLru(SysCtx &ctx)
+{
+    const std::uint32_t victim = lruLast_;
+    Item &it = items_[victim];
+    // Eviction reads the victim's header, unhooks it from its chain
+    // (bucket write) and returns header + value to the recyclers, so
+    // the very next allocation revisits these addresses.
+    ctx.userRead(it.header, kHeaderBytes, fnSlab_);
+    const std::uint32_t bucket = bucketOf(it.key);
+    ctx.userWrite(bucketBase_ + Addr{bucket} * kBucketBytes, 8,
+                  fnSlab_);
+    lruUnlink(victim);
+    unlinkFromChain(bucket, victim);
+    headers_.free(it.header);
+    slabs_[it.blocks - 1].free(it.value);
+    it.live = false;
+    freeItems_.push_back(victim);
+    --live_;
+    ++evictions_;
+    ctx.exec(40);
+    return victim;
+}
+
+Addr
+KvStore::get(SysCtx &ctx, std::uint64_t key)
+{
+    const std::uint32_t bucket = bucketOf(key);
+    const std::uint32_t idx = findInChain(ctx, bucket, key);
+    ctx.userWrite(statsBlock_, 8, fnItem_);
+    if (idx == kNoItem)
+        return 0;
+    Item &it = items_[idx];
+    // Read the value through the caches (the response path then
+    // re-reads it for checksumming/packetization).
+    ctx.userRead(it.value, it.blocks * kBlockSize, fnItem_);
+    lruTouch(ctx, idx);
+    ++hits_;
+    return it.value;
+}
+
+Addr
+KvStore::set(SysCtx &ctx, std::uint64_t key, std::uint32_t blocks)
+{
+    blocks = std::max(1u, std::min(blocks, cfg_.valueBlocksMax));
+    const std::uint32_t bucket = bucketOf(key);
+    std::uint32_t idx = findInChain(ctx, bucket, key);
+
+    if (idx != kNoItem && items_[idx].blocks != blocks) {
+        // Size-class change: recycle the old value chunk.
+        slabs_[items_[idx].blocks - 1].free(items_[idx].value);
+        items_[idx].value = slabs_[blocks - 1].alloc();
+        items_[idx].blocks = blocks;
+        ctx.exec(30);
+    }
+    if (idx == kNoItem) {
+        if (live_ >= cfg_.capacity)
+            evictLru(ctx);
+        if (!freeItems_.empty()) {
+            idx = freeItems_.back();
+            freeItems_.pop_back();
+        } else {
+            idx = static_cast<std::uint32_t>(items_.size());
+            items_.emplace_back();
+        }
+        Item &it = items_[idx];
+        it.key = key;
+        it.header = headers_.alloc();
+        it.value = slabs_[blocks - 1].alloc();
+        it.blocks = blocks;
+        it.live = true;
+        // Link at the chain head: bucket write + header init.
+        it.next = table_[bucket];
+        table_[bucket] = idx;
+        ctx.userWrite(bucketBase_ + Addr{bucket} * kBucketBytes, 8,
+                      fnSlab_);
+        it.lruPrev = it.lruNext = kNoItem;
+        if (lruFirst_ != kNoItem)
+            items_[lruFirst_].lruPrev = idx;
+        it.lruNext = lruFirst_;
+        lruFirst_ = idx;
+        if (lruLast_ == kNoItem)
+            lruLast_ = idx;
+        ++live_;
+    }
+
+    Item &it = items_[idx];
+    ctx.userWrite(it.header, kHeaderBytes, fnSlab_);
+    ctx.userWrite(it.value, blocks * kBlockSize, fnSlab_);
+    ctx.userWrite(statsBlock_, 8, fnSlab_);
+    if (idx != lruFirst_)
+        lruTouch(ctx, idx);
+    return it.value;
+}
+
+bool
+KvStore::del(SysCtx &ctx, std::uint64_t key)
+{
+    const std::uint32_t bucket = bucketOf(key);
+    const std::uint32_t idx = findInChain(ctx, bucket, key);
+    if (idx == kNoItem)
+        return false;
+    Item &it = items_[idx];
+    ctx.userWrite(bucketBase_ + Addr{bucket} * kBucketBytes, 8,
+                  fnHash_);
+    ctx.userWrite(it.header, 16, fnHash_);
+    lruUnlink(idx);
+    unlinkFromChain(bucket, idx);
+    headers_.free(it.header);
+    slabs_[it.blocks - 1].free(it.value);
+    it.live = false;
+    freeItems_.push_back(idx);
+    --live_;
+    return true;
+}
+
+} // namespace tstream

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * In-memory key-value store engine (memcached-shaped): a bucketed
+ * hash index with chained item headers, slab-allocated values, and
+ * per-slab-class LRU eviction that *reuses* segment addresses.
+ *
+ * The reuse discipline is the point: like the kernel's mblk and
+ * packet-buffer arenas, evicted item headers and value segments are
+ * recycled LIFO, so a busy cache revisits the same addresses in the
+ * same pointer-chasing order (bucket -> chain -> header -> value)
+ * request after request — exactly the recurring miss sequences the
+ * paper calls temporal streams, now produced by a post-paper
+ * commercial server application. All state lives in the simulated
+ * user address space of the cache process; accesses go through
+ * SysCtx::userRead/userWrite so the TLB/MMU model applies.
+ */
+
+#ifndef TSTREAM_KV_KVSTORE_HH
+#define TSTREAM_KV_KVSTORE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "kernel/ctx.hh"
+#include "mem/sim_alloc.hh"
+#include "trace/categories.hh"
+
+namespace tstream
+{
+
+/** Tunables of the store engine. */
+struct KvConfig
+{
+    /** Key population (ids in [0, keys)). */
+    std::uint64_t keys = 200'000;
+    /** Hash buckets (16 B headers, contiguous array). */
+    std::uint32_t buckets = 32'768;
+    /** Resident item capacity; beyond it the LRU evicts. */
+    std::uint32_t capacity = 60'000;
+    /** Largest value size in blocks (size classes 1..max). */
+    std::uint32_t valueBlocksMax = 8;
+    /** Zipf skew of key popularity. */
+    double zipf = 0.95;
+
+    /** Apply a footprint scale factor. */
+    void
+    rescale(double s)
+    {
+        auto f = [s](std::uint64_t v) {
+            return std::max<std::uint64_t>(
+                64, static_cast<std::uint64_t>(v * s));
+        };
+        keys = f(keys);
+        buckets = static_cast<std::uint32_t>(f(buckets));
+        capacity = static_cast<std::uint32_t>(f(capacity));
+    }
+};
+
+/**
+ * The store engine. Callers (the KV workload and the phased mix)
+ * drive get/set/del with simulated keys; the engine emits the memory
+ * accesses of the index walk, the value traffic, and the slab/LRU
+ * bookkeeping.
+ */
+class KvStore
+{
+  public:
+    /**
+     * @param cfg  Engine tunables.
+     * @param reg  Function registry for attribution.
+     * @param pid  Simulated process id (selects the user segment).
+     */
+    KvStore(const KvConfig &cfg, FunctionRegistry &reg, unsigned pid);
+
+    /**
+     * GET: hash, bucket probe, chain walk, value read, LRU touch.
+     * @return the value address (0 on miss; the caller typically
+     *         set()s on miss, as a cache client would).
+     */
+    Addr get(SysCtx &ctx, std::uint64_t key);
+
+    /**
+     * SET: hash, bucket probe, slab allocation (evicting the LRU item
+     * of the size class when at capacity — its header and value
+     * addresses are recycled), value write, chain link.
+     * @return the stored value address.
+     */
+    Addr set(SysCtx &ctx, std::uint64_t key, std::uint32_t blocks);
+
+    /** DELETE: unlink and recycle; @return true if the key existed. */
+    bool del(SysCtx &ctx, std::uint64_t key);
+
+    /** Value size class for @p key (1..valueBlocksMax blocks). */
+    std::uint32_t
+    valueBlocks(std::uint64_t key) const
+    {
+        return 1 + static_cast<std::uint32_t>(
+                       (key * 2654435761u) % cfg_.valueBlocksMax);
+    }
+
+    const KvConfig &config() const { return cfg_; }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t evictions() const { return evictions_; }
+    std::size_t residentItems() const { return live_; }
+
+  private:
+    static constexpr std::uint32_t kNoItem = 0xFFFFFFFFu;
+
+    /** One resident item: simulated addresses + intrusive LRU links. */
+    struct Item
+    {
+        std::uint64_t key = 0;
+        Addr header = 0;
+        Addr value = 0;
+        std::uint32_t blocks = 0;
+        std::uint32_t next = kNoItem; ///< hash-chain link
+        std::uint32_t lruPrev = kNoItem, lruNext = kNoItem;
+        bool live = false;
+    };
+
+    std::uint32_t bucketOf(std::uint64_t key) const;
+    std::uint32_t findInChain(SysCtx &ctx, std::uint32_t bucket,
+                              std::uint64_t key);
+    void lruTouch(SysCtx &ctx, std::uint32_t idx);
+    void lruUnlink(std::uint32_t idx);
+    void unlinkFromChain(std::uint32_t bucket, std::uint32_t idx);
+    std::uint32_t evictLru(SysCtx &ctx);
+
+    KvConfig cfg_;
+    BumpAllocator heap_; ///< user heap of the cache process
+
+    Addr bucketBase_ = 0; ///< hash bucket array
+    Addr lruHead_ = 0;    ///< LRU list head/tail block (hot)
+    Addr statsBlock_ = 0; ///< hit/miss counters (very hot)
+
+    RecyclingAllocator headers_; ///< 64 B item headers, recycled
+    /** One recycling arena per value size class (1..valueBlocksMax). */
+    std::vector<RecyclingAllocator> slabs_;
+
+    std::vector<std::uint32_t> table_; ///< bucket -> first item index
+    std::vector<Item> items_;
+    std::vector<std::uint32_t> freeItems_;
+    std::uint32_t lruFirst_ = kNoItem, lruLast_ = kNoItem;
+    std::size_t live_ = 0;
+
+    FnId fnHash_, fnItem_, fnSlab_, fnLru_;
+    std::uint64_t hits_ = 0, evictions_ = 0;
+};
+
+} // namespace tstream
+
+#endif // TSTREAM_KV_KVSTORE_HH

@@ -1,0 +1,163 @@
+#include "mq/broker.hh"
+
+#include <algorithm>
+
+#include "kernel/kernel.hh"
+
+namespace tstream
+{
+
+namespace
+{
+
+/** Carve the bounded segment-recycling arena out of @p heap. */
+RecyclingAllocator
+makeSegmentArena(BumpAllocator &heap, const MqConfig &cfg)
+{
+    const Addr segBytes = Addr{cfg.segmentBlocks} * kBlockSize;
+    // Worst case: every topic at retention depth, plus slack for the
+    // segments in flight between roll and trim.
+    const Addr bytes =
+        Addr{cfg.topics} * (cfg.retentionSegments + 4) * segBytes;
+    const Addr base = heap.alloc(bytes, kPageSize);
+    return RecyclingAllocator(base, base + bytes, segBytes);
+}
+
+} // namespace
+
+Broker::Broker(const MqConfig &cfg, FunctionRegistry &reg, unsigned pid)
+    : cfg_(cfg),
+      heap_(seg::userHeap(pid), seg::userHeap(pid) + seg::kUserStride),
+      segmentArena_(makeSegmentArena(heap_, cfg)),
+      fnAppend_(reg.intern("mq_log_append", Category::MqTopicLog)),
+      fnReplay_(reg.intern("mq_log_replay", Category::MqTopicLog)),
+      fnIndex_(reg.intern("mq_index_lookup", Category::MqCursorIndex)),
+      fnCursor_(reg.intern("mq_cursor_advance",
+                           Category::MqCursorIndex)),
+      fnTrim_(reg.intern("mq_retention_trim", Category::MqCursorIndex))
+{
+    topics_.resize(cfg_.topics);
+    for (Topic &t : topics_) {
+        t.desc = heap_.allocBlocks(1);
+        t.index = heap_.allocBlocks(1);
+        t.segments.push_back(segmentArena_.alloc());
+    }
+}
+
+void
+Broker::rollSegment(SysCtx &ctx, Topic &t)
+{
+    // Close the full segment in the offset index and open a recycled
+    // one; trim the oldest past retention, so steady-state appends
+    // cycle through the same segment addresses.
+    ctx.userWrite(t.index, 16, fnIndex_);
+    t.segments.push_back(segmentArena_.alloc());
+    if (t.segments.size() > cfg_.retentionSegments) {
+        ctx.userRead(t.segments.front(), kBlockSize, fnTrim_);
+        ctx.userWrite(t.index, 16, fnTrim_);
+        segmentArena_.free(t.segments.front());
+        t.segments.pop_front();
+        t.baseOffset += Addr{cfg_.segmentBlocks} * kBlockSize;
+        ++trims_;
+    }
+}
+
+void
+Broker::publish(SysCtx &ctx, std::uint32_t topic, std::uint32_t bytes,
+                Addr payload)
+{
+    Topic &t = topics_[topic % topics_.size()];
+    const Addr segBytes = Addr{cfg_.segmentBlocks} * kBlockSize;
+
+    // Topic descriptor: head offset + epoch bump (hot block).
+    ctx.userRead(t.desc, 32, fnAppend_);
+    ctx.userWrite(t.desc, 16, fnAppend_);
+
+    std::uint32_t left = bytes;
+    std::uint32_t srcOff = 0;
+    while (left > 0) {
+        const Addr segPos = t.headOffset - t.baseOffset;
+        const std::size_t segIdx =
+            static_cast<std::size_t>(segPos / segBytes);
+        const Addr inSeg = segPos % segBytes;
+        const std::uint32_t chunk = static_cast<std::uint32_t>(
+            std::min<Addr>(left, segBytes - inSeg));
+        const Addr dst = t.segments[segIdx] + inSeg;
+        if (payload != 0)
+            ctx.kernel().copy().memcpyUser(ctx, dst, payload + srcOff,
+                                           chunk);
+        else
+            ctx.userWrite(dst, chunk, fnAppend_);
+        // Per-message framing header at the front of the write.
+        ctx.userWrite(dst, 16, fnAppend_);
+        t.headOffset += chunk;
+        left -= chunk;
+        srcOff += chunk;
+        if ((t.headOffset - t.baseOffset) % segBytes == 0)
+            rollSegment(ctx, t);
+    }
+    ctx.exec(60);
+    ++published_;
+}
+
+std::size_t
+Broker::subscribe(std::uint32_t topic)
+{
+    MqCursor c;
+    c.topic = topic % topics_.size();
+    c.offset = topics_[c.topic].headOffset;
+    c.block = heap_.allocBlocks(1);
+    cursors_.push_back(c);
+    return cursors_.size() - 1;
+}
+
+std::uint64_t
+Broker::backlog(std::size_t cur) const
+{
+    const MqCursor &c = cursors_[cur];
+    const Topic &t = topics_[c.topic];
+    const std::uint64_t from = std::max(c.offset, t.baseOffset);
+    return t.headOffset - from;
+}
+
+std::uint32_t
+Broker::consume(SysCtx &ctx, std::size_t cur, std::uint32_t maxBytes)
+{
+    MqCursor &c = cursors_[cur];
+    Topic &t = topics_[c.topic];
+    const Addr segBytes = Addr{cfg_.segmentBlocks} * kBlockSize;
+
+    ctx.userRead(c.block, 32, fnCursor_);
+    if (c.offset < t.baseOffset) {
+        // Fell behind retention: snap to the oldest live segment.
+        ctx.userRead(t.index, 32, fnIndex_);
+        c.offset = t.baseOffset;
+    }
+    const std::uint64_t avail = t.headOffset - c.offset;
+    std::uint32_t n = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(maxBytes, avail));
+    if (n == 0)
+        return 0;
+
+    // Offset -> segment translation, then the sequential replay: the
+    // reads visit exactly the block sequence the producer wrote.
+    ctx.userRead(t.index, 32, fnIndex_);
+    std::uint32_t left = n;
+    while (left > 0) {
+        const Addr segPos = c.offset - t.baseOffset;
+        const std::size_t segIdx =
+            static_cast<std::size_t>(segPos / segBytes);
+        const Addr inSeg = segPos % segBytes;
+        const std::uint32_t chunk = static_cast<std::uint32_t>(
+            std::min<Addr>(left, segBytes - inSeg));
+        ctx.userRead(t.segments[segIdx] + inSeg, chunk, fnReplay_);
+        c.offset += chunk;
+        left -= chunk;
+    }
+    ctx.userWrite(c.block, 16, fnCursor_);
+    ctx.exec(40);
+    delivered_ += n;
+    return n;
+}
+
+} // namespace tstream

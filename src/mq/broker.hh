@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Message broker engine: per-topic segmented logs with producer
+ * append, consumer cursor replay, and retention trimming.
+ *
+ * The broker is the scenario "Consistent Streaming Through Time"
+ * (Barga et al.) motivates: event delivery replays, in order, the
+ * exact block sequence a producer appended — once per subscribed
+ * consumer — so the same miss sequences recur with every fan-out.
+ * Retention trimming returns the oldest segments to a recycling
+ * arena, so a steady-state broker appends into *reused* segment
+ * addresses; both the replay and the append sides are therefore
+ * temporal streams by construction. All state lives in the simulated
+ * user space of the broker process.
+ */
+
+#ifndef TSTREAM_MQ_BROKER_HH
+#define TSTREAM_MQ_BROKER_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "kernel/ctx.hh"
+#include "mem/sim_alloc.hh"
+#include "trace/categories.hh"
+
+namespace tstream
+{
+
+/** Tunables of the broker engine. */
+struct MqConfig
+{
+    std::uint32_t topics = 48;
+    /** Blocks per log segment (64 blocks = one 4 KB page). */
+    std::uint32_t segmentBlocks = 64;
+    /** Retention: max live segments per topic before trimming. */
+    std::uint32_t retentionSegments = 20;
+    /** Zipf skew of topic popularity. */
+    double zipf = 0.8;
+
+    /** Apply a footprint scale factor (topic count scales; segment
+     *  geometry is a format property and stays fixed). */
+    void
+    rescale(double s)
+    {
+        topics = std::max<std::uint32_t>(
+            8, static_cast<std::uint32_t>(topics * s));
+    }
+};
+
+/** A consumer's position in one topic's log. */
+struct MqCursor
+{
+    std::uint32_t topic = 0;
+    std::uint64_t offset = 0; ///< logical byte offset into the log
+    Addr block = 0;           ///< simulated cursor state block
+};
+
+/** The broker engine. */
+class Broker
+{
+  public:
+    /**
+     * @param cfg  Engine tunables.
+     * @param reg  Function registry for attribution.
+     * @param pid  Simulated process id (selects the user segment).
+     */
+    Broker(const MqConfig &cfg, FunctionRegistry &reg, unsigned pid);
+
+    /**
+     * Append a @p bytes message to @p topic: topic descriptor update,
+     * sequential segment write (rolling to a recycled segment when
+     * full), offset-index maintenance, and retention trimming.
+     * @param payload Source address of the payload already in the
+     *                broker's address space (0 = header-only model;
+     *                the engine then only writes the log).
+     */
+    void publish(SysCtx &ctx, std::uint32_t topic, std::uint32_t bytes,
+                 Addr payload = 0);
+
+    /** Register a cursor for @p topic starting at the log tail. */
+    std::size_t subscribe(std::uint32_t topic);
+
+    /**
+     * Replay up to @p maxBytes from cursor @p cur: cursor read, index
+     * lookup, sequential log reads in segment order, cursor advance.
+     * A cursor that fell behind retention snaps to the oldest live
+     * segment first.
+     * @return bytes delivered (0 = caught up with the producer).
+     */
+    std::uint32_t consume(SysCtx &ctx, std::size_t cur,
+                          std::uint32_t maxBytes);
+
+    /** Bytes the cursor still has to replay. */
+    std::uint64_t backlog(std::size_t cur) const;
+
+    const MqConfig &config() const { return cfg_; }
+    std::uint64_t published() const { return published_; }
+    std::uint64_t delivered() const { return delivered_; }
+    std::uint64_t trims() const { return trims_; }
+
+  private:
+    /** One topic's live log. */
+    struct Topic
+    {
+        Addr desc = 0;  ///< topic descriptor block (hot)
+        Addr index = 0; ///< offset -> segment index block
+        std::deque<Addr> segments;
+        std::uint64_t headOffset = 0; ///< next append offset
+        std::uint64_t baseOffset = 0; ///< offset of segments.front()
+    };
+
+    void rollSegment(SysCtx &ctx, Topic &t);
+
+    MqConfig cfg_;
+    BumpAllocator heap_;
+    RecyclingAllocator segmentArena_;
+
+    std::vector<Topic> topics_;
+    std::vector<MqCursor> cursors_;
+
+    FnId fnAppend_, fnReplay_, fnIndex_, fnCursor_, fnTrim_;
+    std::uint64_t published_ = 0, delivered_ = 0, trims_ = 0;
+};
+
+} // namespace tstream
+
+#endif // TSTREAM_MQ_BROKER_HH

@@ -47,6 +47,81 @@ makeBenchCell(const CellResult &res, std::vector<BenchRow> rows)
     return c;
 }
 
+bool
+loadResumeCells(const std::string &path, const std::string &benchName,
+                bool quick, const BenchBudgets &budgets,
+                const std::vector<Cell> &grid,
+                std::vector<BenchCell> &out, std::string &err)
+{
+    out.clear();
+    {
+        std::FILE *f = std::fopen(path.c_str(), "rb");
+        if (!f)
+            return true; // nothing to resume from: fresh run
+        std::fclose(f);
+    }
+
+    std::vector<BenchDoc> docs;
+    if (!readBenchDocs(path, docs, err))
+        return false; // unreadable or wrong schema version
+
+    const BenchDoc *doc = nullptr;
+    for (const BenchDoc &d : docs)
+        if (d.bench == benchName)
+            doc = &d;
+    if (!doc) {
+        err = path + ": no document for bench " + benchName;
+        return false;
+    }
+    if (doc->quick != quick || doc->budgets.warmup != budgets.warmup ||
+        doc->budgets.measure != budgets.measure ||
+        doc->budgets.scale != budgets.scale) {
+        err = path + ": budgets differ from this run (was the report "
+                     "recorded with different --quick/budget flags?)";
+        return false;
+    }
+    if (doc->gridCells != grid.size()) {
+        err = path + ": grid size " + std::to_string(doc->gridCells) +
+              " != current " + std::to_string(grid.size()) +
+              " (workload suite changed); delete the report or drop "
+              "--resume";
+        return false;
+    }
+
+    std::vector<bool> seen(grid.size(), false);
+    for (const BenchCell &cell : doc->cells) {
+        if (cell.index >= grid.size() || seen[cell.index]) {
+            err = path + ": duplicate or out-of-range cell index " +
+                  std::to_string(cell.index);
+            return false;
+        }
+        const Cell &cur = grid[cell.index];
+        if (cell.id != cur.id) {
+            err = path + ": cell " + std::to_string(cell.index) +
+                  " is " + cell.id + " but the current grid has " +
+                  cur.id;
+            return false;
+        }
+        const std::uint64_t want = configHash(cur.cfg);
+        if (cell.configHash != want) {
+            err = path + ": cell " + cell.id +
+                  ": config hash mismatch (report " +
+                  hashToHex(cell.configHash) + ", current " +
+                  hashToHex(want) +
+                  "); budgets/seed/geometry changed — delete the "
+                  "report or drop --resume";
+            return false;
+        }
+        seen[cell.index] = true;
+        out.push_back(cell);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const BenchCell &a, const BenchCell &b) {
+                  return a.index < b.index;
+              });
+    return true;
+}
+
 json::Value
 benchDocToJson(const BenchDoc &doc)
 {

@@ -4,7 +4,7 @@
  * every figure/table bench and the interchange format of the
  * tstream-bench front-end.
  *
- * One *bench document* (schema "tstream-bench/v1") describes one
+ * One *bench document* (schema "tstream-bench/v2") describes one
  * bench binary's (possibly sharded) run: the budgets, the total grid
  * size, and one entry per executed cell carrying the cell id, its
  * configHash() provenance, wall/sim time, and the bench's rows — each
@@ -15,7 +15,15 @@
  * grid is verified); equivalence ignores non-deterministic fields
  * (wall time, cache hits, jobs, shard) so "merged 2-shard run equals
  * unsharded run" is a checkable invariant. Several bench documents
- * bundle into a *combined report* (schema "tstream-bench-report/v1").
+ * bundle into a *combined report* (schema "tstream-bench-report/v2").
+ *
+ * v1 -> v2 (scenario-subsystem PR): the nine-workload grid, the
+ * origins benches' self-contained `origins_block` rows, and the
+ * l2-sweep per-workload label changed the *row* content without any
+ * field-level change, so the version was bumped to keep `--resume`
+ * (which reuses stored rows verbatim) from silently mixing row
+ * shapes across binaries. v1 reports are rejected with a schema
+ * error; re-run the bench to regenerate.
  *
  * Field-by-field schema documentation: docs/BENCHMARKING.md.
  */
@@ -32,9 +40,9 @@
 namespace tstream
 {
 
-inline constexpr std::string_view kBenchDocSchema = "tstream-bench/v1";
+inline constexpr std::string_view kBenchDocSchema = "tstream-bench/v2";
 inline constexpr std::string_view kBenchReportSchema =
-    "tstream-bench-report/v1";
+    "tstream-bench-report/v2";
 
 /** One printed table row with its machine-readable metrics. */
 struct BenchRow
@@ -75,6 +83,23 @@ struct BenchDoc
 /** Build a report cell from a driver result plus the bench's rows. */
 BenchCell makeBenchCell(const CellResult &res,
                         std::vector<BenchRow> rows);
+
+/**
+ * `--resume` support: load the reusable cells of the prior report at
+ * @p path for @p benchName over the current @p grid. A missing file
+ * succeeds with no cells (first run). An existing file must match
+ * exactly — schema version (readBenchDocs rejects others), bench
+ * name, quick flag, budgets, grid size, and every stored cell's id
+ * and configHash() against the current grid — otherwise the load
+ * fails with a description in @p err rather than silently mixing
+ * results from different configurations. On success @p out holds the
+ * stored cells in ascending grid order.
+ */
+bool loadResumeCells(const std::string &path,
+                     const std::string &benchName, bool quick,
+                     const BenchBudgets &budgets,
+                     const std::vector<Cell> &grid,
+                     std::vector<BenchCell> &out, std::string &err);
 
 json::Value benchDocToJson(const BenchDoc &doc);
 

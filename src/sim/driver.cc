@@ -174,6 +174,9 @@ benchUsage(const char *benchName, const char *msg, int status)
         "                 (also: TSTREAM_SHARD=k/N; default 0/1)\n"
         "  --json PATH    write a machine-readable report (schema in\n"
         "                 docs/BENCHMARKING.md) next to the table\n"
+        "  --resume       reuse cells already present in the existing\n"
+        "                 --json report instead of re-running them\n"
+        "                 (fails on schema or config-hash mismatch)\n"
         "  --help         this message\n"
         "\n"
         "See docs/BENCHMARKING.md for sharded multi-process recipes\n"
@@ -188,6 +191,7 @@ BenchOptions
 parseBenchArgs(int argc, char **argv, const char *benchName)
 {
     BenchOptions opts;
+    opts.benchName = benchName;
     opts.quick = std::getenv("TSTREAM_QUICK") != nullptr;
     if (const char *env = std::getenv("TSTREAM_SHARD"))
         if (!parseShardSpec(env, opts.shard))
@@ -218,6 +222,8 @@ parseBenchArgs(int argc, char **argv, const char *benchName)
                 benchUsage(benchName, "--shard wants k/N with k < N", 2);
         } else if (arg == "--json") {
             opts.jsonPath = value("--json");
+        } else if (arg == "--resume") {
+            opts.resume = true;
         } else if (arg == "--help" || arg == "-h") {
             benchUsage(benchName, nullptr, 0);
         } else {
@@ -230,6 +236,11 @@ parseBenchArgs(int argc, char **argv, const char *benchName)
                        2);
         }
     }
+
+    if (opts.resume && opts.jsonPath.empty())
+        benchUsage(benchName, "--resume needs --json PATH (the report "
+                              "to resume from)",
+                   2);
 
     if (opts.quick) {
         opts.budgets.warmup = kQuickBudgets.warmupInstructions;

@@ -138,11 +138,18 @@ std::vector<CellResult> runCells(const std::vector<Cell> &grid,
 /** Options shared by every figure/table bench binary. */
 struct BenchOptions
 {
+    std::string benchName; ///< binary name (set by parseBenchArgs)
     BenchBudgets budgets;
     bool quick = false;
     unsigned jobs = 0;
     ShardSpec shard;
     std::string jsonPath; ///< empty = no JSON report
+    /**
+     * --resume: reuse the cells already present in the existing
+     * --json report instead of re-running them; fail if the report's
+     * schema version or any cell's config hash mismatches.
+     */
+    bool resume = false;
 
     DriverOptions
     driver(bool analyze_streams = true, bool filter_intra = true) const
@@ -158,11 +165,11 @@ struct BenchOptions
 
 /**
  * Strict bench argument parser: --quick, --jobs N, --shard k/N,
- * --json PATH, --help, plus the TSTREAM_QUICK / TSTREAM_JOBS /
- * TSTREAM_SHARD environment fallbacks. Any unknown flag prints a
- * usage message naming @p benchName and exits with status 2 (a typo
- * like --qiuck must not silently run at paper scale for hours);
- * --help exits 0.
+ * --json PATH, --resume, --help, plus the TSTREAM_QUICK /
+ * TSTREAM_JOBS / TSTREAM_SHARD environment fallbacks. Any unknown
+ * flag prints a usage message naming @p benchName and exits with
+ * status 2 (a typo like --qiuck must not silently run at paper scale
+ * for hours); --help exits 0. --resume requires --json.
  */
 BenchOptions parseBenchArgs(int argc, char **argv,
                             const char *benchName);

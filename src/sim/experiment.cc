@@ -68,6 +68,23 @@ configHash(const ExperimentConfig &cfg)
     static_assert(sizeof(cfg.scale) == sizeof(scaleBits));
     std::memcpy(&scaleBits, &cfg.scale, sizeof(scaleBits));
     h = mix(h, scaleBits);
+    if (cfg.workload == WorkloadKind::PhasedMix) {
+        // Hash the *resolved* schedule so an explicit copy of the
+        // default mix and an empty (defaulted) field collide, and any
+        // real schedule change re-simulates.
+        const PhaseSchedule sched = cfg.phases.empty()
+                                        ? PhaseSchedule::standardMix()
+                                        : cfg.phases;
+        h = mix(h, sched.phases.size());
+        for (const WorkloadPhase &p : sched.phases) {
+            h = mix(h, static_cast<std::uint64_t>(p.kind));
+            std::uint64_t mixBits = 0;
+            static_assert(sizeof(p.mix) == sizeof(mixBits));
+            std::memcpy(&mixBits, &p.mix, sizeof(mixBits));
+            h = mix(h, mixBits);
+            h = mix(h, p.duration);
+        }
+    }
     if (cfg.context == SystemContext::MultiChip) {
         h = mix(h, cfg.multiChip.nodes);
         h = mixCache(h, cfg.multiChip.l1);
@@ -92,7 +109,12 @@ runExperiment(const ExperimentConfig &cfg)
     Engine eng(std::move(sys), cfg.seed);
     Kernel kern(eng);
 
-    auto workload = makeWorkload(cfg.workload, cfg.scale);
+    WorkloadSpec spec;
+    spec.kind = cfg.workload;
+    spec.scale = cfg.scale;
+    spec.seed = cfg.seed;
+    spec.phases = cfg.phases;
+    auto workload = makeWorkload(spec);
     workload->setup(kern);
 
     // Warm caches, TLBs, the buffer pool and the classifier history

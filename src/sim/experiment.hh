@@ -47,6 +47,14 @@ struct ExperimentConfig
     /** Footprint scale (1.0 = DESIGN.md defaults). */
     double scale = 1.0;
 
+    /**
+     * Phase schedule for WorkloadKind::PhasedMix (ignored otherwise).
+     * Empty = PhaseSchedule::standardMix(). Covered by configHash(),
+     * so phased cells with different schedules never collide in the
+     * trace cache.
+     */
+    PhaseSchedule phases;
+
     MultiChipConfig multiChip{};
     SingleChipConfig singleChip{};
 
@@ -102,11 +110,12 @@ ExperimentResult runExperiment(const ExperimentConfig &cfg);
 
 /**
  * Deterministic 64-bit hash over every field of @p cfg that affects
- * the collected traces (workload, context, budgets, seed, scale, and
- * the active context's cache geometry), plus a schema salt. Two
- * configs with equal hashes produce byte-identical traces, so the
- * hash keys the bench trace cache (TSTREAM_TRACE_CACHE) and is
- * stored in v2 trace headers for provenance.
+ * the collected traces (workload, context, budgets, seed, scale, the
+ * active context's cache geometry and — for PhasedMix — the resolved
+ * phase schedule), plus a schema salt. Two configs with equal hashes
+ * produce byte-identical traces, so the hash keys the bench trace
+ * cache (TSTREAM_TRACE_CACHE) and is stored in v2 trace headers for
+ * provenance.
  */
 std::uint64_t configHash(const ExperimentConfig &cfg);
 

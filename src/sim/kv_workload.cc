@@ -1,0 +1,180 @@
+#include "sim/kv_workload.hh"
+
+#include <algorithm>
+
+namespace tstream
+{
+
+namespace
+{
+/** ASCII-protocol request sizes (GET line / SET line + payload). */
+constexpr std::uint32_t kGetRequestBytes = 72;
+constexpr std::uint32_t kSetRequestBytes = 480;
+} // namespace
+
+/** poll(2) accept loop: admits connections and wakes idle workers. */
+class KvWorkload::Listener : public Task
+{
+  public:
+    explicit Listener(KvWorkload &w)
+        : w_(w)
+    {
+    }
+
+    RunResult
+    run(SysCtx &ctx) override
+    {
+        auto &sh = w_.sh_;
+
+        // Mostly parked in poll(2); a fraction of quanta return ready
+        // descriptors from effectively random client positions.
+        if (ctx.rng().chance(0.5)) {
+            ctx.exec(220);
+            return RunResult::Yield;
+        }
+        const unsigned window =
+            16 + static_cast<unsigned>(ctx.rng().below(17));
+        const auto start = static_cast<std::uint32_t>(
+            ctx.rng().below(sh.connFd.size()));
+        std::vector<std::uint32_t> fds;
+        for (unsigned i = 0; i < window; ++i)
+            fds.push_back(sh.connFd[(start + i) % sh.connFd.size()]);
+        ctx.kernel().syscalls().poll(ctx, sh.serverProc, fds);
+
+        const unsigned burst =
+            2 + static_cast<unsigned>(ctx.rng().below(6));
+        for (unsigned i = 0; i < burst && !sh.freeConns.empty(); ++i) {
+            const std::size_t pick =
+                ctx.rng().below(sh.freeConns.size());
+            std::swap(sh.freeConns[pick], sh.freeConns.front());
+            sh.pendingConns.push_back(sh.freeConns.front());
+            sh.freeConns.pop_front();
+            ctx.kernel().cvWake(ctx, *sh.workCv);
+        }
+        return RunResult::Yield;
+    }
+
+  private:
+    KvWorkload &w_;
+};
+
+/** Cache worker: parses a request, drives the store, responds. */
+class KvWorkload::Worker : public Task
+{
+  public:
+    Worker(KvWorkload &w, std::uint32_t id)
+        : w_(w), id_(id)
+    {
+    }
+
+    RunResult
+    run(SysCtx &ctx) override
+    {
+        auto &sh = w_.sh_;
+        for (unsigned b = 0; b < w_.cfg_.batch; ++b) {
+            if (sh.pendingConns.empty())
+                break;
+            const std::uint32_t conn = sh.pendingConns.front();
+            sh.pendingConns.pop_front();
+            serve(ctx, conn);
+            w_.served_++;
+            sh.freeConns.push_back(conn);
+        }
+        if (sh.pendingConns.empty()) {
+            ctx.kernel().cvBlock(ctx, *sh.workCv);
+            return RunResult::Blocked;
+        }
+        return RunResult::Yield;
+    }
+
+  private:
+    void
+    serve(SysCtx &ctx, std::uint32_t conn)
+    {
+        auto &sh = w_.sh_;
+        auto &kern = ctx.kernel();
+        KvStore &store = *sh.store;
+
+        const bool isGet = ctx.rng().chance(w_.cfg_.getFraction);
+        const std::uint32_t reqBytes =
+            isGet ? kGetRequestBytes : kSetRequestBytes;
+
+        // NIC DMA into the connection's reused buffer, read(2)
+        // copyout to the worker buffer, command parse.
+        kern.syscalls().readEntry(ctx, sh.serverProc, sh.connFd[conn]);
+        ctx.engine().dmaWrite(sh.connNetbuf[conn], reqBytes);
+        kern.copy().copyout(ctx, sh.reqBuf[id_], sh.connNetbuf[conn],
+                            reqBytes);
+        ctx.userRead(sh.reqBuf[id_], std::min(reqBytes, 96u),
+                     sh.fnParse);
+        ctx.exec(140);
+
+        const auto key = static_cast<std::uint64_t>(
+            sh.keyDist->sample(ctx.rng()));
+        kern.syscalls().writeEntry(ctx, sh.serverProc,
+                                   sh.connFd[conn]);
+        if (isGet) {
+            const Addr value = store.get(ctx, key);
+            if (value != 0) {
+                // Hit: the response streams the value from the slab
+                // through packetization.
+                kern.ip().send(ctx, sh.connPcb[conn], value,
+                               store.valueBlocks(key) * kBlockSize);
+                return;
+            }
+            // Miss: fill (cache-aside), then ack.
+            store.set(ctx, key, store.valueBlocks(key));
+            kern.ip().send(ctx, sh.connPcb[conn], sh.respBuf[id_], 64);
+            return;
+        }
+        if (ctx.rng().chance(w_.cfg_.deleteFraction /
+                             std::max(1e-9, 1.0 - w_.cfg_.getFraction)))
+            store.del(ctx, key);
+        else
+            store.set(ctx, key, store.valueBlocks(key));
+        kern.ip().send(ctx, sh.connPcb[conn], sh.respBuf[id_], 64);
+    }
+
+    KvWorkload &w_;
+    std::uint32_t id_;
+};
+
+void
+KvWorkload::setup(Kernel &kern)
+{
+    auto &heap = kern.kernelHeap();
+    auto &reg = kern.engine().registry();
+
+    sh_.store = std::make_unique<KvStore>(cfg_.store, reg,
+                                          /*pid=*/400);
+    store_ = sh_.store.get();
+    sh_.fnParse =
+        reg.intern("mc_try_read_command", Category::KvHashIndex);
+    sh_.serverProc = kern.syscalls().newProc();
+    sh_.workCv = std::make_unique<SimCondVar>(kern.makeCondVar());
+    sh_.keyDist = std::make_unique<ZipfSampler>(
+        static_cast<std::size_t>(cfg_.store.keys), cfg_.store.zipf);
+
+    for (unsigned c = 0; c < cfg_.connections; ++c) {
+        sh_.connFd.push_back(kern.syscalls().newFile());
+        sh_.connPcb.push_back(kern.ip().newPcb());
+        sh_.connNetbuf.push_back(heap.alloc(2048, kBlockSize));
+        sh_.freeConns.push_back(c);
+    }
+
+    // Worker request/response buffers in per-worker user space (the
+    // server is one process; buffers are spaced a page apart).
+    for (unsigned wk = 0; wk < cfg_.workers; ++wk) {
+        const Addr ub = seg::userHeap(401) + Addr{wk} * 8 * kPageSize;
+        sh_.reqBuf.push_back(ub);
+        sh_.respBuf.push_back(ub + 4 * kPageSize);
+    }
+
+    const unsigned ncpu = kern.engine().numCpus();
+    kern.spawn(std::make_unique<Listener>(*this), 0, /*priority=*/70);
+    for (unsigned wk = 0; wk < cfg_.workers; ++wk)
+        kern.spawn(std::make_unique<Worker>(*this, wk),
+                   static_cast<CpuId>(wk % ncpu));
+}
+
+} // namespace tstream

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Key-value store workload: a memcached-shaped cache server under
+ * read-heavy network load.
+ *
+ * The request path mirrors a production cache node: a poll(2) accept
+ * loop, worker threads, NIC DMA into reused per-connection network
+ * buffers, read(2) copyout into worker request buffers, the store
+ * engine's hash-index walk and slab/LRU traffic (src/kv/kvstore.hh),
+ * and IP packet assembly for the response — GET hits stream the value
+ * straight from the slab through the checksum/packetization pass.
+ * Misses are filled with a SET, as a cache-aside client would.
+ */
+
+#ifndef TSTREAM_SIM_KV_WORKLOAD_HH
+#define TSTREAM_SIM_KV_WORKLOAD_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "kv/kvstore.hh"
+#include "sim/workload.hh"
+
+namespace tstream
+{
+
+/** Tunables of the KV workload (server knobs + engine config). */
+struct KvAppConfig
+{
+    KvConfig store;
+    unsigned workers = 32;
+    /** Modeled connection pool (stands in for thousands of clients). */
+    unsigned connections = 192;
+    /** Requests served per worker quantum. */
+    unsigned batch = 3;
+    double getFraction = 0.85;
+    double deleteFraction = 0.03;
+
+    void
+    rescale(double s)
+    {
+        store.rescale(s);
+        workers = std::max(4u, static_cast<unsigned>(workers * s));
+        connections =
+            std::max(16u, static_cast<unsigned>(connections * s));
+    }
+};
+
+/** The key-value store application. */
+class KvWorkload : public Workload
+{
+  public:
+    explicit KvWorkload(const KvAppConfig &cfg = {})
+        : cfg_(cfg)
+    {
+    }
+
+    void setup(Kernel &kern) override;
+
+    std::string_view name() const override { return "KVstore"; }
+
+    std::uint64_t requestsServed() const { return served_; }
+    const KvStore &store() const { return *store_; }
+
+  private:
+    class Listener;
+    class Worker;
+
+    /** Shared server state. */
+    struct Shared
+    {
+        std::unique_ptr<KvStore> store;
+
+        // Per-connection kernel state.
+        std::vector<std::uint32_t> connFd;
+        std::vector<Addr> connPcb;
+        std::vector<Addr> connNetbuf; ///< reused NIC landing buffers
+
+        // Work distribution.
+        std::deque<std::uint32_t> pendingConns;
+        std::deque<std::uint32_t> freeConns;
+        std::unique_ptr<SimCondVar> workCv;
+
+        // Per-worker request/response buffers.
+        std::vector<Addr> reqBuf, respBuf;
+
+        std::unique_ptr<ZipfSampler> keyDist;
+        ProcDesc serverProc{};
+        FnId fnParse = 0;
+    };
+
+    KvAppConfig cfg_;
+    Shared sh_;
+    KvStore *store_ = nullptr;
+    std::uint64_t served_ = 0;
+};
+
+} // namespace tstream
+
+#endif // TSTREAM_SIM_KV_WORKLOAD_HH

@@ -1,0 +1,188 @@
+#include "sim/mq_workload.hh"
+
+#include <algorithm>
+
+namespace tstream
+{
+
+namespace
+{
+/** Event payload sizes: 256 B floor with a tail to ~1.5 KB. */
+std::uint32_t
+messageBytes(Rng &rng)
+{
+    return 256 + static_cast<std::uint32_t>(rng.below(1280));
+}
+} // namespace
+
+/** poll(2) loop over producer ingest descriptors. */
+class MqWorkload::Listener : public Task
+{
+  public:
+    explicit Listener(MqWorkload &w)
+        : w_(w)
+    {
+    }
+
+    RunResult
+    run(SysCtx &ctx) override
+    {
+        auto &sh = w_.sh_;
+        std::vector<std::uint32_t> fds;
+        const auto start = static_cast<std::uint32_t>(
+            ctx.rng().below(sh.prodFd.size()));
+        for (unsigned i = 0; i < 12; ++i)
+            fds.push_back(sh.prodFd[(start + i) % sh.prodFd.size()]);
+        ctx.kernel().syscalls().poll(ctx, sh.brokerProc, fds);
+        ctx.exec(180);
+        return RunResult::Yield;
+    }
+
+  private:
+    MqWorkload &w_;
+};
+
+/** Producer: receives events from the wire, appends to topic logs. */
+class MqWorkload::Producer : public Task
+{
+  public:
+    Producer(MqWorkload &w, std::uint32_t id)
+        : w_(w), id_(id)
+    {
+    }
+
+    RunResult
+    run(SysCtx &ctx) override
+    {
+        auto &sh = w_.sh_;
+        auto &kern = ctx.kernel();
+        for (unsigned b = 0; b < w_.cfg_.publishBatch; ++b) {
+            const std::uint32_t bytes = messageBytes(ctx.rng());
+            // Event arrives: DMA into the reused netbuf, read(2)
+            // copyout into the producer's user staging buffer.
+            kern.syscalls().readEntry(ctx, sh.brokerProc,
+                                      sh.prodFd[id_]);
+            ctx.engine().dmaWrite(sh.prodNetbuf[id_], bytes);
+            kern.copy().copyout(ctx, sh.prodBuf[id_],
+                                sh.prodNetbuf[id_], bytes);
+
+            const auto topic = static_cast<std::uint32_t>(
+                sh.topicDist->sample(ctx.rng()));
+            sh.broker->publish(ctx, topic, bytes, sh.prodBuf[id_]);
+            kern.cvWake(ctx, *sh.topicCv[topic %
+                                         sh.topicCv.size()]);
+        }
+        return RunResult::Yield;
+    }
+
+  private:
+    MqWorkload &w_;
+    std::uint32_t id_;
+};
+
+/** Consumer: replays its subscriptions and ships deliveries out. */
+class MqWorkload::Consumer : public Task
+{
+  public:
+    Consumer(MqWorkload &w, std::uint32_t id,
+             std::vector<std::size_t> cursors,
+             std::vector<std::uint32_t> topics)
+        : w_(w), id_(id), cursors_(std::move(cursors)),
+          topics_(std::move(topics))
+    {
+    }
+
+    RunResult
+    run(SysCtx &ctx) override
+    {
+        auto &sh = w_.sh_;
+        auto &kern = ctx.kernel();
+
+        // Round-robin over subscriptions until one has a backlog.
+        for (std::size_t probe = 0; probe < cursors_.size(); ++probe) {
+            const std::size_t slot =
+                (next_ + probe) % cursors_.size();
+            const std::uint32_t n = sh.broker->consume(
+                ctx, cursors_[slot], w_.cfg_.consumeBytes);
+            if (n == 0)
+                continue;
+            next_ = (slot + 1) % cursors_.size();
+            // Ship the delivery: write(2) + packetization out of the
+            // consumer's reused delivery buffer.
+            kern.syscalls().writeEntry(ctx, sh.brokerProc,
+                                       sh.consFd[id_]);
+            kern.ip().send(ctx, sh.consPcb[id_], sh.consBuf[id_], n);
+            return RunResult::Yield;
+        }
+        // Caught up everywhere: sleep until a publish to the first
+        // subscription wakes us.
+        kern.cvBlock(ctx, *sh.topicCv[topics_.front() %
+                                      sh.topicCv.size()]);
+        return RunResult::Blocked;
+    }
+
+  private:
+    MqWorkload &w_;
+    std::uint32_t id_;
+    std::vector<std::size_t> cursors_;
+    std::vector<std::uint32_t> topics_;
+    std::size_t next_ = 0;
+};
+
+void
+MqWorkload::setup(Kernel &kern)
+{
+    auto &heap = kern.kernelHeap();
+    auto &reg = kern.engine().registry();
+
+    sh_.broker = std::make_unique<Broker>(cfg_.broker, reg,
+                                          /*pid=*/420);
+    broker_ = sh_.broker.get();
+    sh_.topicDist = std::make_unique<ZipfSampler>(
+        cfg_.broker.topics, cfg_.broker.zipf);
+    sh_.brokerProc = kern.syscalls().newProc();
+
+    for (unsigned t = 0; t < cfg_.broker.topics; ++t)
+        sh_.topicCv.push_back(
+            std::make_unique<SimCondVar>(kern.makeCondVar()));
+
+    for (unsigned p = 0; p < cfg_.producers; ++p) {
+        sh_.prodFd.push_back(kern.syscalls().newFile());
+        sh_.prodNetbuf.push_back(heap.alloc(2048, kBlockSize));
+        sh_.prodBuf.push_back(seg::userHeap(421) +
+                              Addr{p} * 8 * kPageSize);
+    }
+    for (unsigned c = 0; c < cfg_.consumers; ++c) {
+        sh_.consFd.push_back(kern.syscalls().newFile());
+        sh_.consPcb.push_back(kern.ip().newPcb());
+        sh_.consBuf.push_back(seg::userHeap(422) +
+                              Addr{c} * 8 * kPageSize);
+    }
+
+    // Subscriptions: consumer c follows a deterministic topic window,
+    // so popular topics fan out to several consumers.
+    const unsigned ncpu = kern.engine().numCpus();
+    std::vector<std::unique_ptr<Consumer>> consumers;
+    for (unsigned c = 0; c < cfg_.consumers; ++c) {
+        std::vector<std::size_t> cursors;
+        std::vector<std::uint32_t> topics;
+        for (unsigned s = 0; s < cfg_.subscriptionsPerConsumer; ++s) {
+            const std::uint32_t topic =
+                (c * 2 + s * 5) % cfg_.broker.topics;
+            topics.push_back(topic);
+            cursors.push_back(sh_.broker->subscribe(topic));
+        }
+        consumers.push_back(std::make_unique<Consumer>(
+            *this, c, std::move(cursors), std::move(topics)));
+    }
+
+    kern.spawn(std::make_unique<Listener>(*this), 0, /*priority=*/70);
+    for (unsigned p = 0; p < cfg_.producers; ++p)
+        kern.spawn(std::make_unique<Producer>(*this, p),
+                   static_cast<CpuId>(p % ncpu));
+    for (unsigned c = 0; c < cfg_.consumers; ++c)
+        kern.spawn(std::move(consumers[c]),
+                   static_cast<CpuId>((c + 1) % ncpu));
+}
+
+} // namespace tstream

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Message-broker workload: producers publish event streams into the
+ * broker's per-topic segmented logs; fanned-out consumers replay them.
+ *
+ * The delivery path is the event-streaming scenario of Barga et al.'s
+ * "Consistent Streaming Through Time": each subscribed consumer
+ * replays, in order, the block sequence its producer appended, so the
+ * same miss sequences recur once per consumer per retention window —
+ * textbook temporal streams. Producers receive events from the
+ * network (NIC DMA + copyout), the broker appends into recycled
+ * segments (src/mq/broker.hh), and consumers push deliveries out
+ * through IP packet assembly. Consumers block on per-topic condition
+ * variables when caught up; publishes wake them (dispatcher traffic).
+ */
+
+#ifndef TSTREAM_SIM_MQ_WORKLOAD_HH
+#define TSTREAM_SIM_MQ_WORKLOAD_HH
+
+#include <memory>
+#include <vector>
+
+#include "mq/broker.hh"
+#include "sim/workload.hh"
+
+namespace tstream
+{
+
+/** Tunables of the broker workload (server knobs + engine config). */
+struct MqAppConfig
+{
+    MqConfig broker;
+    unsigned producers = 12;
+    unsigned consumers = 24;
+    /** Topics each consumer subscribes to. */
+    unsigned subscriptionsPerConsumer = 3;
+    /** Messages appended per producer quantum. */
+    unsigned publishBatch = 3;
+    /** Max bytes replayed per consumer quantum. */
+    std::uint32_t consumeBytes = 8 * 1024;
+
+    void
+    rescale(double s)
+    {
+        broker.rescale(s);
+        producers = std::max(2u, static_cast<unsigned>(producers * s));
+        consumers = std::max(4u, static_cast<unsigned>(consumers * s));
+    }
+};
+
+/** The message-broker application. */
+class MqWorkload : public Workload
+{
+  public:
+    explicit MqWorkload(const MqAppConfig &cfg = {})
+        : cfg_(cfg)
+    {
+    }
+
+    void setup(Kernel &kern) override;
+
+    std::string_view name() const override { return "Broker"; }
+
+    const Broker &broker() const { return *broker_; }
+
+  private:
+    class Listener;
+    class Producer;
+    class Consumer;
+
+    /** Shared broker-node state. */
+    struct Shared
+    {
+        std::unique_ptr<Broker> broker;
+        std::unique_ptr<ZipfSampler> topicDist;
+
+        // Producer-side network state.
+        std::vector<std::uint32_t> prodFd;
+        std::vector<Addr> prodNetbuf;
+        std::vector<Addr> prodBuf; ///< user-space staging
+
+        // Consumer-side delivery state.
+        std::vector<Addr> consPcb;
+        std::vector<Addr> consBuf;
+        std::vector<std::uint32_t> consFd;
+
+        /** One cv per topic; publishes wake waiting subscribers. */
+        std::vector<std::unique_ptr<SimCondVar>> topicCv;
+
+        ProcDesc brokerProc{};
+    };
+
+    MqAppConfig cfg_;
+    Shared sh_;
+    Broker *broker_ = nullptr;
+};
+
+} // namespace tstream
+
+#endif // TSTREAM_SIM_MQ_WORKLOAD_HH

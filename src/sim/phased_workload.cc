@@ -1,0 +1,212 @@
+#include "sim/phased_workload.hh"
+
+#include <algorithm>
+
+namespace tstream
+{
+
+namespace
+{
+
+constexpr std::uint32_t kRequestBytes = 120;
+constexpr std::size_t kMaxSwitchLog = 4096;
+
+/** splitmix64 finalizer for per-phase seed derivation. */
+std::uint64_t
+mixSeed(std::uint64_t seed, std::uint64_t ordinal, std::uint64_t id)
+{
+    std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (ordinal + 1) +
+                      0xBF58476D1CE4E5B9ull * (id + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+/** poll(2) loop keeping kernel-side connection scans in the mix. */
+class PhasedWorkload::Listener : public Task
+{
+  public:
+    explicit Listener(PhasedWorkload &w)
+        : w_(w)
+    {
+    }
+
+    RunResult
+    run(SysCtx &ctx) override
+    {
+        auto &sh = w_.sh_;
+        std::vector<std::uint32_t> fds;
+        const auto start = static_cast<std::uint32_t>(
+            ctx.rng().below(sh.connFd.size()));
+        for (unsigned i = 0; i < 16; ++i)
+            fds.push_back(sh.connFd[(start + i) % sh.connFd.size()]);
+        ctx.kernel().syscalls().poll(ctx, sh.serverProc, fds);
+        ctx.exec(200);
+        return RunResult::Yield;
+    }
+
+  private:
+    PhasedWorkload &w_;
+};
+
+/**
+ * Mixed worker: follows the phase schedule, reseeding its private op
+ * RNG at every phase edge it observes.
+ */
+class PhasedWorkload::Worker : public Task
+{
+  public:
+    Worker(PhasedWorkload &w, std::uint32_t id, std::size_t cursor)
+        : w_(w), id_(id), cursor_(cursor), rng_(0)
+    {
+    }
+
+    RunResult
+    run(SysCtx &ctx) override
+    {
+        const PhaseSchedule &sched = w_.cfg_.schedule;
+        const std::uint64_t ordinal =
+            sched.ordinalAt(ctx.engine().totalInstructions());
+        if (!seeded_ || ordinal != ordinal_) {
+            // Deterministic per-phase seeding: a phase's op stream is
+            // a function of (seed, ordinal, worker), independent of
+            // what earlier phases issued.
+            rng_ = Rng(mixSeed(w_.cfg_.seed, ordinal, id_));
+            ordinal_ = ordinal;
+            seeded_ = true;
+            if (id_ == 0 && w_.switches_.size() < kMaxSwitchLog)
+                w_.switches_.push_back(
+                    {ordinal, ctx.engine().totalInstructions()});
+        }
+        const WorkloadPhase &phase = sched.at(ordinal_);
+        for (unsigned b = 0; b < 2; ++b) {
+            if (phase.kind == WorkloadKind::Broker)
+                brokerOp(ctx, phase);
+            else
+                kvOp(ctx, phase);
+        }
+        return RunResult::Yield;
+    }
+
+  private:
+    /** Network ingest shared by both op kinds. */
+    void
+    receive(SysCtx &ctx, std::uint32_t conn, std::uint32_t bytes)
+    {
+        auto &sh = w_.sh_;
+        auto &kern = ctx.kernel();
+        kern.syscalls().readEntry(ctx, sh.serverProc, sh.connFd[conn]);
+        ctx.engine().dmaWrite(sh.connNetbuf[conn], bytes);
+        kern.copy().copyout(ctx, sh.workerBuf[id_],
+                            sh.connNetbuf[conn], bytes);
+        ctx.userRead(sh.workerBuf[id_], std::min(bytes, 96u),
+                     sh.fnParse);
+    }
+
+    void
+    kvOp(SysCtx &ctx, const WorkloadPhase &phase)
+    {
+        auto &sh = w_.sh_;
+        auto &kern = ctx.kernel();
+        const auto conn = static_cast<std::uint32_t>(
+            rng_.below(sh.connFd.size()));
+        receive(ctx, conn, kRequestBytes);
+
+        const auto key =
+            static_cast<std::uint64_t>(sh.keyDist->sample(rng_));
+        kern.syscalls().writeEntry(ctx, sh.serverProc,
+                                   sh.connFd[conn]);
+        if (rng_.chance(phase.mix)) {
+            const Addr value = sh.store->get(ctx, key);
+            if (value != 0) {
+                kern.ip().send(ctx, sh.connPcb[conn], value,
+                               sh.store->valueBlocks(key) *
+                                   kBlockSize);
+            } else {
+                sh.store->set(ctx, key, sh.store->valueBlocks(key));
+                kern.ip().send(ctx, sh.connPcb[conn],
+                               sh.workerBuf[id_], 64);
+            }
+        } else {
+            sh.store->set(ctx, key, sh.store->valueBlocks(key));
+            kern.ip().send(ctx, sh.connPcb[conn], sh.workerBuf[id_],
+                           64);
+        }
+        w_.kvOps_++;
+    }
+
+    void
+    brokerOp(SysCtx &ctx, const WorkloadPhase &phase)
+    {
+        auto &sh = w_.sh_;
+        auto &kern = ctx.kernel();
+        const auto conn = static_cast<std::uint32_t>(
+            rng_.below(sh.connFd.size()));
+        const bool consume = rng_.chance(phase.mix) &&
+                             sh.broker->backlog(cursor_) > 0;
+        if (consume) {
+            const std::uint32_t n = sh.broker->consume(
+                ctx, cursor_, w_.cfg_.consumeBytes);
+            kern.syscalls().writeEntry(ctx, sh.serverProc,
+                                       sh.connFd[conn]);
+            kern.ip().send(ctx, sh.connPcb[conn], sh.workerBuf[id_],
+                           std::max(n, 64u));
+        } else {
+            const std::uint32_t bytes =
+                256 + static_cast<std::uint32_t>(rng_.below(1024));
+            receive(ctx, conn, bytes);
+            const auto topic = static_cast<std::uint32_t>(
+                sh.topicDist->sample(rng_));
+            sh.broker->publish(ctx, topic, bytes, sh.workerBuf[id_]);
+        }
+        w_.mqOps_++;
+    }
+
+    PhasedWorkload &w_;
+    std::uint32_t id_;
+    std::size_t cursor_;
+    Rng rng_;
+    std::uint64_t ordinal_ = 0;
+    bool seeded_ = false;
+};
+
+void
+PhasedWorkload::setup(Kernel &kern)
+{
+    auto &heap = kern.kernelHeap();
+    auto &reg = kern.engine().registry();
+
+    panicIf(cfg_.schedule.empty(),
+            "PhasedWorkload: empty phase schedule");
+
+    sh_.store = std::make_unique<KvStore>(cfg_.kv, reg, /*pid=*/440);
+    sh_.broker = std::make_unique<Broker>(cfg_.mq, reg, /*pid=*/441);
+    sh_.keyDist = std::make_unique<ZipfSampler>(
+        static_cast<std::size_t>(cfg_.kv.keys), cfg_.kv.zipf);
+    sh_.topicDist =
+        std::make_unique<ZipfSampler>(cfg_.mq.topics, cfg_.mq.zipf);
+    sh_.fnParse =
+        reg.intern("mix_parse_request", Category::KvHashIndex);
+    sh_.serverProc = kern.syscalls().newProc();
+
+    for (unsigned c = 0; c < cfg_.connections; ++c) {
+        sh_.connFd.push_back(kern.syscalls().newFile());
+        sh_.connPcb.push_back(kern.ip().newPcb());
+        sh_.connNetbuf.push_back(heap.alloc(2048, kBlockSize));
+    }
+
+    const unsigned ncpu = kern.engine().numCpus();
+    kern.spawn(std::make_unique<Listener>(*this), 0, /*priority=*/70);
+    for (unsigned wk = 0; wk < cfg_.workers; ++wk) {
+        sh_.workerBuf.push_back(seg::userHeap(442) +
+                                Addr{wk} * 8 * kPageSize);
+        const std::size_t cursor =
+            sh_.broker->subscribe(wk % cfg_.mq.topics);
+        kern.spawn(std::make_unique<Worker>(*this, wk, cursor),
+                   static_cast<CpuId>(wk % ncpu));
+    }
+}
+
+} // namespace tstream

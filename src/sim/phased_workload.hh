@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Phased/mixed workload composition (YCSBR-PhasedWorkload-style): one
+ * server node hosting both the KV store and the broker, with worker
+ * threads whose op mix follows a cyclic (kind, op-mix, duration)
+ * phase schedule measured on the engine's global instruction counter.
+ *
+ * Determinism contract: the phase active at instruction I is a pure
+ * function of the schedule (PhaseSchedule::ordinalAt), and every
+ * worker reseeds its private op RNG from (seed, phase ordinal,
+ * worker id) the moment it first observes a new ordinal — so the op
+ * stream within a phase depends only on the seed and the phase, not
+ * on how many ops earlier phases happened to issue. The experiment
+ * configHash covers the schedule, so phased cells cache correctly.
+ */
+
+#ifndef TSTREAM_SIM_PHASED_WORKLOAD_HH
+#define TSTREAM_SIM_PHASED_WORKLOAD_HH
+
+#include <memory>
+#include <vector>
+
+#include "kv/kvstore.hh"
+#include "mq/broker.hh"
+#include "sim/workload.hh"
+
+namespace tstream
+{
+
+/** Tunables of the phased mix. */
+struct PhasedConfig
+{
+    /** Sub-engines are scaled-down relative to the standalone apps
+     *  (two apps share one node). */
+    KvConfig kv{/*keys=*/120'000, /*buckets=*/16'384,
+                /*capacity=*/40'000, /*valueBlocksMax=*/8,
+                /*zipf=*/0.95};
+    MqConfig mq{/*topics=*/32, /*segmentBlocks=*/64,
+                /*retentionSegments=*/16, /*zipf=*/0.8};
+    unsigned workers = 32;
+    unsigned connections = 128;
+    /** Bytes replayed per broker-consume op. */
+    std::uint32_t consumeBytes = 6 * 1024;
+
+    PhaseSchedule schedule; ///< filled by makeWorkload (never empty)
+    std::uint64_t seed = 42;
+
+    void
+    rescale(double s)
+    {
+        kv.rescale(s);
+        mq.rescale(s);
+        workers = std::max(4u, static_cast<unsigned>(workers * s));
+        connections =
+            std::max(16u, static_cast<unsigned>(connections * s));
+    }
+};
+
+/** The phased KV/broker mix. */
+class PhasedWorkload : public Workload
+{
+  public:
+    explicit PhasedWorkload(const PhasedConfig &cfg)
+        : cfg_(cfg)
+    {
+    }
+
+    void setup(Kernel &kern) override;
+
+    std::string_view name() const override { return "PhasedMix"; }
+
+    const PhaseSchedule &schedule() const { return cfg_.schedule; }
+
+    /** Ops issued under KV phases / broker phases (diagnostics). */
+    std::uint64_t kvOps() const { return kvOps_; }
+    std::uint64_t mqOps() const { return mqOps_; }
+
+    /** One observed phase transition (worker 0's view). */
+    struct PhaseSwitch
+    {
+        std::uint64_t ordinal;      ///< the ordinal switched *to*
+        std::uint64_t instructions; ///< engine counter at observation
+    };
+
+    /** Worker 0's phase-transition log (bounded). */
+    const std::vector<PhaseSwitch> &switchLog() const
+    {
+        return switches_;
+    }
+
+  private:
+    class Listener;
+    class Worker;
+
+    /** Shared node state. */
+    struct Shared
+    {
+        std::unique_ptr<KvStore> store;
+        std::unique_ptr<Broker> broker;
+        std::unique_ptr<ZipfSampler> keyDist;
+        std::unique_ptr<ZipfSampler> topicDist;
+
+        std::vector<std::uint32_t> connFd;
+        std::vector<Addr> connPcb;
+        std::vector<Addr> connNetbuf;
+        std::vector<Addr> workerBuf;
+
+        ProcDesc serverProc{};
+        FnId fnParse = 0;
+    };
+
+    PhasedConfig cfg_;
+    Shared sh_;
+    std::uint64_t kvOps_ = 0, mqOps_ = 0;
+    std::vector<PhaseSwitch> switches_;
+};
+
+} // namespace tstream
+
+#endif // TSTREAM_SIM_PHASED_WORKLOAD_HH

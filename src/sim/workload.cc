@@ -1,7 +1,10 @@
 #include "sim/workload.hh"
 
 #include "sim/dss_workload.hh"
+#include "sim/kv_workload.hh"
+#include "sim/mq_workload.hh"
 #include "sim/oltp_workload.hh"
+#include "sim/phased_workload.hh"
 #include "sim/web_workload.hh"
 
 namespace tstream
@@ -17,6 +20,9 @@ workloadName(WorkloadKind k)
       case WorkloadKind::DssQ1: return "DSS-Qry1";
       case WorkloadKind::DssQ2: return "DSS-Qry2";
       case WorkloadKind::DssQ17: return "DSS-Qry17";
+      case WorkloadKind::KvStore: return "KVstore";
+      case WorkloadKind::Broker: return "Broker";
+      case WorkloadKind::PhasedMix: return "PhasedMix";
     }
     return "<invalid>";
 }
@@ -35,39 +41,108 @@ workloadIsDb(WorkloadKind k)
     }
 }
 
-std::unique_ptr<Workload>
-makeWorkload(WorkloadKind kind, double scale)
+bool
+workloadIsScenario(WorkloadKind k)
 {
-    switch (kind) {
+    switch (k) {
+      case WorkloadKind::KvStore:
+      case WorkloadKind::Broker:
+      case WorkloadKind::PhasedMix:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::uint64_t
+PhaseSchedule::ordinalAt(std::uint64_t instructions) const
+{
+    const std::uint64_t cycle = cycleLength();
+    if (phases.empty() || cycle == 0)
+        return 0;
+    const std::uint64_t completed = instructions / cycle;
+    std::uint64_t pos = instructions % cycle;
+    std::uint64_t idx = 0;
+    while (pos >= phases[static_cast<std::size_t>(idx)].duration) {
+        pos -= phases[static_cast<std::size_t>(idx)].duration;
+        ++idx;
+    }
+    return completed * phases.size() + idx;
+}
+
+PhaseSchedule
+PhaseSchedule::standardMix()
+{
+    PhaseSchedule s;
+    s.phases = {
+        {WorkloadKind::KvStore, 0.90, 1'500'000}, // cache, read-heavy
+        {WorkloadKind::Broker, 0.75, 1'500'000},  // delivery-heavy
+        {WorkloadKind::KvStore, 0.50, 1'500'000}, // write/evict churn
+        {WorkloadKind::Broker, 0.25, 1'500'000},  // ingest + trimming
+    };
+    return s;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const WorkloadSpec &spec)
+{
+    switch (spec.kind) {
       case WorkloadKind::Apache: {
         WebConfig cfg = WebConfig::apache();
-        cfg.rescale(scale);
+        cfg.rescale(spec.scale);
         return std::make_unique<WebWorkload>(cfg);
       }
       case WorkloadKind::Zeus: {
         WebConfig cfg = WebConfig::zeus();
-        cfg.rescale(scale);
+        cfg.rescale(spec.scale);
         return std::make_unique<WebWorkload>(cfg);
       }
       case WorkloadKind::Oltp: {
         OltpConfig cfg;
-        cfg.rescale(scale);
+        cfg.rescale(spec.scale);
         return std::make_unique<OltpWorkload>(cfg);
       }
       case WorkloadKind::DssQ1:
       case WorkloadKind::DssQ2:
       case WorkloadKind::DssQ17: {
         DssConfig cfg;
-        cfg.query = kind == WorkloadKind::DssQ1
+        cfg.query = spec.kind == WorkloadKind::DssQ1
                         ? DssConfig::Query::Q1
-                        : (kind == WorkloadKind::DssQ2
+                        : (spec.kind == WorkloadKind::DssQ2
                                ? DssConfig::Query::Q2
                                : DssConfig::Query::Q17);
-        cfg.rescale(scale);
+        cfg.rescale(spec.scale);
         return std::make_unique<DssWorkload>(cfg);
+      }
+      case WorkloadKind::KvStore: {
+        KvAppConfig cfg;
+        cfg.rescale(spec.scale);
+        return std::make_unique<KvWorkload>(cfg);
+      }
+      case WorkloadKind::Broker: {
+        MqAppConfig cfg;
+        cfg.rescale(spec.scale);
+        return std::make_unique<MqWorkload>(cfg);
+      }
+      case WorkloadKind::PhasedMix: {
+        PhasedConfig cfg;
+        cfg.rescale(spec.scale);
+        cfg.seed = spec.seed;
+        cfg.schedule = spec.phases.empty() ? PhaseSchedule::standardMix()
+                                           : spec.phases;
+        return std::make_unique<PhasedWorkload>(cfg);
       }
     }
     fatal("makeWorkload: unknown workload kind");
+}
+
+std::unique_ptr<Workload>
+makeWorkload(WorkloadKind kind, double scale)
+{
+    WorkloadSpec spec;
+    spec.kind = kind;
+    spec.scale = scale;
+    return makeWorkload(spec);
 }
 
 } // namespace tstream

@@ -1,22 +1,27 @@
 /**
  * @file
- * Workload interface and the application suite of the paper's Table 1:
- * Web (Apache, Zeus under SPECweb99-style load), OLTP (TPC-C-style on
- * the DB2-like engine), and DSS (TPC-H-style queries 1, 2, 17).
+ * Workload interface, the application suite of the paper's Table 1
+ * (Apache, Zeus, DB2-OLTP, DSS queries 1/2/17), and the post-paper
+ * scenario suite: a memcached-shaped key-value store (src/kv), a
+ * message broker (src/mq), and a phased mix that sequences
+ * (kind, op-mix, duration) phases over both with deterministic
+ * per-phase seeding.
  */
 
 #ifndef TSTREAM_SIM_WORKLOAD_HH
 #define TSTREAM_SIM_WORKLOAD_HH
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "kernel/kernel.hh"
 
 namespace tstream
 {
 
-/** The six applications of the paper's evaluation. */
+/** The six applications of the paper plus the scenario suite. */
 enum class WorkloadKind
 {
     Apache,
@@ -25,13 +30,86 @@ enum class WorkloadKind
     DssQ1,
     DssQ2,
     DssQ17,
+    KvStore,   ///< in-memory key-value store (src/kv)
+    Broker,    ///< message broker (src/mq)
+    PhasedMix, ///< phased KV/broker mix (sim/phased_workload.hh)
 };
 
-/** Short name as used in the paper's figures. */
+/** Short name as used in the figures. */
 std::string_view workloadName(WorkloadKind k);
 
 /** True for the DB2-backed workloads (Tables 4/5 rows). */
 bool workloadIsDb(WorkloadKind k);
+
+/** True for the post-paper scenario workloads (KV/broker/mix). */
+bool workloadIsScenario(WorkloadKind k);
+
+// ---- phased composition -----------------------------------------------------
+
+/**
+ * One phase of a phased workload: which application module the op
+ * stream targets, its op mix, and how long the phase lasts. Durations
+ * are committed instructions, measured on the engine's global
+ * instruction counter, so phase edges are deterministic for a seed.
+ */
+struct WorkloadPhase
+{
+    /** Op target: WorkloadKind::KvStore or WorkloadKind::Broker. */
+    WorkloadKind kind = WorkloadKind::KvStore;
+    /**
+     * Op mix in [0,1]: for KV phases the GET fraction (the rest are
+     * SETs with occasional DELETEs); for broker phases the consume
+     * fraction (the rest are publishes).
+     */
+    double mix = 0.9;
+    /** Phase length in committed instructions. */
+    std::uint64_t duration = 1'500'000;
+};
+
+/**
+ * A cyclic phase schedule. Phase i covers the half-open instruction
+ * interval [start_i, start_i + duration_i) within each cycle, so the
+ * op mix switches exactly at the configured edges: the phase at
+ * instruction (edge - 1) is still i, the phase at instruction edge is
+ * already i + 1. Runs longer than one cycle wrap around; the phase
+ * *ordinal* keeps increasing across cycles (cycle * phases + index),
+ * which is what the per-phase reseeding keys on.
+ */
+struct PhaseSchedule
+{
+    std::vector<WorkloadPhase> phases;
+
+    bool empty() const { return phases.empty(); }
+
+    /** Instructions in one full cycle. */
+    std::uint64_t
+    cycleLength() const
+    {
+        std::uint64_t n = 0;
+        for (const WorkloadPhase &p : phases)
+            n += p.duration;
+        return n;
+    }
+
+    /** Monotonic phase ordinal at absolute instruction count. */
+    std::uint64_t ordinalAt(std::uint64_t instructions) const;
+
+    /** The phase a given ordinal executes. */
+    const WorkloadPhase &
+    at(std::uint64_t ordinal) const
+    {
+        return phases[static_cast<std::size_t>(ordinal %
+                                               phases.size())];
+    }
+
+    /**
+     * The default PhasedMix schedule: a read-heavy KV phase, a
+     * delivery-heavy broker phase, a write-heavy KV phase (slab/LRU
+     * churn), and an ingest-heavy broker phase (append + retention),
+     * cycling.
+     */
+    static PhaseSchedule standardMix();
+};
 
 /** A runnable application: allocates state and spawns its threads. */
 class Workload
@@ -46,11 +124,27 @@ class Workload
 };
 
 /**
- * Build a workload.
- * @param scale Footprint scale factor (1.0 = defaults documented in
- *              DESIGN.md; smaller values shrink tables/pools for fast
- *              tests).
+ * Everything needed to build a workload. The paper's six applications
+ * use only (kind, scale); the scenario suite also consumes the seed
+ * (per-phase reseeding) and, for PhasedMix, the phase schedule.
  */
+struct WorkloadSpec
+{
+    WorkloadKind kind = WorkloadKind::Oltp;
+    /** Footprint scale factor (1.0 = defaults documented in
+     *  DESIGN.md; smaller values shrink tables/pools for fast
+     *  tests). */
+    double scale = 1.0;
+    /** Experiment seed (drives deterministic per-phase seeding). */
+    std::uint64_t seed = 42;
+    /** Phase schedule (PhasedMix only; empty = standardMix()). */
+    PhaseSchedule phases;
+};
+
+/** Build a workload from a full spec. */
+std::unique_ptr<Workload> makeWorkload(const WorkloadSpec &spec);
+
+/** Convenience overload: default seed and phase schedule. */
 std::unique_ptr<Workload> makeWorkload(WorkloadKind kind,
                                        double scale = 1.0);
 

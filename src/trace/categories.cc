@@ -29,6 +29,12 @@ categoryName(Category c)
       case Category::DbIpc: return "DB2 interprocess communication";
       case Category::DbRuntimeInterp: return "DB2 SQL runtime interpreter";
       case Category::DbOther: return "DB2 - other activity";
+      case Category::KvHashIndex:
+        return "KV hash index & item chains";
+      case Category::KvSlabLru: return "KV slab values & LRU reuse";
+      case Category::MqTopicLog: return "MQ topic log append & replay";
+      case Category::MqCursorIndex:
+        return "MQ cursors, index & retention";
       default: return "<invalid>";
     }
 }
@@ -59,6 +65,20 @@ categoryIsDb(Category c)
       case Category::DbIpc:
       case Category::DbRuntimeInterp:
       case Category::DbOther:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+categoryIsScenario(Category c)
+{
+    switch (c) {
+      case Category::KvHashIndex:
+      case Category::KvSlabLru:
+      case Category::MqTopicLog:
+      case Category::MqCursorIndex:
         return true;
       default:
         return false;

@@ -54,6 +54,12 @@ enum class Category : std::uint8_t
     DbIpc,
     DbRuntimeInterp,
     DbOther,
+    // Scenario categories (post-paper app modules: the memcached-style
+    // key-value store in src/kv and the message broker in src/mq).
+    KvHashIndex,
+    KvSlabLru,
+    MqTopicLog,
+    MqCursorIndex,
 
     NumCategories
 };
@@ -70,6 +76,9 @@ bool categoryIsWeb(Category c);
 
 /** True if @p c appears in the DB2 tables (Tables 4 and 5). */
 bool categoryIsDb(Category c);
+
+/** True if @p c appears in the scenario origins table (KV / MQ). */
+bool categoryIsScenario(Category c);
 
 /**
  * Registry interning function names and their category assignment.

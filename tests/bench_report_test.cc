@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "sim/bench_report.hh"
 
 namespace tstream
@@ -57,6 +59,146 @@ makeDoc(std::size_t cellCount)
     for (std::size_t i = 0; i < cellCount; ++i)
         d.cells.push_back(makeCell(i, 88.44581859765782 + i));
     return d;
+}
+
+// ---- --resume loading -------------------------------------------------------
+
+/** A real grid + a report whose cells match it hash-for-hash. */
+struct ResumeFixture
+{
+    std::vector<Cell> grid;
+    BenchDoc doc;
+    std::string path;
+
+    explicit ResumeFixture(const char *tag)
+    {
+        BenchBudgets budgets;
+        budgets.warmup = 2'000'000;
+        budgets.measure = 4'000'000;
+        budgets.scale = 0.15;
+        grid = standardGrid({WorkloadKind::Oltp, WorkloadKind::KvStore},
+                            budgets);
+        doc.bench = "fig2_stream_fraction";
+        doc.quick = true;
+        doc.budgets = budgets;
+        doc.gridCells = grid.size();
+        for (const Cell &c : grid) {
+            BenchCell cell;
+            cell.index = c.index;
+            cell.id = c.id;
+            cell.workload = std::string(workloadName(c.cfg.workload));
+            cell.context = std::string(contextName(c.cfg.context));
+            cell.configHash = configHash(c.cfg);
+            cell.instructions = 1;
+            cell.rows = {makeRow("streams", cell.context, 1.0)};
+            doc.cells.push_back(std::move(cell));
+        }
+        path = ::testing::TempDir() + "/tstream_resume_" + tag +
+               ".json";
+    }
+
+    ~ResumeFixture() { std::remove(path.c_str()); }
+
+    void
+    write()
+    {
+        std::string err;
+        ASSERT_TRUE(writeBenchDoc(doc, path, err)) << err;
+    }
+};
+
+TEST(ResumeTest, MissingFileIsFreshRun)
+{
+    ResumeFixture fx("missing");
+    std::vector<BenchCell> out{makeCell(0, 1.0)};
+    std::string err;
+    EXPECT_TRUE(loadResumeCells(fx.path, "fig2_stream_fraction", true,
+                                fx.doc.budgets, fx.grid, out, err))
+        << err;
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(ResumeTest, LoadsMatchingCellsInGridOrder)
+{
+    ResumeFixture fx("ok");
+    // Store them shuffled; the loader must return ascending indexes.
+    std::swap(fx.doc.cells[0], fx.doc.cells.back());
+    fx.write();
+
+    std::vector<BenchCell> out;
+    std::string err;
+    ASSERT_TRUE(loadResumeCells(fx.path, "fig2_stream_fraction", true,
+                                fx.doc.budgets, fx.grid, out, err))
+        << err;
+    ASSERT_EQ(out.size(), fx.grid.size());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        EXPECT_EQ(out[i].index, i);
+        EXPECT_EQ(out[i].id, fx.grid[i].id);
+    }
+}
+
+TEST(ResumeTest, PartialReportLoadsPartially)
+{
+    ResumeFixture fx("partial");
+    fx.doc.cells.erase(fx.doc.cells.begin() + 1,
+                       fx.doc.cells.begin() + 3);
+    fx.write();
+    std::vector<BenchCell> out;
+    std::string err;
+    ASSERT_TRUE(loadResumeCells(fx.path, "fig2_stream_fraction", true,
+                                fx.doc.budgets, fx.grid, out, err))
+        << err;
+    EXPECT_EQ(out.size(), fx.grid.size() - 2);
+}
+
+TEST(ResumeTest, ConfigHashMismatchFails)
+{
+    ResumeFixture fx("hash");
+    fx.doc.cells[1].configHash ^= 1;
+    fx.write();
+    std::vector<BenchCell> out;
+    std::string err;
+    EXPECT_FALSE(loadResumeCells(fx.path, "fig2_stream_fraction", true,
+                                 fx.doc.budgets, fx.grid, out, err));
+    EXPECT_NE(err.find("config hash mismatch"), std::string::npos)
+        << err;
+}
+
+TEST(ResumeTest, BudgetMismatchFails)
+{
+    ResumeFixture fx("budget");
+    fx.write();
+    BenchBudgets other = fx.doc.budgets;
+    other.measure += 1;
+    std::vector<BenchCell> out;
+    std::string err;
+    EXPECT_FALSE(loadResumeCells(fx.path, "fig2_stream_fraction", true,
+                                 other, fx.grid, out, err));
+}
+
+TEST(ResumeTest, GridSizeMismatchFails)
+{
+    ResumeFixture fx("grid");
+    fx.write();
+    std::vector<Cell> bigger = fx.grid;
+    bigger.push_back(fx.grid.back());
+    bigger.back().index = fx.grid.size();
+    std::vector<BenchCell> out;
+    std::string err;
+    EXPECT_FALSE(loadResumeCells(fx.path, "fig2_stream_fraction", true,
+                                 fx.doc.budgets, bigger, out, err));
+}
+
+TEST(ResumeTest, WrongBenchNameFails)
+{
+    ResumeFixture fx("name");
+    fx.write();
+    std::vector<BenchCell> out;
+    std::string err;
+    EXPECT_FALSE(loadResumeCells(fx.path, "fig1_miss_classification",
+                                 true, fx.doc.budgets, fx.grid, out,
+                                 err));
+    EXPECT_NE(err.find("no document"), std::string::npos) << err;
 }
 
 TEST(BenchReportTest, JsonRoundTripPreservesEverything)

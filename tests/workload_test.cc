@@ -86,7 +86,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(
         ::testing::Values(WorkloadKind::Apache, WorkloadKind::Zeus,
                           WorkloadKind::Oltp, WorkloadKind::DssQ1,
-                          WorkloadKind::DssQ2, WorkloadKind::DssQ17),
+                          WorkloadKind::DssQ2, WorkloadKind::DssQ17,
+                          WorkloadKind::KvStore, WorkloadKind::Broker,
+                          WorkloadKind::PhasedMix),
         ::testing::Values(SystemContext::MultiChip,
                           SystemContext::SingleChip)));
 
@@ -205,8 +207,12 @@ TEST(Experiment, WorkloadNamesAndPredicates)
     EXPECT_EQ(workloadName(WorkloadKind::Apache), "Apache");
     EXPECT_EQ(workloadName(WorkloadKind::Oltp), "DB2-OLTP");
     EXPECT_EQ(workloadName(WorkloadKind::DssQ17), "DSS-Qry17");
+    EXPECT_EQ(workloadName(WorkloadKind::KvStore), "KVstore");
+    EXPECT_EQ(workloadName(WorkloadKind::Broker), "Broker");
+    EXPECT_EQ(workloadName(WorkloadKind::PhasedMix), "PhasedMix");
     EXPECT_TRUE(workloadIsDb(WorkloadKind::DssQ1));
     EXPECT_FALSE(workloadIsDb(WorkloadKind::Zeus));
+    EXPECT_FALSE(workloadIsDb(WorkloadKind::Broker));
     EXPECT_EQ(contextName(SystemContext::MultiChip), "multi-chip");
 }
 

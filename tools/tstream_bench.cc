@@ -52,6 +52,7 @@ const BenchAlias kBenches[] = {
     {"table3", "table3_web_origins"},
     {"table4", "table4_oltp_origins"},
     {"table5", "table5_dss_origins"},
+    {"table6", "table6_scenario_origins"},
     {"ablation_a", "ablation_stream_detector"},
     {"ablation_b", "ablation_l2_sweep"},
     {"ext", "ext_prefetcher"},
@@ -65,7 +66,8 @@ usage(const char *msg)
     std::fprintf(stderr,
         "usage:\n"
         "  tstream-bench run [--quick] [--jobs N] [--shard k/N]\n"
-        "                [--bench-dir DIR] -o OUT.json BENCH...\n"
+        "                [--resume] [--bench-dir DIR] -o OUT.json\n"
+        "                BENCH...\n"
         "  tstream-bench merge -o OUT.json IN.json...\n"
         "  tstream-bench check-equal A.json B.json\n"
         "  tstream-bench check-stdout REPORT.json STDOUT.txt\n"
@@ -80,7 +82,10 @@ usage(const char *msg)
         "reassembled with merge, which fails if any grid cell is\n"
         "missing. check-equal ignores wall time, cache hits and shard\n"
         "geometry, so `merge(shard 0/2, shard 1/2)` must check-equal\n"
-        "the unsharded run. Recipes: docs/BENCHMARKING.md.\n");
+        "the unsharded run. With --resume, cells already present in\n"
+        "the existing OUT.json are reused instead of re-run; the run\n"
+        "fails if that report's schema version or any cell's config\n"
+        "hash mismatches. Recipes: docs/BENCHMARKING.md.\n");
     return 2;
 }
 
@@ -124,6 +129,7 @@ int
 cmdRun(int argc, char **argv, const char *argv0)
 {
     bool quick = false;
+    bool resume = false;
     unsigned jobs = 0;
     std::string shard;
     std::string benchDir = dirName(argv0) + "/../bench";
@@ -142,6 +148,8 @@ cmdRun(int argc, char **argv, const char *argv0)
         };
         if (arg == "--quick") {
             quick = true;
+        } else if (arg == "--resume") {
+            resume = true;
         } else if (arg == "--jobs") {
             const char *v = value("--jobs");
             char *end = nullptr;
@@ -180,7 +188,28 @@ cmdRun(int argc, char **argv, const char *argv0)
     if (names.empty())
         return usage("run needs at least one bench name (see list)");
 
+    // --resume: reuse cells recorded in the existing OUT.json. Each
+    // bench's prior document is re-written to its part path and the
+    // binary revalidates it cell by cell (schema version mismatches
+    // fail right here in readBenchDocs; config-hash mismatches fail
+    // inside the bench).
+    std::vector<BenchDoc> priorDocs;
+    if (resume) {
+        std::FILE *f = std::fopen(out.c_str(), "rb");
+        if (f) {
+            std::fclose(f);
+            std::string err;
+            if (!readBenchDocs(out, priorDocs, err)) {
+                std::fprintf(stderr,
+                             "tstream-bench: --resume: %s\n",
+                             err.c_str());
+                return 1;
+            }
+        }
+    }
+
     std::vector<BenchDoc> docs;
+    std::size_t lastWritten = 0;
     for (const std::string &name : names) {
         const char *binary = resolveBench(name);
         if (!binary)
@@ -196,6 +225,19 @@ cmdRun(int argc, char **argv, const char *argv0)
         if (!shard.empty())
             cmd += " --shard " + shard;
         cmd += " --json " + shellQuote(part);
+        if (resume) {
+            for (const BenchDoc &doc : priorDocs)
+                if (doc.bench == binary) {
+                    std::string err;
+                    if (!writeBenchDoc(doc, part, err)) {
+                        std::fprintf(stderr, "tstream-bench: %s\n",
+                                     err.c_str());
+                        return 1;
+                    }
+                    cmd += " --resume";
+                    break;
+                }
+        }
 
         std::fprintf(stderr, "[tstream-bench] %s\n", cmd.c_str());
         const int rc = std::system(cmd.c_str());
@@ -211,21 +253,37 @@ cmdRun(int argc, char **argv, const char *argv0)
             return 1;
         }
         std::remove(part.c_str());
-    }
 
-    std::string err;
-    if (docs.size() == 1) {
-        if (!writeBenchDoc(docs[0], out, err)) {
+        // Checkpoint OUT.json after every bench, so a sweep that dies
+        // partway leaves the completed benches behind for --resume.
+        // Under --resume, prior documents whose bench this write does
+        // not yet hold are carried forward, so resuming a subset
+        // (e.g. just one failed table) never truncates the report.
+        std::vector<BenchDoc> flat = docs;
+        if (resume)
+            for (const BenchDoc &doc : priorDocs) {
+                bool fresh = false;
+                for (const BenchDoc &d : docs)
+                    fresh = fresh || d.bench == doc.bench;
+                if (!fresh)
+                    flat.push_back(doc);
+            }
+        if (flat.size() == 1) {
+            if (!writeBenchDoc(flat[0], out, err)) {
+                std::fprintf(stderr, "tstream-bench: %s\n",
+                             err.c_str());
+                return 1;
+            }
+        } else if (!json::writeFile(combinedReportToJson(flat), out,
+                                    err)) {
             std::fprintf(stderr, "tstream-bench: %s\n", err.c_str());
             return 1;
         }
-    } else if (!json::writeFile(combinedReportToJson(docs), out,
-                                err)) {
-        std::fprintf(stderr, "tstream-bench: %s\n", err.c_str());
-        return 1;
+        lastWritten = flat.size();
     }
+
     std::fprintf(stderr, "[tstream-bench] wrote %s (%zu benches)\n",
-                 out.c_str(), docs.size());
+                 out.c_str(), lastWritten);
     return 0;
 }
 

@@ -52,7 +52,8 @@ usage(const char *msg)
         "  tstream-trace analyze FILE [--section S]...\n"
         "\n"
         "record options:\n"
-        "  --workload W       apache|zeus|oltp|dss-q1|dss-q2|dss-q17\n"
+        "  --workload W       apache|zeus|oltp|dss-q1|dss-q2|dss-q17|\n"
+        "                     kv|broker|phased-mix\n"
         "  --context C        multi-chip|single-chip\n"
         "  --trace T          off-chip (default) | intra-chip (on-chip-\n"
         "                     satisfied L1 misses) | intra-all\n"
@@ -87,6 +88,12 @@ parseWorkload(std::string_view s, WorkloadKind &out)
         {"dss-q1", WorkloadKind::DssQ1},
         {"dss-q2", WorkloadKind::DssQ2},
         {"dss-q17", WorkloadKind::DssQ17},
+        {"kv", WorkloadKind::KvStore},
+        {"kvstore", WorkloadKind::KvStore},
+        {"broker", WorkloadKind::Broker},
+        {"mq", WorkloadKind::Broker},
+        {"phased-mix", WorkloadKind::PhasedMix},
+        {"phased", WorkloadKind::PhasedMix},
     };
     for (const Alias &a : kAliases)
         if (s == a.name || s == workloadName(a.kind)) {
@@ -495,9 +502,10 @@ cmdAnalyze(const std::string &path,
             }
             const ModuleProfile prof =
                 profileModules(trace, s, *registry);
-            std::printf("module origins (tables 3-5):\n%s",
+            std::printf("module origins (tables 3-5 + scenarios):\n%s",
                         renderModuleTable(prof, /*web_rows=*/true,
-                                          /*db_rows=*/true)
+                                          /*db_rows=*/true,
+                                          /*scenario_rows=*/true)
                             .c_str());
         }
     }
@@ -517,9 +525,22 @@ main(int argc, char **argv)
         return cmdRecord(argc - 2, argv + 2);
 
     if (cmd == "info") {
-        if (argc != 3)
-            return usage("info takes exactly one trace file");
-        return cmdInfo(argv[2]);
+        // Strict parsing, as in the benches: an unknown flag exits
+        // with usage instead of being silently ignored.
+        std::string path;
+        for (int i = 2; i < argc; ++i) {
+            const std::string_view arg = argv[i];
+            if (!arg.empty() && arg[0] == '-')
+                return usage(
+                    ("unknown info option: " + std::string(arg))
+                        .c_str());
+            if (!path.empty())
+                return usage("info takes exactly one trace file");
+            path = arg;
+        }
+        if (path.empty())
+            return usage("info needs a trace file");
+        return cmdInfo(path);
     }
 
     if (cmd == "dump") {
@@ -528,14 +549,25 @@ main(int argc, char **argv)
         long chunk = -1;
         for (int i = 2; i < argc; ++i) {
             const std::string_view arg = argv[i];
-            if (arg == "--limit" && i + 1 < argc)
+            if (arg == "--limit") {
+                if (i + 1 >= argc)
+                    return usage("missing value for --limit");
                 limit = std::strtoull(argv[++i], nullptr, 10);
-            else if (arg == "--chunk" && i + 1 < argc)
+            } else if (arg == "--chunk") {
+                if (i + 1 >= argc)
+                    return usage("missing value for --chunk");
                 chunk = std::strtol(argv[++i], nullptr, 10);
-            else if (!arg.empty() && arg[0] != '-' && path.empty())
+            } else if (!arg.empty() && arg[0] == '-') {
+                // Reject anything unrecognized (same contract as the
+                // bench binaries since the strict-args change).
+                return usage(
+                    ("unknown dump option: " + std::string(arg))
+                        .c_str());
+            } else if (path.empty()) {
                 path = arg;
-            else
-                return usage("bad dump arguments");
+            } else {
+                return usage("dump takes exactly one trace file");
+            }
         }
         if (path.empty())
             return usage("dump needs a trace file");
@@ -547,12 +579,19 @@ main(int argc, char **argv)
         std::vector<std::string> sections;
         for (int i = 2; i < argc; ++i) {
             const std::string_view arg = argv[i];
-            if (arg == "--section" && i + 1 < argc)
+            if (arg == "--section") {
+                if (i + 1 >= argc)
+                    return usage("missing value for --section");
                 sections.emplace_back(argv[++i]);
-            else if (!arg.empty() && arg[0] != '-' && path.empty())
+            } else if (!arg.empty() && arg[0] == '-') {
+                return usage(
+                    ("unknown analyze option: " + std::string(arg))
+                        .c_str());
+            } else if (path.empty()) {
                 path = arg;
-            else
-                return usage("bad analyze arguments");
+            } else {
+                return usage("analyze takes exactly one trace file");
+            }
         }
         if (path.empty())
             return usage("analyze needs a trace file");
