@@ -1,8 +1,12 @@
 /**
  * @file
  * google-benchmark microbenchmarks of the analysis substrate: SEQUITUR
- * grammar construction, cache-hierarchy simulation, stride detection,
- * and the full stream-analysis pipeline.
+ * grammar construction, cache-hierarchy simulation (per-block and
+ * batched engine runs), stride detection, the full stream-analysis
+ * pipeline, and the scenario-subsystem hot paths (KV slab/LRU,
+ * broker append/replay). BENCH_baseline.json at the repo root records
+ * these series; `tstream-bench compare` gates regressions against it
+ * (docs/BENCHMARKING.md).
  */
 
 #include <benchmark/benchmark.h>
@@ -10,8 +14,12 @@
 #include "core/sequitur.hh"
 #include "core/stream_analysis.hh"
 #include "core/stride.hh"
+#include "kernel/kernel.hh"
+#include "kv/kvstore.hh"
 #include "mem/multichip.hh"
 #include "mem/singlechip.hh"
+#include "mq/broker.hh"
+#include "sim/engine.hh"
 #include "util/rng.hh"
 
 namespace tstream
@@ -92,6 +100,81 @@ BM_SingleChipAccess(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SingleChipAccess);
+
+void
+BM_EngineAccessRuns(benchmark::State &state)
+{
+    // The engine's batched path: runs of same-CPU sequential reads (a
+    // request parse / value stream shape) flushed through
+    // MemorySystem::accessRun with one virtual dispatch per run,
+    // versus the per-block dispatch BM_*ChipAccess measures.
+    Engine eng(std::make_unique<SingleChipSystem>(), 7);
+    Rng rng(7);
+    for (auto _ : state) {
+        const auto cpu = static_cast<CpuId>(rng.below(4));
+        const Addr base = rng.below(1 << 26) * kBlockSize;
+        for (unsigned i = 0; i < 16; ++i)
+            eng.read(cpu, base + i * kBlockSize, 64, 0);
+    }
+    eng.flushAccesses();
+    benchmark::DoNotOptimize(eng.totalInstructions());
+    state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_EngineAccessRuns);
+
+void
+BM_KvStoreGetSet(benchmark::State &state)
+{
+    // The PR 4 scenario hot path: hash-index walk, slab value
+    // traffic, LRU recycling — a 90/10 get/set mix over a uniform
+    // key population, like the KV workload's serve loop.
+    Engine eng(std::make_unique<SingleChipSystem>(), 17);
+    Kernel kern(eng);
+    SysCtx ctx(eng, kern, 0, nullptr);
+    KvConfig cfg;
+    cfg.rescale(0.25);
+    KvStore store(cfg, eng.registry(), /*pid=*/440);
+    Rng rng(5);
+    for (auto _ : state) {
+        const std::uint64_t key = rng.below(cfg.keys);
+        if (rng.chance(0.9)) {
+            if (store.get(ctx, key) == 0)
+                store.set(ctx, key, store.valueBlocks(key));
+        } else {
+            store.set(ctx, key, store.valueBlocks(key));
+        }
+    }
+    benchmark::DoNotOptimize(store.hits());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KvStoreGetSet);
+
+void
+BM_BrokerPublishReplay(benchmark::State &state)
+{
+    // Broker append + cursor replay: producer appends across topics
+    // (rolling into recycled segments, trimming retention), one
+    // consumer replays topic 0 in batches.
+    Engine eng(std::make_unique<SingleChipSystem>(), 23);
+    Kernel kern(eng);
+    SysCtx ctx(eng, kern, 0, nullptr);
+    MqConfig cfg;
+    cfg.rescale(0.25);
+    Broker broker(cfg, eng.registry(), /*pid=*/441);
+    const std::size_t cur = broker.subscribe(0);
+    Rng rng(6);
+    for (auto _ : state) {
+        const auto topic =
+            static_cast<std::uint32_t>(rng.below(cfg.topics));
+        broker.publish(ctx, topic,
+                       256 + static_cast<std::uint32_t>(
+                                 rng.below(1024)));
+        broker.consume(ctx, cur, 4096);
+    }
+    benchmark::DoNotOptimize(broker.delivered());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BrokerPublishReplay);
 
 void
 BM_StrideDetector(benchmark::State &state)

@@ -1,9 +1,123 @@
 #include "core/sequitur.hh"
 
-#include <unordered_set>
+#include <unordered_map>
 
 namespace tstream
 {
+
+// ---------------------------------------------------------------------------
+// DigramTable
+// ---------------------------------------------------------------------------
+
+Sequitur::DigramTable::DigramTable()
+    : slots_(1024)
+{
+}
+
+std::size_t
+Sequitur::DigramTable::hashKey(std::uint64_t a, std::uint64_t b)
+{
+    std::uint64_t h = a * 0x9e3779b97f4a7c15ull;
+    h ^= b + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    h *= 0xbf58476d1ce4e5b9ull;
+    // The table is masked to a power of two; fold the high-entropy
+    // bits of the multiply back into the low bits.
+    h ^= h >> 32;
+    return static_cast<std::size_t>(h);
+}
+
+Sequitur::SymIdx
+Sequitur::DigramTable::find(std::uint64_t a, std::uint64_t b) const
+{
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = hashKey(a, b) & mask;; i = (i + 1) & mask) {
+        const Slot &s = slots_[i];
+        if (s.sym == kEmpty)
+            return kNoSym;
+        if (s.sym != kTomb && s.a == a && s.b == b)
+            return s.sym;
+    }
+}
+
+void
+Sequitur::DigramTable::put(std::uint64_t a, std::uint64_t b, SymIdx sym)
+{
+    if ((used_ + 1) * 4 >= slots_.size() * 3)
+        grow();
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t tomb = SIZE_MAX;
+    for (std::size_t i = hashKey(a, b) & mask;; i = (i + 1) & mask) {
+        Slot &s = slots_[i];
+        if (s.sym == kEmpty) {
+            // Reuse the first tombstone on the probe path, if any, so
+            // heavily-churned keys do not stretch probe sequences.
+            if (tomb != SIZE_MAX) {
+                slots_[tomb] = Slot{a, b, sym};
+            } else {
+                s = Slot{a, b, sym};
+                ++used_;
+            }
+            ++occupied_;
+            return;
+        }
+        if (s.sym == kTomb) {
+            if (tomb == SIZE_MAX)
+                tomb = i;
+            continue;
+        }
+        if (s.a == a && s.b == b) {
+            s.sym = sym;
+            return;
+        }
+    }
+}
+
+void
+Sequitur::DigramTable::erase(std::uint64_t a, std::uint64_t b,
+                             SymIdx ifSym)
+{
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = hashKey(a, b) & mask;; i = (i + 1) & mask) {
+        Slot &s = slots_[i];
+        if (s.sym == kEmpty)
+            return;
+        if (s.sym != kTomb && s.a == a && s.b == b) {
+            if (s.sym == ifSym) {
+                s.sym = kTomb;
+                --occupied_;
+            }
+            return;
+        }
+    }
+}
+
+void
+Sequitur::DigramTable::grow()
+{
+    // Double while the live load would stay >= 1/2; a grow() call with
+    // mostly tombstones keeps the size and just purges them.
+    std::size_t n = slots_.size();
+    while (occupied_ * 2 >= n)
+        n *= 2;
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(n, Slot{});
+    const std::size_t mask = n - 1;
+    std::size_t live = 0;
+    for (const Slot &s : old) {
+        if (s.sym >= kTomb)
+            continue;
+        std::size_t i = hashKey(s.a, s.b) & mask;
+        while (slots_[i].sym != kEmpty)
+            i = (i + 1) & mask;
+        slots_[i] = s;
+        ++live;
+    }
+    occupied_ = used_ = live;
+}
+
+// ---------------------------------------------------------------------------
+// Construction primitives
+// ---------------------------------------------------------------------------
 
 Sequitur::Sequitur()
 {
@@ -11,150 +125,153 @@ Sequitur::Sequitur()
     newRule();
 }
 
-Sequitur::~Sequitur()
-{
-    for (Rule *r : rules_)
-        delete r;
-}
-
-Sequitur::Symbol *
+Sequitur::SymIdx
 Sequitur::newSymbol()
 {
     if (!freeList_.empty()) {
-        Symbol *s = freeList_.back();
+        const SymIdx s = freeList_.back();
         freeList_.pop_back();
-        *s = Symbol{};
+        symbols_[s] = Symbol{};
         return s;
     }
-    arena_.emplace_back();
-    return &arena_.back();
+    panicIf(symbols_.size() >= kNoSym - 1,
+            "Sequitur: symbol arena exhausted");
+    symbols_.emplace_back();
+    return static_cast<SymIdx>(symbols_.size() - 1);
 }
 
 void
-Sequitur::freeSymbol(Symbol *s)
+Sequitur::freeSymbol(SymIdx s)
 {
     freeList_.push_back(s);
 }
 
-Sequitur::Symbol *
+Sequitur::SymIdx
 Sequitur::newTerminal(std::uint64_t t)
 {
     panicIf(t >= kNtTag >> 2, "Sequitur: terminal value too large");
-    Symbol *s = newSymbol();
-    s->term = t;
+    const SymIdx s = newSymbol();
+    symbols_[s].term = t;
     return s;
 }
 
-Sequitur::Symbol *
-Sequitur::newNonTerminal(Rule *r)
+Sequitur::SymIdx
+Sequitur::newNonTerminal(std::uint32_t rule)
 {
-    Symbol *s = newSymbol();
-    s->rule = r;
-    r->refs++;
+    const SymIdx s = newSymbol();
+    symbols_[s].tag = rule;
+    rules_[rule].refs++;
     return s;
 }
 
-Sequitur::Rule *
+std::uint32_t
 Sequitur::newRule()
 {
-    Rule *r = new Rule;
-    r->id = static_cast<std::uint32_t>(rules_.size());
-    r->guard = newSymbol();
-    r->guard->guard = true;
-    r->guard->rule = r;
-    link(r->guard, r->guard); // empty circular body
-    rules_.push_back(r);
+    const auto id = static_cast<std::uint32_t>(rules_.size());
+    // kGuardBit - 1 is unusable: its guard tag would collide with
+    // kTermMark and read back as a terminal.
+    panicIf(id >= kGuardBit - 1, "Sequitur: rule ids exhausted");
+    const SymIdx g = newSymbol();
+    symbols_[g].tag = kGuardBit | id;
+    rules_.push_back(Rule{0, g, true});
+    link(g, g); // empty circular body
     ++liveRules_;
-    return r;
+    return id;
 }
 
 void
-Sequitur::link(Symbol *a, Symbol *b)
+Sequitur::link(SymIdx a, SymIdx b)
 {
-    a->next = b;
-    b->prev = a;
+    symbols_[a].next = b;
+    symbols_[b].prev = a;
 }
 
 void
-Sequitur::removeDigram(Symbol *a)
+Sequitur::removeDigram(SymIdx a)
 {
-    if (a->guard || a->next->guard)
+    const SymIdx n = symbols_[a].next;
+    if (isGuard(a) || isGuard(n))
         return;
-    auto it = index_.find(keyAt(a));
-    if (it != index_.end() && it->second == a)
-        index_.erase(it);
+    index_.erase(valueAt(a), valueAt(n), a);
 }
 
 void
-Sequitur::join(Symbol *left, Symbol *right)
+Sequitur::join(SymIdx left, SymIdx right)
 {
-    if (left->next) {
+    if (symbols_[left].next != kNoSym) {
         // Re-linking an existing neighbourhood: drop the digram that is
         // being broken, and handle the canonical algorithm's "triples"
         // subtlety — when same-value runs lose their registered
         // occurrence, re-register the surviving overlapped occurrence.
         removeDigram(left);
 
-        if (right->prev && right->next && !right->guard &&
-            !right->prev->guard && !right->next->guard &&
-            valueOf(right) == valueOf(right->prev) &&
-            valueOf(right) == valueOf(right->next)) {
-            index_[DigramKey{valueOf(right), valueOf(right->next)}] =
-                right;
+        const SymIdx rp = symbols_[right].prev;
+        const SymIdx rn = symbols_[right].next;
+        if (rp != kNoSym && rn != kNoSym && !isGuard(right) &&
+            !isGuard(rp) && !isGuard(rn) &&
+            valueAt(right) == valueAt(rp) &&
+            valueAt(right) == valueAt(rn)) {
+            index_.put(valueAt(right), valueAt(rn), right);
         }
-        if (left->prev && left->next && !left->guard &&
-            !left->prev->guard && !left->next->guard &&
-            valueOf(left) == valueOf(left->next) &&
-            valueOf(left) == valueOf(left->prev)) {
-            index_[DigramKey{valueOf(left->prev), valueOf(left)}] =
-                left->prev;
+        const SymIdx lp = symbols_[left].prev;
+        const SymIdx ln = symbols_[left].next;
+        if (lp != kNoSym && ln != kNoSym && !isGuard(left) &&
+            !isGuard(lp) && !isGuard(ln) &&
+            valueAt(left) == valueAt(ln) &&
+            valueAt(left) == valueAt(lp)) {
+            index_.put(valueAt(lp), valueAt(left), lp);
         }
     }
     link(left, right);
 }
 
 void
-Sequitur::deleteSymbol(Symbol *s)
+Sequitur::deleteSymbol(SymIdx s)
 {
-    join(s->prev, s->next);
-    if (!s->guard) {
-        removeDigram(s); // (s, old next); s->next is still intact
-        if (s->rule)
-            s->rule->refs--;
+    join(symbols_[s].prev, symbols_[s].next);
+    if (!isGuard(s)) {
+        removeDigram(s); // (s, old next); s's next field is intact
+        if (isNonTerminal(s))
+            rules_[ruleIdOf(s)].refs--;
     }
     freeSymbol(s);
 }
 
+// ---------------------------------------------------------------------------
+// The algorithm
+// ---------------------------------------------------------------------------
+
 void
 Sequitur::append(std::uint64_t terminal)
 {
-    Rule *root = rules_[kRootRule];
-    Symbol *s = newTerminal(terminal);
-    Symbol *last = root->guard->prev;
-    join(s, root->guard);
+    const SymIdx s = newTerminal(terminal);
+    const SymIdx guard = rules_[kRootRule].guard;
+    const SymIdx last = symbols_[guard].prev;
+    join(s, guard);
     join(last, s);
     ++inputLen_;
     check(last);
 }
 
 bool
-Sequitur::check(Symbol *a)
+Sequitur::check(SymIdx a)
 {
-    if (a->guard || a->next->guard)
+    const SymIdx an = symbols_[a].next;
+    if (isGuard(a) || isGuard(an))
         return false;
 
-    const DigramKey k = keyAt(a);
-    auto it = index_.find(k);
-    if (it == index_.end()) {
-        index_.emplace(k, a);
+    const std::uint64_t ka = valueAt(a);
+    const std::uint64_t kb = valueAt(an);
+    const SymIdx m = index_.find(ka, kb);
+    if (m == kNoSym) {
+        index_.put(ka, kb, a);
         return false;
     }
 
-    Symbol *m = it->second;
     if (m == a)
         return false;
     // Overlapping occurrences (e.g. "aaa"): leave the grammar alone.
-    if (m->next == a || a->next == m)
+    if (symbols_[m].next == a || symbols_[a].next == m)
         return false;
 
     processMatch(a, m);
@@ -162,60 +279,71 @@ Sequitur::check(Symbol *a)
 }
 
 void
-Sequitur::processMatch(Symbol *a, Symbol *m)
+Sequitur::processMatch(SymIdx a, SymIdx m)
 {
-    Rule *r;
-    if (m->prev->guard && m->next->next->guard) {
+    std::uint32_t r;
+    const SymIdx mp = symbols_[m].prev;
+    if (isGuard(mp) && isGuard(symbols_[symbols_[m].next].next)) {
         // The earlier occurrence is exactly an existing rule's body:
         // reuse that rule.
-        r = m->prev->rule;
+        r = ruleIdOf(mp);
         substitute(a, r);
     } else {
         // Create a new rule from the digram's values.
         r = newRule();
-        Symbol *x = newSymbol();
-        x->rule = a->rule;
-        x->term = a->term;
-        if (x->rule)
-            x->rule->refs++;
-        Symbol *y = newSymbol();
-        y->rule = a->next->rule;
-        y->term = a->next->term;
-        if (y->rule)
-            y->rule->refs++;
-        link(r->guard, x);
+        const SymIdx x = newSymbol();
+        const SymIdx y = newSymbol();
+        {
+            Symbol &sx = symbols_[x];
+            const Symbol &sa = symbols_[a];
+            sx.tag = sa.tag;
+            sx.term = sa.term;
+            if (sa.tag != kTermMark)
+                rules_[sa.tag].refs++;
+        }
+        {
+            Symbol &sy = symbols_[y];
+            const Symbol &sn = symbols_[symbols_[a].next];
+            sy.tag = sn.tag;
+            sy.term = sn.term;
+            if (sn.tag != kTermMark)
+                rules_[sn.tag].refs++;
+        }
+        const SymIdx g = rules_[r].guard;
+        link(g, x);
         link(x, y);
-        link(y, r->guard);
+        link(y, g);
         substitute(m, r);
         substitute(a, r);
         // Register the rule body digram *after* the substitutions
         // (canonical order): the joins inside the substitutions may
         // transiently re-register run-overlap occurrences of this key,
         // and the body must win.
-        index_[keyAt(x)] = x;
+        index_.put(valueAt(x), valueAt(y), x);
     }
 
     // Rule utility: if a symbol of the (new or reused) rule's body is a
     // rule now referenced only once, inline it. Check the first
     // position, then the last if the first was fine.
-    Symbol *f = r->guard->next;
-    if (f->rule && !f->guard && f->rule->refs == 1) {
+    const SymIdx g = rules_[r].guard;
+    const SymIdx f = symbols_[g].next;
+    if (isNonTerminal(f) && rules_[ruleIdOf(f)].refs == 1) {
         expand(f);
     } else {
-        Symbol *l = r->guard->prev;
-        if (l != f && l->rule && !l->guard && l->rule->refs == 1)
+        const SymIdx l = symbols_[g].prev;
+        if (l != f && isNonTerminal(l) && rules_[ruleIdOf(l)].refs == 1)
             expand(l);
     }
 }
 
 void
-Sequitur::substitute(Symbol *a, Rule *r)
+Sequitur::substitute(SymIdx a, std::uint32_t r)
 {
-    Symbol *prev = a->prev;
+    const SymIdx prev = symbols_[a].prev;
     deleteSymbol(a);
-    deleteSymbol(prev->next);
-    Symbol *nt = newNonTerminal(r);
-    join(nt, prev->next);
+    deleteSymbol(symbols_[prev].next);
+    const SymIdx nt = newNonTerminal(r);
+    join(nt, symbols_[prev].next);
     join(prev, nt);
     // Enforce uniqueness on the new adjacencies. If the left check
     // restructures the grammar, it re-establishes the invariant for
@@ -226,16 +354,17 @@ Sequitur::substitute(Symbol *a, Rule *r)
 }
 
 void
-Sequitur::expand(Symbol *nt)
+Sequitur::expand(SymIdx nt)
 {
-    Rule *r = nt->rule;
-    panicIf(r->refs != 1, "Sequitur::expand of rule with refs != 1");
+    const std::uint32_t r = ruleIdOf(nt);
+    panicIf(rules_[r].refs != 1, "Sequitur::expand of rule with refs != 1");
 
-    Symbol *left = nt->prev;
-    Symbol *right = nt->next;
-    Symbol *first = r->guard->next;
-    Symbol *last = r->guard->prev;
-    panicIf(first->guard, "Sequitur::expand of empty rule");
+    const SymIdx left = symbols_[nt].prev;
+    const SymIdx right = symbols_[nt].next;
+    const SymIdx g = rules_[r].guard;
+    const SymIdx first = symbols_[g].next;
+    const SymIdx last = symbols_[g].prev;
+    panicIf(isGuard(first), "Sequitur::expand of empty rule");
 
     // Remove digrams that involve the non-terminal being inlined.
     removeDigram(left); // (left, nt)
@@ -246,45 +375,50 @@ Sequitur::expand(Symbol *nt)
     join(last, right);
 
     // Retire the rule and the non-terminal symbol.
-    freeSymbol(r->guard);
-    r->guard = nullptr;
-    r->refs = 0;
-    r->live = false;
+    freeSymbol(g);
+    rules_[r].guard = kNoSym;
+    rules_[r].refs = 0;
+    rules_[r].live = false;
     --liveRules_;
     freeSymbol(nt);
 
     // Exactly one of the two boundary digrams is real: expand() is
     // called for a body symbol of a freshly created rule, whose other
     // side is the guard. Enforce uniqueness on the real one last, so
-    // any cascading restructuring cannot invalidate pointers we still
+    // any cascading restructuring cannot invalidate indexes we still
     // use.
-    if (left->guard)
+    if (isGuard(left))
         check(last);
     else
         check(left);
 }
 
+// ---------------------------------------------------------------------------
+// Inspection
+// ---------------------------------------------------------------------------
+
 std::vector<std::uint32_t>
 Sequitur::liveRuleIds() const
 {
     std::vector<std::uint32_t> ids;
-    for (const Rule *r : rules_)
-        if (r->live)
-            ids.push_back(r->id);
+    for (std::uint32_t id = 0; id < rules_.size(); ++id)
+        if (rules_[id].live)
+            ids.push_back(id);
     return ids;
 }
 
 std::vector<Sequitur::GrammarSymbol>
 Sequitur::ruleBody(std::uint32_t id) const
 {
-    const Rule *r = rules_.at(id);
-    panicIf(!r->live, "Sequitur::ruleBody of dead rule");
+    const Rule &r = rules_.at(id);
+    panicIf(!r.live, "Sequitur::ruleBody of dead rule");
     std::vector<GrammarSymbol> body;
-    for (Symbol *s = r->guard->next; !s->guard; s = s->next) {
-        if (s->rule)
-            body.push_back({true, s->rule->id});
+    for (SymIdx s = symbols_[r.guard].next; !isGuard(s);
+         s = symbols_[s].next) {
+        if (isNonTerminal(s))
+            body.push_back({true, ruleIdOf(s)});
         else
-            body.push_back({false, s->term});
+            body.push_back({false, symbols_[s].term});
     }
     return body;
 }
@@ -292,7 +426,7 @@ Sequitur::ruleBody(std::uint32_t id) const
 std::uint32_t
 Sequitur::ruleRefs(std::uint32_t id) const
 {
-    return rules_.at(id)->refs;
+    return rules_.at(id).refs;
 }
 
 std::vector<std::uint64_t>
@@ -300,19 +434,19 @@ Sequitur::expandRule(std::uint32_t id) const
 {
     std::vector<std::uint64_t> out;
     // Iterative expansion with an explicit stack of symbol cursors.
-    std::vector<const Symbol *> stack;
-    stack.push_back(rules_.at(id)->guard->next);
+    std::vector<SymIdx> stack;
+    stack.push_back(symbols_[rules_.at(id).guard].next);
     while (!stack.empty()) {
-        const Symbol *s = stack.back();
-        if (s->guard) {
+        const SymIdx s = stack.back();
+        if (isGuard(s)) {
             stack.pop_back();
             continue;
         }
-        stack.back() = s->next;
-        if (s->rule)
-            stack.push_back(s->rule->guard->next);
+        stack.back() = symbols_[s].next;
+        if (isNonTerminal(s))
+            stack.push_back(symbols_[rules_[ruleIdOf(s)].guard].next);
         else
-            out.push_back(s->term);
+            out.push_back(symbols_[s].term);
     }
     return out;
 }
@@ -324,27 +458,27 @@ Sequitur::ruleLengths() const
     // Dependency-ordered evaluation via iterative post-order DFS.
     std::vector<std::uint8_t> state(rules_.size(), 0); // 0 new 1 open 2 done
     std::vector<std::uint32_t> stack;
-    for (const Rule *r : rules_) {
-        if (!r->live || state[r->id] == 2)
+    for (std::uint32_t root = 0; root < rules_.size(); ++root) {
+        if (!rules_[root].live || state[root] == 2)
             continue;
-        stack.push_back(r->id);
+        stack.push_back(root);
         while (!stack.empty()) {
             const std::uint32_t id = stack.back();
             if (state[id] == 0) {
                 state[id] = 1;
-                for (Symbol *s = rules_[id]->guard->next; !s->guard;
-                     s = s->next) {
-                    if (s->rule && state[s->rule->id] == 0)
-                        stack.push_back(s->rule->id);
+                for (SymIdx s = symbols_[rules_[id].guard].next;
+                     !isGuard(s); s = symbols_[s].next) {
+                    if (isNonTerminal(s) && state[ruleIdOf(s)] == 0)
+                        stack.push_back(ruleIdOf(s));
                 }
             } else {
                 stack.pop_back();
                 if (state[id] == 1) {
                     state[id] = 2;
                     std::uint64_t n = 0;
-                    for (Symbol *s = rules_[id]->guard->next; !s->guard;
-                         s = s->next)
-                        n += s->rule ? len[s->rule->id] : 1;
+                    for (SymIdx s = symbols_[rules_[id].guard].next;
+                         !isGuard(s); s = symbols_[s].next)
+                        n += isNonTerminal(s) ? len[ruleIdOf(s)] : 1;
                     len[id] = n;
                 }
             }
@@ -360,53 +494,75 @@ Sequitur::checkInvariants(bool allow_utility_slack) const
     // Duplicate digrams are allowed only when the occurrences overlap
     // (adjacent positions of a same-symbol run, e.g. "aaa"), the known
     // exception the canonical algorithm leaves in place.
+    struct Key
+    {
+        std::uint64_t a, b;
+        bool
+        operator==(const Key &o) const
+        {
+            return a == o.a && b == o.b;
+        }
+    };
+    struct KeyHash
+    {
+        std::size_t
+        operator()(const Key &k) const
+        {
+            return DigramTable::hashKey(k.a, k.b);
+        }
+    };
     struct Occ
     {
         std::uint32_t rule;
         std::size_t idx;
     };
-    std::unordered_map<DigramKey, Occ, DigramHash> seen;
+    std::unordered_map<Key, Occ, KeyHash> seen;
     std::vector<std::uint32_t> refCount(rules_.size(), 0);
     std::size_t live = 0;
 
-    for (const Rule *r : rules_) {
-        if (!r->live)
+    for (std::uint32_t id = 0; id < rules_.size(); ++id) {
+        const Rule &r = rules_[id];
+        if (!r.live)
             continue;
         ++live;
         std::size_t body_len = 0;
         std::size_t idx = 0;
-        for (Symbol *s = r->guard->next; !s->guard; s = s->next, ++idx) {
+        for (SymIdx s = symbols_[r.guard].next; !isGuard(s);
+             s = symbols_[s].next, ++idx) {
             ++body_len;
-            if (s->rule) {
-                panicIf(!s->rule->live, "invariant: ref to dead rule");
-                refCount[s->rule->id]++;
+            if (isNonTerminal(s)) {
+                panicIf(!rules_[ruleIdOf(s)].live,
+                        "invariant: ref to dead rule");
+                refCount[ruleIdOf(s)]++;
             }
-            if (!s->next->guard) {
-                const DigramKey k = keyAt(s);
-                auto [it, fresh] = seen.try_emplace(k, Occ{r->id, idx});
+            const SymIdx n = symbols_[s].next;
+            if (!isGuard(n)) {
+                const Key k{valueAt(s), valueAt(n)};
+                auto [it, fresh] = seen.try_emplace(k, Occ{id, idx});
                 if (!fresh) {
-                    const bool overlap = it->second.rule == r->id &&
+                    const bool overlap = it->second.rule == id &&
                                          it->second.idx + 1 == idx &&
                                          k.a == k.b;
                     panicIf(!overlap, "invariant: duplicate digram");
-                    it->second = Occ{r->id, idx};
+                    it->second = Occ{id, idx};
                 }
             }
-            panicIf(s->next->prev != s, "invariant: broken list");
+            panicIf(symbols_[n].prev != s, "invariant: broken list");
         }
-        panicIf(r->id != kRootRule && body_len < 2,
+        panicIf(id != kRootRule && body_len < 2,
                 "invariant: rule body shorter than 2");
     }
 
-    for (const Rule *r : rules_) {
-        if (!r->live || r->id == kRootRule)
+    for (std::uint32_t id = 0; id < rules_.size(); ++id) {
+        const Rule &r = rules_[id];
+        if (!r.live || id == kRootRule)
             continue;
-        panicIf(refCount[r->id] != r->refs,
+        panicIf(refCount[id] != r.refs,
                 "invariant: refcount bookkeeping mismatch");
         if (!allow_utility_slack)
-            panicIf(r->refs < 2, "invariant: under-used rule");
+            panicIf(r.refs < 2, "invariant: under-used rule");
         else
-            panicIf(r->refs < 1, "invariant: orphan rule");
+            panicIf(r.refs < 1, "invariant: orphan rule");
     }
     return live;
 }

@@ -1,10 +1,12 @@
 #include "core/stream_analysis.hh"
 
 #include <algorithm>
+#include <functional>
 #include <unordered_map>
 
 #include "core/sequitur.hh"
 #include "util/logging.hh"
+#include "util/work_pool.hh"
 
 namespace tstream
 {
@@ -48,23 +50,98 @@ analyzeStreams(const MissTrace &trace, const StreamAnalysisConfig &cfg)
     StreamStats out;
     out.totalMisses = trace.misses.size();
     out.labels.assign(trace.misses.size(), RepLabel::NonRepetitive);
-    out.strided = StrideDetector::labelTrace(trace, cfg.stride);
+    out.strided.assign(trace.misses.size(), false);
     if (trace.misses.empty())
         return out;
 
     // ------------------------------------------------------------------
-    // 1. Build the concatenated per-CPU input with sentinels, interning
-    //    block ids densely, and remember per-position miss indices.
+    // 1. Project the trace per CPU: group miss indices by CPU. Stride
+    //    detection is per-CPU in every mode; the grammar projection
+    //    uses the same grouping in per-CPU mode and the global order
+    //    otherwise.
     // ------------------------------------------------------------------
     const unsigned ncpu = cfg.perCpu ? std::max(1u, trace.numCpus) : 1;
 
-    std::vector<std::vector<std::uint32_t>> percpu(ncpu); // miss indices
-    for (std::uint32_t i = 0; i < trace.misses.size(); ++i) {
-        const unsigned cpu = cfg.perCpu ? trace.misses[i].cpu : 0;
-        panicIf(cpu >= ncpu, "analyzeStreams: cpu out of range");
-        percpu[cpu].push_back(i);
+    unsigned maxCpu = 0;
+    for (const MissRecord &m : trace.misses)
+        maxCpu = std::max(maxCpu, static_cast<unsigned>(m.cpu));
+    panicIf(cfg.perCpu && maxCpu >= ncpu,
+            "analyzeStreams: cpu out of range");
+
+    const unsigned ngroups =
+        std::max(cfg.perCpu ? ncpu : 1u, maxCpu + 1);
+    std::vector<std::vector<std::uint32_t>> byCpu(ngroups);
+    for (std::uint32_t i = 0; i < trace.misses.size(); ++i)
+        byCpu[trace.misses[i].cpu].push_back(i);
+
+    // The projection sections the grammar input concatenates: per-CPU
+    // groups, or the whole trace in global order.
+    std::vector<std::uint32_t> globalIdx;
+    if (!cfg.perCpu) {
+        globalIdx.resize(trace.misses.size());
+        for (std::uint32_t i = 0; i < trace.misses.size(); ++i)
+            globalIdx[i] = i;
+    }
+    auto section = [&](unsigned c) -> const std::vector<std::uint32_t> & {
+        return cfg.perCpu ? byCpu[c] : globalIdx;
+    };
+
+    // ------------------------------------------------------------------
+    // 2. Per-CPU phases, fanned out over the work pool: stride
+    //    labeling (each CPU's tracker table is independent — only the
+    //    relative observation order within a CPU matters, which the
+    //    grouping preserves) and per-section global-sequence
+    //    extraction for the reuse-distance bookkeeping. Every task
+    //    writes a disjoint slot, so the result does not depend on
+    //    scheduling.
+    // ------------------------------------------------------------------
+    std::vector<std::vector<bool>> strideFlags(ngroups);
+    std::vector<std::vector<std::uint64_t>> cpuSeqs(ncpu);
+
+    std::vector<std::function<void()>> tasks;
+    for (unsigned c = 0; c < ngroups; ++c) {
+        if (byCpu[c].empty())
+            continue;
+        tasks.push_back([&, c] {
+            StrideDetector det(cfg.stride);
+            const auto &idx = byCpu[c];
+            auto &flags = strideFlags[c];
+            flags.resize(idx.size());
+            for (std::size_t k = 0; k < idx.size(); ++k)
+                flags[k] = det.observe(trace.misses[idx[k]].cpu,
+                                       trace.misses[idx[k]].block);
+        });
+    }
+    for (unsigned c = 0; c < ncpu; ++c) {
+        tasks.push_back([&, c] {
+            const auto &idx = section(c);
+            cpuSeqs[c].reserve(idx.size());
+            for (std::uint32_t mi : idx)
+                cpuSeqs[c].push_back(trace.misses[mi].seq);
+        });
     }
 
+    const unsigned jobs = std::min<std::size_t>(
+        cfg.jobs > 0 ? cfg.jobs : WorkPool::defaultJobs(),
+        tasks.size());
+    if (jobs > 1) {
+        WorkPool pool(jobs);
+        for (auto &t : tasks)
+            pool.submit(std::move(t));
+        pool.wait();
+    } else {
+        for (auto &t : tasks)
+            t();
+    }
+
+    for (unsigned c = 0; c < ngroups; ++c)
+        for (std::size_t k = 0; k < byCpu[c].size(); ++k)
+            out.strided[byCpu[c][k]] = strideFlags[c][k];
+
+    // ------------------------------------------------------------------
+    // 3. Build the concatenated per-CPU input with sentinels, interning
+    //    block ids densely, and remember per-position miss indices.
+    // ------------------------------------------------------------------
     std::unordered_map<BlockId, std::uint64_t> intern;
     std::vector<std::uint64_t> input;
     std::vector<std::uint32_t> posToMiss; // UINT32_MAX for sentinels
@@ -73,7 +150,7 @@ analyzeStreams(const MissTrace &trace, const StreamAnalysisConfig &cfg)
 
     std::uint64_t nextId = 0;
     for (unsigned c = 0; c < ncpu; ++c) {
-        for (std::uint32_t mi : percpu[c]) {
+        for (std::uint32_t mi : section(c)) {
             auto [it, fresh] =
                 intern.try_emplace(trace.misses[mi].block, nextId);
             if (fresh)
@@ -92,7 +169,7 @@ analyzeStreams(const MissTrace &trace, const StreamAnalysisConfig &cfg)
     // miss count, far under 2^40.)
 
     // ------------------------------------------------------------------
-    // 2. Grammar construction.
+    // 4. Grammar construction.
     // ------------------------------------------------------------------
     Sequitur g;
     for (std::uint64_t v : input)
@@ -101,7 +178,7 @@ analyzeStreams(const MissTrace &trace, const StreamAnalysisConfig &cfg)
     out.grammarRules = g.ruleCount();
 
     // ------------------------------------------------------------------
-    // 3. Derivation walk: enumerate root-level occurrences and each
+    // 5. Derivation walk: enumerate root-level occurrences and each
     //    rule's first-expansion position (for New/Recurring).
     // ------------------------------------------------------------------
     const auto liveIds = g.liveRuleIds();
@@ -150,7 +227,7 @@ analyzeStreams(const MissTrace &trace, const StreamAnalysisConfig &cfg)
                                  "mismatch");
 
     // ------------------------------------------------------------------
-    // 4. Label misses: inside a root-level occurrence -> New if this is
+    // 6. Label misses: inside a root-level occurrence -> New if this is
     //    the rule's first expansion, else Recurring.
     // ------------------------------------------------------------------
     for (const RootOcc &occ : rootOccs) {
@@ -184,7 +261,7 @@ analyzeStreams(const MissTrace &trace, const StreamAnalysisConfig &cfg)
     }
 
     // ------------------------------------------------------------------
-    // 5. Stream-length distribution, weighted by contribution: each
+    // 7. Stream-length distribution, weighted by contribution: each
     //    root occurrence of a rule of length L contributes L misses.
     // ------------------------------------------------------------------
     {
@@ -197,7 +274,7 @@ analyzeStreams(const MissTrace &trace, const StreamAnalysisConfig &cfg)
     }
 
     // ------------------------------------------------------------------
-    // 6. Reuse distance: consecutive root occurrences of the same rule,
+    // 8. Reuse distance: consecutive root occurrences of the same rule,
     //    measured in intervening misses on the first occurrence's CPU.
     // ------------------------------------------------------------------
     {
@@ -206,7 +283,8 @@ analyzeStreams(const MissTrace &trace, const StreamAnalysisConfig &cfg)
         // so a position's CPU and ordinal derive from section offsets.
         std::vector<std::uint64_t> sectionStart(ncpu + 1, 0);
         for (unsigned c = 0; c < ncpu; ++c)
-            sectionStart[c + 1] = sectionStart[c] + percpu[c].size() + 1;
+            sectionStart[c + 1] =
+                sectionStart[c] + section(c).size() + 1;
 
         auto cpuOfPos = [&](std::uint64_t p) {
             unsigned lo = 0, hi = ncpu;
@@ -220,15 +298,8 @@ analyzeStreams(const MissTrace &trace, const StreamAnalysisConfig &cfg)
             return lo;
         };
 
-        // Global sequence numbers per CPU (ascending), to translate a
-        // global time into "how many misses had CPU A seen by then".
-        std::vector<std::vector<std::uint64_t>> cpuSeqs(ncpu);
-        for (unsigned c = 0; c < ncpu; ++c) {
-            cpuSeqs[c].reserve(percpu[c].size());
-            for (std::uint32_t mi : percpu[c])
-                cpuSeqs[c].push_back(trace.misses[mi].seq);
-        }
-
+        // cpuSeqs (computed in the parallel phase) translate a global
+        // time into "how many misses had CPU A seen by then".
         std::unordered_map<std::uint32_t, RootOcc> lastOcc;
         // Process occurrences in global-time order of their first miss.
         auto occs = rootOccs;

@@ -14,6 +14,7 @@
 #ifndef TSTREAM_MEM_MEMORY_SYSTEM_HH
 #define TSTREAM_MEM_MEMORY_SYSTEM_HH
 
+#include <cstddef>
 #include <cstdint>
 
 #include "mem/address.hh"
@@ -31,6 +32,20 @@ class MemorySystem
     /** Process one block-sized access (addr must identify the block). */
     virtual void accessBlock(const Access &acc) = 0;
 
+    /**
+     * Process a run of block-sized accesses, in order. Semantically
+     * identical to calling accessBlock() once per element; concrete
+     * models override it to dispatch the whole run with a single
+     * virtual call (the Engine's batching path), so the per-access
+     * cost is a direct call into the protocol handlers.
+     */
+    virtual void
+    accessBlockRun(const Access *accs, std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            accessBlock(accs[i]);
+    }
+
     /** Number of CPUs (cores or nodes) in the system. */
     virtual unsigned numCpus() const = 0;
 
@@ -41,15 +56,39 @@ class MemorySystem
     void
     access(const Access &acc)
     {
-        const BlockId first = blockOf(acc.addr);
-        const BlockId last =
-            acc.size == 0 ? first : blockOf(acc.addr + acc.size - 1);
-        Access blk = acc;
-        for (BlockId b = first; b <= last; ++b) {
-            blk.addr = blockBase(b);
-            blk.size = static_cast<std::uint32_t>(kBlockSize);
-            accessBlock(blk);
+        accessRun(&acc, 1);
+    }
+
+    /**
+     * Process @p n accesses of arbitrary size, in order: each is split
+     * into its constituent blocks and the expanded run is handed to
+     * accessBlockRun() in large chunks, amortizing the virtual
+     * dispatch over whole runs instead of paying it per block.
+     */
+    void
+    accessRun(const Access *accs, std::size_t n)
+    {
+        Access run[kRunBlocks];
+        std::size_t nb = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const Access &acc = accs[i];
+            const BlockId first = blockOf(acc.addr);
+            const BlockId last = acc.size == 0
+                                     ? first
+                                     : blockOf(acc.addr + acc.size - 1);
+            for (BlockId b = first; b <= last; ++b) {
+                if (nb == kRunBlocks) {
+                    accessBlockRun(run, nb);
+                    nb = 0;
+                }
+                Access &blk = run[nb++];
+                blk = acc;
+                blk.addr = blockBase(b);
+                blk.size = static_cast<std::uint32_t>(kBlockSize);
+            }
         }
+        if (nb > 0)
+            accessBlockRun(run, nb);
     }
 
     /** Enable or disable trace collection (disabled during warmup). */
@@ -69,6 +108,9 @@ class MemorySystem
     const MissTrace &intraChipTrace() const { return intraChip_; }
 
   protected:
+    /** Block-expansion chunk size of accessRun(). */
+    static constexpr std::size_t kRunBlocks = 128;
+
     /** Next global sequence number for the off-chip trace. */
     std::uint64_t
     nextOffChipSeq()

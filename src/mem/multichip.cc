@@ -83,6 +83,15 @@ MultiChipSystem::accessBlock(const Access &acc)
 }
 
 void
+MultiChipSystem::accessBlockRun(const Access *accs, std::size_t n)
+{
+    // One virtual call for the whole run; every element dispatches
+    // directly into the protocol handlers.
+    for (std::size_t i = 0; i < n; ++i)
+        MultiChipSystem::accessBlock(accs[i]);
+}
+
+void
 MultiChipSystem::handleRead(const Access &acc, BlockId blk)
 {
     const unsigned node = acc.cpu;

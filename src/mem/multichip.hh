@@ -38,6 +38,7 @@ class MultiChipSystem : public MemorySystem
     explicit MultiChipSystem(const MultiChipConfig &cfg = {});
 
     void accessBlock(const Access &acc) override;
+    void accessBlockRun(const Access *accs, std::size_t n) override;
 
     unsigned numCpus() const override { return cfg_.nodes; }
 

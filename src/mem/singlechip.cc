@@ -72,6 +72,15 @@ SingleChipSystem::accessBlock(const Access &acc)
 }
 
 void
+SingleChipSystem::accessBlockRun(const Access *accs, std::size_t n)
+{
+    // One virtual call for the whole run; every element dispatches
+    // directly into the protocol handlers.
+    for (std::size_t i = 0; i < n; ++i)
+        SingleChipSystem::accessBlock(accs[i]);
+}
+
+void
 SingleChipSystem::handleRead(const Access &acc, BlockId blk)
 {
     const unsigned core = acc.cpu;

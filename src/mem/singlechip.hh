@@ -41,6 +41,7 @@ class SingleChipSystem : public MemorySystem
     explicit SingleChipSystem(const SingleChipConfig &cfg = {});
 
     void accessBlock(const Access &acc) override;
+    void accessBlockRun(const Access *accs, std::size_t n) override;
 
     unsigned numCpus() const override { return cfg_.cores; }
 

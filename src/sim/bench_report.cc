@@ -524,4 +524,167 @@ benchDocsEquivalent(const BenchDoc &a, const BenchDoc &b,
     return true;
 }
 
+// ---------------------------------------------------------------------------
+// Perf-series comparison
+// ---------------------------------------------------------------------------
+
+bool
+loadPerfSeries(const std::string &path, std::vector<PerfSample> &out,
+               std::string &err)
+{
+    out.clear();
+    json::Value v;
+    if (!json::parseFile(path, v, err))
+        return false;
+    if (!v.isObject()) {
+        err = path + ": not a JSON object";
+        return false;
+    }
+
+    if (v.find("schema")) {
+        // A tstream-bench document or combined report: one series per
+        // cell, named "<bench>/<cell id>", valued by wall_seconds.
+        std::vector<BenchDoc> docs;
+        if (!readBenchDocs(path, docs, err))
+            return false;
+        for (const BenchDoc &doc : docs)
+            for (const BenchCell &cell : doc.cells)
+                out.push_back(PerfSample{doc.bench + "/" + cell.id,
+                                         cell.wallSeconds * 1e9});
+        if (out.empty()) {
+            err = path + ": report holds no cells";
+            return false;
+        }
+        return true;
+    }
+
+    const json::Value *benches = v.find("benchmarks");
+    if (!benches || !benches->isArray()) {
+        err = path + ": neither a Google Benchmark report (no "
+                     "\"benchmarks\" array) nor a tstream-bench "
+                     "report (no \"schema\")";
+        return false;
+    }
+    for (const json::Value &jb : benches->items()) {
+        const json::Value *name = jb.find("name");
+        const json::Value *cpu = jb.find("cpu_time");
+        if (!name || !cpu) {
+            err = path + ": benchmark entry without name/cpu_time";
+            return false;
+        }
+        // Aggregate rows (mean/median/stddev of repetitions) would
+        // double-count; only raw iterations enter the series.
+        if (const json::Value *rt = jb.find("run_type");
+            rt && rt->asString() != "iteration")
+            continue;
+        double ns = cpu->asDouble();
+        if (const json::Value *u = jb.find("time_unit")) {
+            const std::string &unit = u->asString();
+            if (unit == "us")
+                ns *= 1e3;
+            else if (unit == "ms")
+                ns *= 1e6;
+            else if (unit == "s")
+                ns *= 1e9;
+            else if (unit != "ns") {
+                err = path + ": unknown time_unit " + unit;
+                return false;
+            }
+        }
+        PerfSample *dup = nullptr;
+        for (PerfSample &s : out)
+            if (s.name == name->asString())
+                dup = &s;
+        if (dup)
+            dup->timeNs = std::min(dup->timeNs, ns); // best repetition
+        else
+            out.push_back(PerfSample{name->asString(), ns});
+    }
+    if (out.empty()) {
+        err = path + ": no benchmark iterations in report";
+        return false;
+    }
+    return true;
+}
+
+PerfComparison
+comparePerfSeries(const std::vector<PerfSample> &base,
+                  const std::vector<PerfSample> &current,
+                  const PerfGateOptions &opts)
+{
+    const bool filtered = !opts.series.empty();
+    auto gated = [&](const std::string &name) {
+        if (!filtered)
+            return true;
+        for (const std::string &s : opts.series)
+            if (s == name)
+                return true;
+        return false;
+    };
+    auto findIn = [](const std::vector<PerfSample> &v,
+                     const std::string &name) -> const PerfSample * {
+        for (const PerfSample &s : v)
+            if (s.name == name)
+                return &s;
+        return nullptr;
+    };
+
+    PerfComparison cmp;
+    for (const PerfSample &b : base) {
+        if (!gated(b.name))
+            continue;
+        PerfDelta d;
+        d.name = b.name;
+        d.baseNs = b.timeNs;
+        if (const PerfSample *c = findIn(current, b.name)) {
+            d.currentNs = c->timeNs;
+            d.ratio = b.timeNs > 0 ? c->timeNs / b.timeNs : 0.0;
+            if (d.ratio > opts.maxRegress) {
+                d.status = PerfDelta::Status::Regressed;
+                ++cmp.regressed;
+                cmp.pass = false;
+            } else if (opts.maxRegress > 0 &&
+                       d.ratio < 1.0 / opts.maxRegress) {
+                d.status = PerfDelta::Status::Improved;
+            } else {
+                d.status = PerfDelta::Status::Ok;
+            }
+        } else {
+            d.status = PerfDelta::Status::Missing;
+            ++cmp.missing;
+            cmp.pass = false;
+        }
+        cmp.rows.push_back(std::move(d));
+    }
+
+    // Series named in the gate but absent from the baseline: a typo
+    // must not silently disable the gate.
+    if (filtered)
+        for (const std::string &name : opts.series)
+            if (!findIn(base, name)) {
+                PerfDelta d;
+                d.name = name;
+                if (const PerfSample *c = findIn(current, name))
+                    d.currentNs = c->timeNs;
+                d.status = PerfDelta::Status::Missing;
+                ++cmp.missing;
+                cmp.pass = false;
+                cmp.rows.push_back(std::move(d));
+            }
+
+    for (const PerfSample &c : current) {
+        if (filtered)
+            break; // gated-but-absent names were reported Missing above
+        if (findIn(base, c.name))
+            continue;
+        PerfDelta d;
+        d.name = c.name;
+        d.currentNs = c.timeNs;
+        d.status = PerfDelta::Status::Fresh;
+        ++cmp.fresh;
+        cmp.rows.push_back(std::move(d));
+    }
+    return cmp;
+}
+
 } // namespace tstream

@@ -140,6 +140,90 @@ bool mergeBenchDocs(const std::vector<BenchDoc> &docs, BenchDoc &out,
 bool benchDocsEquivalent(const BenchDoc &a, const BenchDoc &b,
                          std::string &why);
 
+// ---------------------------------------------------------------------------
+// Perf-series comparison — the primitive behind `tstream-bench
+// compare` and the CI perf-regression gate (docs/BENCHMARKING.md).
+// ---------------------------------------------------------------------------
+
+/** One named perf measurement. Time in nanoseconds; lower is better. */
+struct PerfSample
+{
+    std::string name;
+    double timeNs = 0.0;
+};
+
+/**
+ * Load the perf series of the report at @p path. Two formats are
+ * recognized:
+ *
+ *  - Google Benchmark JSON (`--benchmark_out_format=json`): one
+ *    sample per "iteration" entry (aggregates are skipped), named by
+ *    `name`, valued by `cpu_time` normalized to ns via `time_unit`.
+ *    Repeated names (repetitions) keep the fastest run.
+ *  - tstream-bench documents / combined reports: one sample per
+ *    cell, named "<bench>/<cell id>", valued by `wall_seconds`.
+ *
+ * Anything else (including structurally broken reports) fails with a
+ * description in @p err.
+ */
+bool loadPerfSeries(const std::string &path,
+                    std::vector<PerfSample> &out, std::string &err);
+
+/** One row of a perf comparison. */
+struct PerfDelta
+{
+    enum class Status : std::uint8_t
+    {
+        Ok,        ///< within threshold in both directions
+        Improved,  ///< faster than 1/maxRegress
+        Regressed, ///< slower than maxRegress — gate failure
+        Missing,   ///< in the baseline but not the current report
+        Fresh,     ///< in the current report only — not gated
+    };
+
+    std::string name;
+    double baseNs = 0.0;
+    double currentNs = 0.0;
+    double ratio = 0.0; ///< current / base (0 when either is absent)
+    Status status = Status::Ok;
+};
+
+/** Gate parameters for comparePerfSeries(). */
+struct PerfGateOptions
+{
+    /**
+     * A series regresses when current/base is strictly greater than
+     * this ratio (ratio == threshold still passes).
+     */
+    double maxRegress = 1.25;
+
+    /**
+     * Gate only these series (exact names). Empty = every baseline
+     * series is gated. A named series absent from the baseline is
+     * reported Missing, so a typo cannot silently disable the gate.
+     */
+    std::vector<std::string> series;
+};
+
+/** Result of a perf comparison. */
+struct PerfComparison
+{
+    std::vector<PerfDelta> rows; ///< baseline order, then Fresh rows
+    std::size_t regressed = 0;
+    std::size_t missing = 0;
+    std::size_t fresh = 0;
+    bool pass = true; ///< no gated series Regressed or Missing
+};
+
+/**
+ * Compare @p current against @p base: every (gated) baseline series
+ * must be present and within opts.maxRegress; series only in
+ * @p current are reported Fresh and never fail the gate.
+ */
+PerfComparison comparePerfSeries(const std::vector<PerfSample> &base,
+                                 const std::vector<PerfSample> &current,
+                                 const PerfGateOptions &opts);
+
 } // namespace tstream
 
 #endif // TSTREAM_SIM_BENCH_REPORT_HH

@@ -7,11 +7,21 @@
  * in-order, stall-free execution model whose only outputs are a memory
  * access stream (fed to a MemorySystem) and an instruction count.
  * Everything is deterministic given the seed.
+ *
+ * Accesses are not handed to the memory system one by one: the engine
+ * buffers them (workloads emit long runs from one CPU — a request
+ * parse, a value stream, a log replay) and flushes whole runs through
+ * MemorySystem::accessRun(), which block-expands them and dispatches
+ * the run with a single virtual call. Buffering is invisible: the
+ * access order the cache model sees is exactly the issue order, and
+ * every observation point (memory(), setTracing(), finalizeTraces())
+ * flushes first, so traces are bit-identical to the unbatched path.
  */
 
 #ifndef TSTREAM_SIM_ENGINE_HH
 #define TSTREAM_SIM_ENGINE_HH
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -35,8 +45,20 @@ class Engine
     {
     }
 
-    MemorySystem &memory() { return *sys_; }
-    const MemorySystem &memory() const { return *sys_; }
+    MemorySystem &
+    memory()
+    {
+        flushAccesses();
+        return *sys_;
+    }
+
+    const MemorySystem &
+    memory() const
+    {
+        flushAccesses();
+        return *sys_;
+    }
+
     FunctionRegistry &registry() { return registry_; }
     const FunctionRegistry &registry() const { return registry_; }
     Rng &rng() { return rng_; }
@@ -54,7 +76,7 @@ class Engine
     void
     read(CpuId cpu, Addr addr, std::uint32_t size, FnId fn)
     {
-        sys_->access(Access{addr, size, AccessType::Read, cpu, fn});
+        push(Access{addr, size, AccessType::Read, cpu, fn});
         icount_[cpu] += kInstrPerAccess * blocksSpanned(addr, size);
     }
 
@@ -62,7 +84,7 @@ class Engine
     void
     write(CpuId cpu, Addr addr, std::uint32_t size, FnId fn)
     {
-        sys_->access(Access{addr, size, AccessType::Write, cpu, fn});
+        push(Access{addr, size, AccessType::Write, cpu, fn});
         icount_[cpu] += kInstrPerAccess * blocksSpanned(addr, size);
     }
 
@@ -70,7 +92,7 @@ class Engine
     void
     dmaWrite(Addr addr, std::uint32_t size)
     {
-        sys_->access(Access{addr, size, AccessType::DmaWrite, 0, 0});
+        push(Access{addr, size, AccessType::DmaWrite, 0, 0});
     }
 
     /**
@@ -80,8 +102,7 @@ class Engine
     void
     nonAllocWrite(CpuId cpu, Addr addr, std::uint32_t size, FnId fn)
     {
-        sys_->access(Access{addr, size, AccessType::NonAllocWrite, cpu,
-                            fn});
+        push(Access{addr, size, AccessType::NonAllocWrite, cpu, fn});
         icount_[cpu] += kInstrPerAccess * blocksSpanned(addr, size);
     }
 
@@ -96,23 +117,57 @@ class Engine
     }
 
     /** Enable/disable trace collection (off during warmup). */
-    void setTracing(bool on) { sys_->setTracing(on); }
+    void
+    setTracing(bool on)
+    {
+        flushAccesses();
+        sys_->setTracing(on);
+    }
 
     /** Attach instruction totals to the collected traces. */
     void
     finalizeTraces()
     {
+        flushAccesses();
         sys_->offChipTrace().instructions = totalInstructions();
         sys_->intraChipTrace().instructions = totalInstructions();
     }
 
+    /**
+     * Drain buffered accesses into the memory system. Called
+     * automatically at every observation point; explicit calls are
+     * only needed before touching the MemorySystem behind memory()'s
+     * back (tests holding a downcast pointer).
+     */
+    void
+    flushAccesses() const
+    {
+        if (npending_ > 0) {
+            sys_->accessRun(pending_.data(), npending_);
+            npending_ = 0;
+        }
+    }
+
   private:
     static constexpr std::uint32_t kInstrPerAccess = 4;
+    static constexpr std::size_t kBatch = 64;
+
+    void
+    push(const Access &acc)
+    {
+        if (npending_ == kBatch)
+            flushAccesses();
+        pending_[npending_++] = acc;
+    }
 
     std::unique_ptr<MemorySystem> sys_;
     FunctionRegistry registry_;
     Rng rng_;
     std::vector<std::uint64_t> icount_;
+    // Buffered in issue order; logically part of the memory system's
+    // input stream, hence mutable + flush from const observers.
+    mutable std::array<Access, kBatch> pending_;
+    mutable std::size_t npending_ = 0;
 };
 
 } // namespace tstream

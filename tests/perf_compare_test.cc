@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Tests for the perf-series comparison behind `tstream-bench compare`
+ * (sim/bench_report.hh): loading Google Benchmark JSON and
+ * tstream-bench reports into a named series, and the regression gate
+ * semantics — improvement vs. regression vs. missing series, the
+ * exact threshold boundary, series filtering, and malformed-report
+ * rejection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "sim/bench_report.hh"
+
+namespace tstream
+{
+namespace
+{
+
+std::string
+tempFile(const char *tag, const std::string &content)
+{
+    const std::string path =
+        ::testing::TempDir() + "/tstream_perf_" + tag + ".json";
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content;
+    return path;
+}
+
+/** A minimal Google Benchmark JSON document. */
+std::string
+gbReport(const std::string &entries)
+{
+    return "{\"context\": {\"num_cpus\": 1},\n"
+           "\"benchmarks\": [" + entries + "]}";
+}
+
+std::string
+gbEntry(const std::string &name, double cpuTime,
+        const std::string &unit = "ns",
+        const std::string &runType = "iteration")
+{
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\": \"%s\", \"run_type\": \"%s\", "
+                  "\"cpu_time\": %.17g, \"time_unit\": \"%s\"}",
+                  name.c_str(), runType.c_str(), cpuTime,
+                  unit.c_str());
+    return buf;
+}
+
+PerfSample
+sample(const std::string &name, double ns)
+{
+    return PerfSample{name, ns};
+}
+
+// ---- loading ---------------------------------------------------------------
+
+TEST(PerfSeriesLoad, GoogleBenchmarkJson)
+{
+    const std::string path = tempFile(
+        "gb", gbReport(gbEntry("BM_A/1000", 1500.0) + ",\n" +
+                       gbEntry("BM_B", 2.5, "ms")));
+    std::vector<PerfSample> out;
+    std::string err;
+    ASSERT_TRUE(loadPerfSeries(path, out, err)) << err;
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].name, "BM_A/1000");
+    EXPECT_DOUBLE_EQ(out[0].timeNs, 1500.0);
+    EXPECT_EQ(out[1].name, "BM_B");
+    EXPECT_DOUBLE_EQ(out[1].timeNs, 2.5e6); // ms normalized to ns
+    std::remove(path.c_str());
+}
+
+TEST(PerfSeriesLoad, SkipsAggregatesAndKeepsBestRepetition)
+{
+    const std::string path = tempFile(
+        "reps",
+        gbReport(gbEntry("BM_A", 120.0) + ",\n" +
+                 gbEntry("BM_A", 100.0) + ",\n" +
+                 gbEntry("BM_A", 140.0) + ",\n" +
+                 gbEntry("BM_A_mean", 115.0, "ns", "aggregate")));
+    std::vector<PerfSample> out;
+    std::string err;
+    ASSERT_TRUE(loadPerfSeries(path, out, err)) << err;
+    ASSERT_EQ(out.size(), 1u); // aggregates skipped, reps collapsed
+    EXPECT_EQ(out[0].name, "BM_A");
+    EXPECT_DOUBLE_EQ(out[0].timeNs, 100.0); // fastest repetition
+    std::remove(path.c_str());
+}
+
+TEST(PerfSeriesLoad, BenchDocCellsBecomeSeries)
+{
+    BenchDoc doc;
+    doc.bench = "fig2_stream_fraction";
+    doc.gridCells = 1;
+    BenchCell cell;
+    cell.index = 0;
+    cell.id = "DB2-OLTP/multi-chip";
+    cell.wallSeconds = 2.0;
+    BenchRow row;
+    row.table = "streams";
+    row.trace = "multi-chip";
+    row.text = "row";
+    cell.rows.push_back(row);
+    doc.cells.push_back(cell);
+
+    const std::string path =
+        ::testing::TempDir() + "/tstream_perf_doc.json";
+    std::string err;
+    ASSERT_TRUE(writeBenchDoc(doc, path, err)) << err;
+
+    std::vector<PerfSample> out;
+    ASSERT_TRUE(loadPerfSeries(path, out, err)) << err;
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].name, "fig2_stream_fraction/DB2-OLTP/multi-chip");
+    EXPECT_DOUBLE_EQ(out[0].timeNs, 2.0e9);
+    std::remove(path.c_str());
+}
+
+TEST(PerfSeriesLoad, RejectsMalformedReports)
+{
+    std::vector<PerfSample> out;
+    std::string err;
+
+    // Not JSON at all.
+    const std::string junk = tempFile("junk", "not json {");
+    EXPECT_FALSE(loadPerfSeries(junk, out, err));
+    std::remove(junk.c_str());
+
+    // JSON, but neither format.
+    const std::string neither = tempFile("neither", "{\"x\": 1}");
+    EXPECT_FALSE(loadPerfSeries(neither, out, err));
+    EXPECT_NE(err.find("benchmarks"), std::string::npos) << err;
+    std::remove(neither.c_str());
+
+    // Google-Benchmark-shaped but an entry lacks cpu_time.
+    const std::string noCpu = tempFile(
+        "nocpu", gbReport("{\"name\": \"BM_A\"}"));
+    EXPECT_FALSE(loadPerfSeries(noCpu, out, err));
+    std::remove(noCpu.c_str());
+
+    // An empty benchmarks array is not a usable baseline.
+    const std::string empty = tempFile("empty", gbReport(""));
+    EXPECT_FALSE(loadPerfSeries(empty, out, err));
+    std::remove(empty.c_str());
+}
+
+// ---- gate semantics --------------------------------------------------------
+
+TEST(PerfCompare, ImprovementPasses)
+{
+    const auto cmp = comparePerfSeries(
+        {sample("a", 1000.0)}, {sample("a", 500.0)}, PerfGateOptions{});
+    ASSERT_EQ(cmp.rows.size(), 1u);
+    EXPECT_EQ(cmp.rows[0].status, PerfDelta::Status::Improved);
+    EXPECT_DOUBLE_EQ(cmp.rows[0].ratio, 0.5);
+    EXPECT_TRUE(cmp.pass);
+}
+
+TEST(PerfCompare, RegressionBeyondThresholdFails)
+{
+    const auto cmp = comparePerfSeries(
+        {sample("a", 1000.0)}, {sample("a", 1300.0)},
+        PerfGateOptions{});
+    ASSERT_EQ(cmp.rows.size(), 1u);
+    EXPECT_EQ(cmp.rows[0].status, PerfDelta::Status::Regressed);
+    EXPECT_EQ(cmp.regressed, 1u);
+    EXPECT_FALSE(cmp.pass);
+}
+
+TEST(PerfCompare, ThresholdBoundaryPasses)
+{
+    // ratio == maxRegress exactly (both sides representable): passes.
+    const auto at = comparePerfSeries(
+        {sample("a", 100.0)}, {sample("a", 125.0)}, PerfGateOptions{});
+    EXPECT_EQ(at.rows[0].status, PerfDelta::Status::Ok);
+    EXPECT_TRUE(at.pass);
+
+    // The next representable step beyond fails.
+    const auto over = comparePerfSeries(
+        {sample("a", 100.0)}, {sample("a", 125.1)}, PerfGateOptions{});
+    EXPECT_EQ(over.rows[0].status, PerfDelta::Status::Regressed);
+    EXPECT_FALSE(over.pass);
+}
+
+TEST(PerfCompare, MissingBaselineSeriesFails)
+{
+    const auto cmp = comparePerfSeries(
+        {sample("a", 100.0), sample("gone", 100.0)},
+        {sample("a", 100.0)}, PerfGateOptions{});
+    ASSERT_EQ(cmp.rows.size(), 2u);
+    EXPECT_EQ(cmp.rows[1].status, PerfDelta::Status::Missing);
+    EXPECT_EQ(cmp.missing, 1u);
+    EXPECT_FALSE(cmp.pass);
+}
+
+TEST(PerfCompare, FreshSeriesIsReportedButNotGated)
+{
+    const auto cmp = comparePerfSeries(
+        {sample("a", 100.0)},
+        {sample("a", 100.0), sample("brand-new", 9e9)},
+        PerfGateOptions{});
+    ASSERT_EQ(cmp.rows.size(), 2u);
+    EXPECT_EQ(cmp.rows[1].status, PerfDelta::Status::Fresh);
+    EXPECT_EQ(cmp.fresh, 1u);
+    EXPECT_TRUE(cmp.pass);
+}
+
+TEST(PerfCompare, SeriesFilterGatesOnlyNamedSeries)
+{
+    PerfGateOptions opts;
+    opts.series = {"gated"};
+    // "other" regresses wildly but is not gated (and not listed).
+    const auto cmp = comparePerfSeries(
+        {sample("gated", 100.0), sample("other", 100.0)},
+        {sample("gated", 110.0), sample("other", 9000.0)}, opts);
+    ASSERT_EQ(cmp.rows.size(), 1u);
+    EXPECT_EQ(cmp.rows[0].name, "gated");
+    EXPECT_EQ(cmp.rows[0].status, PerfDelta::Status::Ok);
+    EXPECT_TRUE(cmp.pass);
+}
+
+TEST(PerfCompare, FilterNameAbsentFromBaselineFails)
+{
+    PerfGateOptions opts;
+    opts.series = {"tpyo"};
+    const auto cmp = comparePerfSeries(
+        {sample("real", 100.0)}, {sample("real", 100.0)}, opts);
+    ASSERT_EQ(cmp.rows.size(), 1u);
+    EXPECT_EQ(cmp.rows[0].name, "tpyo");
+    EXPECT_EQ(cmp.rows[0].status, PerfDelta::Status::Missing);
+    EXPECT_FALSE(cmp.pass);
+}
+
+} // namespace
+} // namespace tstream

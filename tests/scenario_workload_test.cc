@@ -51,7 +51,16 @@ fileBytes(const std::string &path)
 std::string
 tempPath(const char *tag)
 {
-    return ::testing::TempDir() + "/tstream_scenario_" + tag + ".tst";
+    // Keyed on the running test's name so parameterized instances can
+    // execute concurrently (ctest -j) without racing on one file.
+    const auto *info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    std::string unique = info ? info->name() : "unnamed";
+    for (char &c : unique)
+        if (c == '/' || c == ' ' || c == '<' || c == '>')
+            c = '_';
+    return ::testing::TempDir() + "/tstream_scenario_" + unique + "_" +
+           tag + ".tst";
 }
 
 // ---- fixed-seed determinism -------------------------------------------------

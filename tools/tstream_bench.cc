@@ -15,6 +15,11 @@
  *                (ignoring wall time and other execution details)
  *   check-stdout verify every row of a report appears verbatim in a
  *                captured stdout file (the bit-identity guarantee)
+ *   compare      diff the perf series of two reports (Google
+ *                Benchmark JSON or tstream-bench documents), print
+ *                per-series ratios, and exit non-zero when any gated
+ *                series regresses beyond --max-regress or went
+ *                missing — the CI perf-regression gate
  *   print        re-render the tables of a report from its rows
  *   list         show the known bench names
  *
@@ -71,6 +76,8 @@ usage(const char *msg)
         "  tstream-bench merge -o OUT.json IN.json...\n"
         "  tstream-bench check-equal A.json B.json\n"
         "  tstream-bench check-stdout REPORT.json STDOUT.txt\n"
+        "  tstream-bench compare [--max-regress R] [--series NAME]...\n"
+        "                BASELINE.json CURRENT.json\n"
         "  tstream-bench print REPORT.json\n"
         "  tstream-bench list\n"
         "\n"
@@ -85,7 +92,12 @@ usage(const char *msg)
         "the unsharded run. With --resume, cells already present in\n"
         "the existing OUT.json are reused instead of re-run; the run\n"
         "fails if that report's schema version or any cell's config\n"
-        "hash mismatches. Recipes: docs/BENCHMARKING.md.\n");
+        "hash mismatches. compare reads Google Benchmark JSON\n"
+        "(cpu_time per benchmark, best repetition) or tstream-bench\n"
+        "reports (wall_seconds per cell) and fails when a gated\n"
+        "series is slower than baseline*R or absent; ratio == R\n"
+        "still passes, and current-only series are reported but\n"
+        "never gated. Recipes: docs/BENCHMARKING.md.\n");
     return 2;
 }
 
@@ -366,6 +378,103 @@ cmdMerge(int argc, char **argv)
     return 0;
 }
 
+// ---- compare ----------------------------------------------------------------
+
+std::string
+fmtTime(double ns)
+{
+    char buf[32];
+    if (ns <= 0.0)
+        return "--";
+    if (ns < 1e3)
+        std::snprintf(buf, sizeof buf, "%.0f ns", ns);
+    else if (ns < 1e6)
+        std::snprintf(buf, sizeof buf, "%.2f us", ns / 1e3);
+    else if (ns < 1e9)
+        std::snprintf(buf, sizeof buf, "%.3f ms", ns / 1e6);
+    else
+        std::snprintf(buf, sizeof buf, "%.3f s", ns / 1e9);
+    return buf;
+}
+
+int
+cmdCompare(int argc, char **argv)
+{
+    PerfGateOptions opts;
+    std::vector<std::string> paths;
+    for (int i = 0; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        auto value = [&](const char *what) -> const char * {
+            if (i + 1 >= argc) {
+                usage((std::string("missing value for ") + what)
+                          .c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--max-regress") {
+            const char *v = value("--max-regress");
+            char *end = nullptr;
+            opts.maxRegress = std::strtod(v, &end);
+            if (!end || *end != '\0' || opts.maxRegress <= 0.0)
+                return usage("--max-regress wants a positive ratio");
+        } else if (arg == "--series") {
+            opts.series.emplace_back(value("--series"));
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage(
+                ("unknown compare option: " + std::string(arg))
+                    .c_str());
+        } else {
+            paths.emplace_back(arg);
+        }
+    }
+    if (paths.size() != 2)
+        return usage("compare takes exactly two reports "
+                     "(BASELINE.json CURRENT.json)");
+
+    std::vector<PerfSample> base, cur;
+    std::string err;
+    if (!loadPerfSeries(paths[0], base, err) ||
+        !loadPerfSeries(paths[1], cur, err)) {
+        std::fprintf(stderr, "tstream-bench: %s\n", err.c_str());
+        return 2;
+    }
+
+    const PerfComparison cmp = comparePerfSeries(base, cur, opts);
+
+    std::size_t width = 6;
+    for (const PerfDelta &d : cmp.rows)
+        width = std::max(width, d.name.size());
+    std::printf("%-*s  %12s  %12s  %7s\n", static_cast<int>(width),
+                "series", "baseline", "current", "ratio");
+    for (const PerfDelta &d : cmp.rows) {
+        const char *status = "";
+        switch (d.status) {
+          case PerfDelta::Status::Ok: status = "ok"; break;
+          case PerfDelta::Status::Improved: status = "improved"; break;
+          case PerfDelta::Status::Regressed:
+            status = "REGRESSED";
+            break;
+          case PerfDelta::Status::Missing: status = "MISSING"; break;
+          case PerfDelta::Status::Fresh: status = "new"; break;
+        }
+        char ratio[16];
+        if (d.ratio > 0)
+            std::snprintf(ratio, sizeof ratio, "%.3f", d.ratio);
+        else
+            std::snprintf(ratio, sizeof ratio, "--");
+        std::printf("%-*s  %12s  %12s  %7s  %s\n",
+                    static_cast<int>(width), d.name.c_str(),
+                    fmtTime(d.baseNs).c_str(),
+                    fmtTime(d.currentNs).c_str(), ratio, status);
+    }
+    std::printf("compare: %zu series, %zu regressed, %zu missing, "
+                "%zu new (threshold %.2fx): %s\n",
+                cmp.rows.size(), cmp.regressed, cmp.missing, cmp.fresh,
+                opts.maxRegress, cmp.pass ? "PASS" : "FAIL");
+    return cmp.pass ? 0 : 1;
+}
+
 // ---- check-equal / check-stdout / print ------------------------------------
 
 int
@@ -511,6 +620,8 @@ main(int argc, char **argv)
                 "check-stdout takes a report and a stdout capture");
         return cmdCheckStdout(argv[2], argv[3]);
     }
+    if (cmd == "compare")
+        return cmdCompare(argc - 2, argv + 2);
     if (cmd == "print") {
         if (argc != 3)
             return usage("print takes exactly one report");
