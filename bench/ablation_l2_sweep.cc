@@ -112,6 +112,7 @@ main(int argc, char **argv)
 {
     const BenchOptions opts =
         parseBenchArgs(argc, argv, "ablation_l2_sweep");
+    benchRejectWorkloadOverrides(opts); // fixed (app, L2-size) grid
     const auto grid = l2SweepGrid(opts.budgets);
     const auto cells = runBenchCells(
         grid, opts, opts.driver(),

@@ -107,10 +107,10 @@ main(int argc, char **argv)
         parseBenchArgs(argc, argv, "ablation_stream_detector");
     // OLTP and Apache as in PR 3, plus the KV store so the detector
     // comparison covers a scenario workload too.
-    const auto grid = standardGrid(
+    const auto grid = benchGrid(
         {WorkloadKind::Oltp, WorkloadKind::Apache,
          WorkloadKind::KvStore},
-        opts.budgets);
+        opts);
     const auto cells = runBenchCells(
         grid, opts, opts.driver(),
         [](const CellResult &res) { return buildRows(res); });

@@ -69,7 +69,7 @@ main(int argc, char **argv)
 {
     const BenchOptions opts =
         parseBenchArgs(argc, argv, "ext_prefetcher");
-    const auto grid = standardGrid(kAllWorkloads, opts.budgets);
+    const auto grid = benchGrid(kAllWorkloads, opts);
     const auto cells = runBenchCells(
         grid, opts, opts.driver(),
         [](const CellResult &res) { return buildRows(res); });

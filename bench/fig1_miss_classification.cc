@@ -94,7 +94,7 @@ main(int argc, char **argv)
 {
     const BenchOptions opts =
         parseBenchArgs(argc, argv, "fig1_miss_classification");
-    const auto grid = standardGrid(kAllWorkloads, opts.budgets);
+    const auto grid = benchGrid(kAllWorkloads, opts);
     // Figure 1 needs neither stream analysis nor intra filtering (the
     // right panel includes the Off-chip bar).
     const auto cells = runBenchCells(

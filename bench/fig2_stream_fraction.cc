@@ -55,7 +55,7 @@ main(int argc, char **argv)
 {
     const BenchOptions opts =
         parseBenchArgs(argc, argv, "fig2_stream_fraction");
-    const auto grid = standardGrid(kAllWorkloads, opts.budgets);
+    const auto grid = benchGrid(kAllWorkloads, opts);
     const auto cells = runBenchCells(
         grid, opts, opts.driver(),
         [](const CellResult &res) { return buildRows(res); });

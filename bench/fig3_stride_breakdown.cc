@@ -64,7 +64,7 @@ main(int argc, char **argv)
 {
     const BenchOptions opts =
         parseBenchArgs(argc, argv, "fig3_stride_breakdown");
-    const auto grid = standardGrid(kAllWorkloads, opts.budgets);
+    const auto grid = benchGrid(kAllWorkloads, opts);
     const auto cells = runBenchCells(
         grid, opts, opts.driver(),
         [](const CellResult &res) { return buildRows(res); });

@@ -86,7 +86,7 @@ main(int argc, char **argv)
 {
     const BenchOptions opts =
         parseBenchArgs(argc, argv, "fig4_length_reuse");
-    const auto grid = standardGrid(kAllWorkloads, opts.budgets);
+    const auto grid = benchGrid(kAllWorkloads, opts);
     const auto cells = runBenchCells(
         grid, opts, opts.driver(),
         [](const CellResult &res) { return buildRows(res); });

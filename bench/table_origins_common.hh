@@ -23,7 +23,7 @@ runOriginsTable(const char *benchName, const char *title,
                 bool scenario_rows = false)
 {
     const BenchOptions opts = parseBenchArgs(argc, argv, benchName);
-    const auto grid = standardGrid(workloads, opts.budgets);
+    const auto grid = benchGrid(workloads, opts);
 
     // The printed blocks need the table header lines around each row
     // group, so the per-cell rows carry a "header" row first whose

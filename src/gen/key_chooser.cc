@@ -1,0 +1,160 @@
+#include "gen/key_chooser.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tstream
+{
+
+std::string_view
+keyDistName(KeyDistKind k)
+{
+    switch (k) {
+      case KeyDistKind::Uniform: return "uniform";
+      case KeyDistKind::Zipfian: return "zipfian";
+      case KeyDistKind::Hotspot: return "hotspot";
+      case KeyDistKind::Latest: return "latest";
+    }
+    return "<invalid>";
+}
+
+bool
+parseKeyDistName(std::string_view name, KeyDistKind &out)
+{
+    if (name == "uniform")
+        out = KeyDistKind::Uniform;
+    else if (name == "zipfian")
+        out = KeyDistKind::Zipfian;
+    else if (name == "hotspot")
+        out = KeyDistKind::Hotspot;
+    else if (name == "latest")
+        out = KeyDistKind::Latest;
+    else
+        return false;
+    return true;
+}
+
+namespace
+{
+
+/** Wraps ZipfSampler so default workloads stay bit-identical: one
+ *  Rng::uniform() per draw, same inverse-CDF binary search. */
+class ZipfianChooser : public KeyChooser
+{
+  public:
+    ZipfianChooser(std::size_t n, double theta)
+        : dist_(n, theta)
+    {
+    }
+
+    std::size_t sample(Rng &rng) override { return dist_.sample(rng); }
+    std::size_t size() const override { return dist_.size(); }
+
+  private:
+    ZipfSampler dist_;
+};
+
+class UniformChooser : public KeyChooser
+{
+  public:
+    explicit UniformChooser(std::size_t n)
+        : n_(n)
+    {
+    }
+
+    std::size_t
+    sample(Rng &rng) override
+    {
+        return static_cast<std::size_t>(rng.below(n_));
+    }
+
+    std::size_t size() const override { return n_; }
+
+  private:
+    std::size_t n_;
+};
+
+/** YCSB hotspot: the first ceil(frac*n) keys absorb prob of the
+ *  requests, uniformly; the cold remainder shares the rest. */
+class HotspotChooser : public KeyChooser
+{
+  public:
+    HotspotChooser(std::size_t n, double frac, double prob)
+        : n_(n),
+          hot_(std::min<std::size_t>(
+              n - 1,
+              std::max<std::size_t>(
+                  1, static_cast<std::size_t>(std::ceil(
+                         static_cast<double>(n) * frac))))),
+          prob_(prob)
+    {
+    }
+
+    std::size_t
+    sample(Rng &rng) override
+    {
+        if (rng.chance(prob_))
+            return static_cast<std::size_t>(rng.below(hot_));
+        return hot_ +
+               static_cast<std::size_t>(rng.below(n_ - hot_));
+    }
+
+    std::size_t size() const override { return n_; }
+    std::size_t hotCount() const { return hot_; }
+
+  private:
+    std::size_t n_;
+    std::size_t hot_;
+    double prob_;
+};
+
+/**
+ * YCSB latest: zipfian over recency. The chooser samples an *offset*
+ * behind the insert frontier (offset 0 = the key most recently
+ * inserted) so popularity tracks the frontier as the workload writes.
+ */
+class LatestChooser : public KeyChooser
+{
+  public:
+    LatestChooser(std::size_t n, double theta)
+        : n_(n), offsets_(n, theta)
+    {
+    }
+
+    std::size_t
+    sample(Rng &rng) override
+    {
+        const std::size_t offset = offsets_.sample(rng);
+        return (frontier_ + n_ - 1 - offset) % n_;
+    }
+
+    void noteInsert() override { frontier_ = (frontier_ + 1) % n_; }
+
+    std::size_t size() const override { return n_; }
+
+  private:
+    std::size_t n_;
+    ZipfSampler offsets_;
+    std::size_t frontier_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<KeyChooser>
+makeKeyChooser(const KeyDistSpec &spec, std::size_t n)
+{
+    switch (spec.kind) {
+      case KeyDistKind::Uniform:
+        return std::make_unique<UniformChooser>(n);
+      case KeyDistKind::Zipfian:
+        return std::make_unique<ZipfianChooser>(n, spec.theta);
+      case KeyDistKind::Hotspot:
+        return std::make_unique<HotspotChooser>(n, spec.hotFrac,
+                                                spec.hotProb);
+      case KeyDistKind::Latest:
+        return std::make_unique<LatestChooser>(n, spec.theta);
+    }
+    return nullptr;
+}
+
+} // namespace tstream

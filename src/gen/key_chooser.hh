@@ -1,0 +1,97 @@
+/**
+ * @file
+ * YCSB-fidelity key choosers: the request-distribution half of
+ * config-driven workload generation. A KeyChooser turns an Rng into a
+ * stream of keys in [0, n) under a named distribution — zipfian,
+ * uniform, hotspot, or latest — so the scenario workloads (KV store,
+ * broker, phased mix) can draw their key/topic popularity from a
+ * workload config file instead of a hard-coded sampler.
+ *
+ * Determinism contract: ZipfianChooser consumes exactly one
+ * Rng::uniform() per draw and reproduces ZipfSampler bit-for-bit, so
+ * swapping the workloads onto choosers leaves every default trace
+ * byte-identical.
+ */
+
+#ifndef TSTREAM_GEN_KEY_CHOOSER_HH
+#define TSTREAM_GEN_KEY_CHOOSER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/rng.hh"
+
+namespace tstream
+{
+
+/** The supported key distributions (YCSB's request_distribution). */
+enum class KeyDistKind
+{
+    Uniform, ///< every key equally likely
+    Zipfian, ///< rank-skewed, theta in (0, 2)
+    Hotspot, ///< a hot fraction of the space absorbs most requests
+    Latest,  ///< zipfian over recency behind the insert frontier
+};
+
+/** Config-file name of a distribution kind. */
+std::string_view keyDistName(KeyDistKind k);
+
+/** Parse a distribution name; returns false on unknown names. */
+bool parseKeyDistName(std::string_view name, KeyDistKind &out);
+
+/**
+ * A fully parameterized key distribution. Only the parameters of the
+ * active kind are meaningful, but all fields always carry their
+ * defaults so value comparison (and configHash coverage) is total.
+ */
+struct KeyDistSpec
+{
+    KeyDistKind kind = KeyDistKind::Zipfian;
+    /** Zipfian/latest skew parameter. */
+    double theta = 0.95;
+    /** Hotspot: fraction of the key space that is hot, in (0, 1). */
+    double hotFrac = 0.2;
+    /** Hotspot: probability a request targets the hot set, in (0, 1). */
+    double hotProb = 0.9;
+
+    bool
+    operator==(const KeyDistSpec &o) const
+    {
+        return kind == o.kind && theta == o.theta &&
+               hotFrac == o.hotFrac && hotProb == o.hotProb;
+    }
+    bool operator!=(const KeyDistSpec &o) const { return !(*this == o); }
+};
+
+/**
+ * A key chooser over [0, n). Implementations are not thread-safe;
+ * each simulated experiment is single-threaded (the driver's
+ * parallelism is across cells), so none is needed.
+ */
+class KeyChooser
+{
+  public:
+    virtual ~KeyChooser() = default;
+
+    /** Draw one key in [0, size()). */
+    virtual std::size_t sample(Rng &rng) = 0;
+
+    /**
+     * Advance the insert frontier (LatestChooser tracks it; all other
+     * distributions ignore the signal). Workloads call this once per
+     * store insert / publish.
+     */
+    virtual void noteInsert() {}
+
+    /** Size of the key space. */
+    virtual std::size_t size() const = 0;
+};
+
+/** Build a chooser for @p spec over a key space of @p n. @pre n > 0. */
+std::unique_ptr<KeyChooser> makeKeyChooser(const KeyDistSpec &spec,
+                                           std::size_t n);
+
+} // namespace tstream
+
+#endif // TSTREAM_GEN_KEY_CHOOSER_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Line-oriented workload config files: declarative phase schedules at
+ * YCSB fidelity for the scenario workloads. A config names a workload
+ * kind and describes each phase as a (kind, op-mix, key-distribution,
+ * duration) record with named parameters:
+ *
+ *     # request mix for the standard phased experiment
+ *     workload phased-mix
+ *     phase kv     mix=0.90 dist=zipfian theta=0.95 duration=1500000
+ *     phase broker mix=0.75 dist=zipfian theta=0.8  duration=1500000
+ *
+ * Standalone servers take a single duration-less phase:
+ *
+ *     workload kv
+ *     phase kv mix=0.85 dist=hotspot frac=0.2 prob=0.9
+ *
+ * The full grammar (and every diagnostic) is documented in
+ * docs/BENCHMARKING.md. Parsing is strict: unknown directives,
+ * unknown or duplicate parameters, out-of-range values and
+ * kind/schedule mismatches all fail with a line-numbered, actionable
+ * error — a config that loads is a config that runs.
+ */
+
+#ifndef TSTREAM_GEN_WORKLOAD_CONFIG_HH
+#define TSTREAM_GEN_WORKLOAD_CONFIG_HH
+
+#include <string>
+
+#include "sim/workload.hh"
+
+namespace tstream
+{
+
+/** A parsed workload config file: the kind plus its phase schedule. */
+struct WorkloadConfig
+{
+    WorkloadKind kind = WorkloadKind::PhasedMix;
+    /** One duration-less phase for kv/broker; >= 1 timed phases for
+     *  phased-mix. Never empty after a successful load. */
+    PhaseSchedule schedule;
+
+    /**
+     * Parse @p text. Returns false and sets @p err to a line-numbered
+     * diagnostic on any malformed input; *this is unchanged on
+     * failure.
+     */
+    bool loadFromString(const std::string &text, std::string &err);
+
+    /** Read and parse @p path; errors are prefixed with the path. */
+    bool loadFromFile(const std::string &path, std::string &err);
+
+    /**
+     * Canonical text form: parseable by loadFromString and value-equal
+     * after a round trip (doubles print with the shortest
+     * representation that reparses exactly).
+     */
+    std::string serialize() const;
+
+    bool
+    operator==(const WorkloadConfig &o) const
+    {
+        return kind == o.kind && schedule.phases == o.schedule.phases;
+    }
+    bool operator!=(const WorkloadConfig &o) const { return !(*this == o); }
+};
+
+/**
+ * Parse a --phases command-line spec: semicolon-separated phase
+ * records in the config-file grammar minus the "phase" keyword, e.g.
+ * "kv mix=0.9 dist=zipfian theta=0.99 duration=1500000; broker ...".
+ * Records follow phased-mix rules (explicit positive duration).
+ */
+bool parsePhasesSpec(const std::string &spec, PhaseSchedule &out,
+                     std::string &err);
+
+} // namespace tstream
+
+#endif // TSTREAM_GEN_WORKLOAD_CONFIG_HH

@@ -524,6 +524,42 @@ benchDocsEquivalent(const BenchDoc &a, const BenchDoc &b,
     return true;
 }
 
+bool
+benchDocIsSubset(const BenchDoc &sub, const BenchDoc &full,
+                 std::string &why)
+{
+    if (sub.bench != full.bench) {
+        why = "bench names differ (" + sub.bench + " vs " +
+              full.bench + ")";
+        return false;
+    }
+    if (sub.quick != full.quick ||
+        sub.budgets.warmup != full.budgets.warmup ||
+        sub.budgets.measure != full.budgets.measure ||
+        sub.budgets.scale != full.budgets.scale) {
+        why = "budgets differ for bench " + sub.bench;
+        return false;
+    }
+    // Grid sizes deliberately uncompared: a --workload run covers a
+    // restricted grid, so its indexes are its own. Cells match by id.
+    for (const BenchCell &cell : sub.cells) {
+        auto match = std::find_if(full.cells.begin(), full.cells.end(),
+                                  [&](const BenchCell &c) {
+                                      return c.id == cell.id;
+                                  });
+        if (match == full.cells.end()) {
+            why = "bench " + sub.bench + ": cell " + cell.id +
+                  " has no counterpart in the full report";
+            return false;
+        }
+        BenchCell reindexed = cell;
+        reindexed.index = match->index;
+        if (!cellsEqual(reindexed, *match, why))
+            return false;
+    }
+    return true;
+}
+
 // ---------------------------------------------------------------------------
 // Perf-series comparison
 // ---------------------------------------------------------------------------

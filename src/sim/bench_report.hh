@@ -140,6 +140,19 @@ bool mergeBenchDocs(const std::vector<BenchDoc> &docs, BenchDoc &out,
 bool benchDocsEquivalent(const BenchDoc &a, const BenchDoc &b,
                          std::string &why);
 
+/**
+ * Subset equivalence for restricted-grid runs (`--workload FILE`
+ * narrows a bench to the configured workload): every cell of @p sub
+ * must have a cell with the same id in @p full whose deterministic
+ * content (workload, context, configHash, instructions, rows)
+ * matches; @p full may hold additional cells, and grid size / cell
+ * indexes are ignored since the restricted grid renumbers from zero.
+ * Bench name, quick flag and budgets must still agree. Backs
+ * `tstream-bench check-equal --subset`.
+ */
+bool benchDocIsSubset(const BenchDoc &sub, const BenchDoc &full,
+                      std::string &why);
+
 // ---------------------------------------------------------------------------
 // Perf-series comparison — the primitive behind `tstream-bench
 // compare` and the CI perf-regression gate (docs/BENCHMARKING.md).

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
@@ -10,6 +11,7 @@
 #include <filesystem>
 #include <thread>
 
+#include "gen/workload_config.hh"
 #include "trace/trace_io.hh"
 #include "util/work_pool.hh"
 
@@ -177,6 +179,12 @@ benchUsage(const char *benchName, const char *msg, int status)
         "  --resume       reuse cells already present in the existing\n"
         "                 --json report instead of re-running them\n"
         "                 (fails on schema or config-hash mismatch)\n"
+        "  --workload F   run the workload config file F (grammar in\n"
+        "                 docs/BENCHMARKING.md) instead of the full\n"
+        "                 compiled-in sweep\n"
+        "  --phases S     inline phase records for the PhasedMix\n"
+        "                 workload, e.g. \"kv mix=0.9 dist=zipfian\n"
+        "                 theta=0.99 duration=1500000; broker ...\"\n"
         "  --help         this message\n"
         "\n"
         "See docs/BENCHMARKING.md for sharded multi-process recipes\n"
@@ -224,6 +232,10 @@ parseBenchArgs(int argc, char **argv, const char *benchName)
             opts.jsonPath = value("--json");
         } else if (arg == "--resume") {
             opts.resume = true;
+        } else if (arg == "--workload") {
+            opts.workloadFile = value("--workload");
+        } else if (arg == "--phases") {
+            opts.phasesSpec = value("--phases");
         } else if (arg == "--help" || arg == "-h") {
             benchUsage(benchName, nullptr, 0);
         } else {
@@ -241,6 +253,11 @@ parseBenchArgs(int argc, char **argv, const char *benchName)
         benchUsage(benchName, "--resume needs --json PATH (the report "
                               "to resume from)",
                    2);
+    if (!opts.workloadFile.empty() && !opts.phasesSpec.empty())
+        benchUsage(benchName,
+                   "--workload and --phases are mutually exclusive "
+                   "(a config file already carries its schedule)",
+                   2);
 
     if (opts.quick) {
         opts.budgets.warmup = kQuickBudgets.warmupInstructions;
@@ -248,6 +265,55 @@ parseBenchArgs(int argc, char **argv, const char *benchName)
         opts.budgets.scale = kQuickBudgets.scale;
     }
     return opts;
+}
+
+std::vector<Cell>
+benchGrid(const std::vector<WorkloadKind> &workloads,
+          const BenchOptions &opts)
+{
+    const char *bench = opts.benchName.c_str();
+    if (opts.workloadFile.empty() && opts.phasesSpec.empty())
+        return standardGrid(workloads, opts.budgets);
+
+    WorkloadKind kind;
+    PhaseSchedule schedule;
+    if (!opts.workloadFile.empty()) {
+        WorkloadConfig config;
+        std::string err;
+        if (!config.loadFromFile(opts.workloadFile, err))
+            benchUsage(bench, ("--workload: " + err).c_str(), 2);
+        kind = config.kind;
+        schedule = config.schedule;
+    } else {
+        std::string err;
+        if (!parsePhasesSpec(opts.phasesSpec, schedule, err))
+            benchUsage(bench, ("--phases: " + err).c_str(), 2);
+        kind = WorkloadKind::PhasedMix;
+    }
+
+    if (std::find(workloads.begin(), workloads.end(), kind) ==
+        workloads.end())
+        benchUsage(bench,
+                   (std::string("workload ") +
+                    std::string(workloadName(kind)) +
+                    " is not part of this bench's sweep")
+                       .c_str(),
+                   2);
+
+    std::vector<Cell> grid = standardGrid({kind}, opts.budgets);
+    for (Cell &c : grid)
+        c.cfg.phases = schedule;
+    return grid;
+}
+
+void
+benchRejectWorkloadOverrides(const BenchOptions &opts)
+{
+    if (!opts.workloadFile.empty() || !opts.phasesSpec.empty())
+        benchUsage(opts.benchName.c_str(),
+                   "this bench runs a fixed grid; --workload/--phases "
+                   "do not apply",
+                   2);
 }
 
 // ---- trace cache ------------------------------------------------------------

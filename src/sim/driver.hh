@@ -150,6 +150,19 @@ struct BenchOptions
      * schema version or any cell's config hash mismatches.
      */
     bool resume = false;
+    /**
+     * --workload FILE: a workload config file
+     * (gen/workload_config.hh). benchGrid() restricts the sweep to
+     * the configured workload and runs it under the file's phase
+     * schedule / key distributions.
+     */
+    std::string workloadFile;
+    /**
+     * --phases SPEC: inline phase records (parsePhasesSpec) applied
+     * to the PhasedMix workload; benchGrid() restricts the sweep to
+     * PhasedMix. Mutually exclusive with --workload.
+     */
+    std::string phasesSpec;
 
     DriverOptions
     driver(bool analyze_streams = true, bool filter_intra = true) const
@@ -165,14 +178,34 @@ struct BenchOptions
 
 /**
  * Strict bench argument parser: --quick, --jobs N, --shard k/N,
- * --json PATH, --resume, --help, plus the TSTREAM_QUICK /
- * TSTREAM_JOBS / TSTREAM_SHARD environment fallbacks. Any unknown
- * flag prints a usage message naming @p benchName and exits with
- * status 2 (a typo like --qiuck must not silently run at paper scale
- * for hours); --help exits 0. --resume requires --json.
+ * --json PATH, --resume, --workload FILE, --phases SPEC, --help,
+ * plus the TSTREAM_QUICK / TSTREAM_JOBS / TSTREAM_SHARD environment
+ * fallbacks. Any unknown flag prints a usage message naming
+ * @p benchName and exits with status 2 (a typo like --qiuck must not
+ * silently run at paper scale for hours); --help exits 0. --resume
+ * requires --json; --workload and --phases are mutually exclusive.
  */
 BenchOptions parseBenchArgs(int argc, char **argv,
                             const char *benchName);
+
+/**
+ * The bench's grid after applying any --workload / --phases override:
+ * with neither flag this is standardGrid(@p workloads, opts.budgets);
+ * with --workload FILE the sweep is restricted to the file's workload
+ * kind (which must be in @p workloads) running the file's schedule;
+ * with --phases SPEC it is restricted to PhasedMix under the inline
+ * schedule. Config errors and overrides that name a workload outside
+ * this bench's sweep print a diagnostic and exit with status 2.
+ */
+std::vector<Cell> benchGrid(const std::vector<WorkloadKind> &workloads,
+                            const BenchOptions &opts);
+
+/**
+ * For benches whose grid is fixed (not workload-swept): exit with
+ * status 2 if the user passed --workload or --phases, instead of
+ * silently ignoring the override.
+ */
+void benchRejectWorkloadOverrides(const BenchOptions &opts);
 
 // ---- trace cache ------------------------------------------------------------
 

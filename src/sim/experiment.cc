@@ -51,6 +51,15 @@ mixCache(std::uint64_t h, const CacheConfig &c)
     return mix(h, c.ways);
 }
 
+std::uint64_t
+mixDouble(std::uint64_t h, double v)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(v) == sizeof(bits));
+    std::memcpy(&bits, &v, sizeof(bits));
+    return mix(h, bits);
+}
+
 } // namespace
 
 std::uint64_t
@@ -58,31 +67,31 @@ configHash(const ExperimentConfig &cfg)
 {
     std::uint64_t h = 14695981039346656037ULL;
     // Schema salt: bump when the trace-affecting fields change.
-    h = mix(h, 0x7453545232ULL); // "tSTR2"
+    h = mix(h, 0x7453545233ULL); // "tSTR3"
     h = mix(h, static_cast<std::uint64_t>(cfg.workload));
     h = mix(h, static_cast<std::uint64_t>(cfg.context));
     h = mix(h, cfg.warmupInstructions);
     h = mix(h, cfg.measureInstructions);
     h = mix(h, cfg.seed);
-    std::uint64_t scaleBits = 0;
-    static_assert(sizeof(cfg.scale) == sizeof(scaleBits));
-    std::memcpy(&scaleBits, &cfg.scale, sizeof(scaleBits));
-    h = mix(h, scaleBits);
-    if (cfg.workload == WorkloadKind::PhasedMix) {
-        // Hash the *resolved* schedule so an explicit copy of the
-        // default mix and an empty (defaulted) field collide, and any
-        // real schedule change re-simulates.
-        const PhaseSchedule sched = cfg.phases.empty()
-                                        ? PhaseSchedule::standardMix()
-                                        : cfg.phases;
+    h = mixDouble(h, cfg.scale);
+    if (workloadIsScenario(cfg.workload)) {
+        // Hash the *resolved* schedule — including every key-
+        // distribution parameter — so an explicit copy of the
+        // compiled-in defaults (e.g. a checked-in workload config
+        // spelling them out) collides with the defaulted field, and
+        // any real change in mix, duration or distribution
+        // re-simulates instead of reusing a stale cached trace.
+        const PhaseSchedule sched =
+            resolvedSchedule(cfg.workload, cfg.phases);
         h = mix(h, sched.phases.size());
         for (const WorkloadPhase &p : sched.phases) {
             h = mix(h, static_cast<std::uint64_t>(p.kind));
-            std::uint64_t mixBits = 0;
-            static_assert(sizeof(p.mix) == sizeof(mixBits));
-            std::memcpy(&mixBits, &p.mix, sizeof(mixBits));
-            h = mix(h, mixBits);
+            h = mixDouble(h, p.mix);
             h = mix(h, p.duration);
+            h = mix(h, static_cast<std::uint64_t>(p.dist.kind));
+            h = mixDouble(h, p.dist.theta);
+            h = mixDouble(h, p.dist.hotFrac);
+            h = mixDouble(h, p.dist.hotProb);
         }
     }
     if (cfg.context == SystemContext::MultiChip) {

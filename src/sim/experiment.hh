@@ -48,10 +48,13 @@ struct ExperimentConfig
     double scale = 1.0;
 
     /**
-     * Phase schedule for WorkloadKind::PhasedMix (ignored otherwise).
-     * Empty = PhaseSchedule::standardMix(). Covered by configHash(),
-     * so phased cells with different schedules never collide in the
-     * trace cache.
+     * Phase schedule for the scenario workloads (rejected for paper
+     * workloads). Empty = the compiled-in defaults (see
+     * resolvedSchedule() in sim/workload.hh); typically filled from a
+     * workload config file (gen/workload_config.hh). Covered by
+     * configHash() in resolved form, so cells under different
+     * schedules or key distributions never collide in the trace
+     * cache.
      */
     PhaseSchedule phases;
 
@@ -111,8 +114,9 @@ ExperimentResult runExperiment(const ExperimentConfig &cfg);
 /**
  * Deterministic 64-bit hash over every field of @p cfg that affects
  * the collected traces (workload, context, budgets, seed, scale, the
- * active context's cache geometry and — for PhasedMix — the resolved
- * phase schedule), plus a schema salt. Two configs with equal hashes
+ * active context's cache geometry and — for scenario workloads — the
+ * resolved phase schedule with all key-distribution parameters),
+ * plus a schema salt. Two configs with equal hashes
  * produce byte-identical traces, so the hash keys the bench trace
  * cache (TSTREAM_TRACE_CACHE) and is stored in v2 trace headers for
  * provenance.

@@ -124,14 +124,17 @@ class KvWorkload::Worker : public Task
             }
             // Miss: fill (cache-aside), then ack.
             store.set(ctx, key, store.valueBlocks(key));
+            sh.keyDist->noteInsert();
             kern.ip().send(ctx, sh.connPcb[conn], sh.respBuf[id_], 64);
             return;
         }
         if (ctx.rng().chance(w_.cfg_.deleteFraction /
-                             std::max(1e-9, 1.0 - w_.cfg_.getFraction)))
+                             std::max(1e-9, 1.0 - w_.cfg_.getFraction))) {
             store.del(ctx, key);
-        else
+        } else {
             store.set(ctx, key, store.valueBlocks(key));
+            sh.keyDist->noteInsert();
+        }
         kern.ip().send(ctx, sh.connPcb[conn], sh.respBuf[id_], 64);
     }
 
@@ -152,8 +155,11 @@ KvWorkload::setup(Kernel &kern)
         reg.intern("mc_try_read_command", Category::KvHashIndex);
     sh_.serverProc = kern.syscalls().newProc();
     sh_.workCv = std::make_unique<SimCondVar>(kern.makeCondVar());
-    sh_.keyDist = std::make_unique<ZipfSampler>(
-        static_cast<std::size_t>(cfg_.store.keys), cfg_.store.zipf);
+    KeyDistSpec keySpec; // default: the historical zipfian sampler
+    keySpec.theta = cfg_.store.zipf;
+    sh_.keyDist =
+        makeKeyChooser(cfg_.keyDist.value_or(keySpec),
+                       static_cast<std::size_t>(cfg_.store.keys));
 
     for (unsigned c = 0; c < cfg_.connections; ++c) {
         sh_.connFd.push_back(kern.syscalls().newFile());

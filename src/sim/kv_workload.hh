@@ -17,8 +17,10 @@
 
 #include <deque>
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "gen/key_chooser.hh"
 #include "kv/kvstore.hh"
 #include "sim/workload.hh"
 
@@ -36,6 +38,11 @@ struct KvAppConfig
     unsigned batch = 3;
     double getFraction = 0.85;
     double deleteFraction = 0.03;
+    /**
+     * Key popularity override from a workload config; nullopt = the
+     * historical zipfian(store.zipf) sampler (bit-identical traces).
+     */
+    std::optional<KeyDistSpec> keyDist;
 
     void
     rescale(double s)
@@ -85,7 +92,7 @@ class KvWorkload : public Workload
         // Per-worker request/response buffers.
         std::vector<Addr> reqBuf, respBuf;
 
-        std::unique_ptr<ZipfSampler> keyDist;
+        std::unique_ptr<KeyChooser> keyDist;
         ProcDesc serverProc{};
         FnId fnParse = 0;
     };

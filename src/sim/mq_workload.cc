@@ -69,6 +69,7 @@ class MqWorkload::Producer : public Task
             const auto topic = static_cast<std::uint32_t>(
                 sh.topicDist->sample(ctx.rng()));
             sh.broker->publish(ctx, topic, bytes, sh.prodBuf[id_]);
+            sh.topicDist->noteInsert();
             kern.cvWake(ctx, *sh.topicCv[topic %
                                          sh.topicCv.size()]);
         }
@@ -138,8 +139,10 @@ MqWorkload::setup(Kernel &kern)
     sh_.broker = std::make_unique<Broker>(cfg_.broker, reg,
                                           /*pid=*/420);
     broker_ = sh_.broker.get();
-    sh_.topicDist = std::make_unique<ZipfSampler>(
-        cfg_.broker.topics, cfg_.broker.zipf);
+    KeyDistSpec topicSpec; // default: the historical zipfian sampler
+    topicSpec.theta = cfg_.broker.zipf;
+    sh_.topicDist = makeKeyChooser(cfg_.topicDist.value_or(topicSpec),
+                                   cfg_.broker.topics);
     sh_.brokerProc = kern.syscalls().newProc();
 
     for (unsigned t = 0; t < cfg_.broker.topics; ++t)

@@ -18,8 +18,10 @@
 #define TSTREAM_SIM_MQ_WORKLOAD_HH
 
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "gen/key_chooser.hh"
 #include "mq/broker.hh"
 #include "sim/workload.hh"
 
@@ -38,6 +40,11 @@ struct MqAppConfig
     unsigned publishBatch = 3;
     /** Max bytes replayed per consumer quantum. */
     std::uint32_t consumeBytes = 8 * 1024;
+    /**
+     * Topic popularity override from a workload config; nullopt = the
+     * historical zipfian(broker.zipf) sampler (bit-identical traces).
+     */
+    std::optional<KeyDistSpec> topicDist;
 
     void
     rescale(double s)
@@ -72,7 +79,7 @@ class MqWorkload : public Workload
     struct Shared
     {
         std::unique_ptr<Broker> broker;
-        std::unique_ptr<ZipfSampler> topicDist;
+        std::unique_ptr<KeyChooser> topicDist;
 
         // Producer-side network state.
         std::vector<std::uint32_t> prodFd;

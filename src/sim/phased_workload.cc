@@ -81,11 +81,13 @@ class PhasedWorkload::Worker : public Task
                     {ordinal, ctx.engine().totalInstructions()});
         }
         const WorkloadPhase &phase = sched.at(ordinal_);
+        KeyChooser &dist = *w_.sh_.phaseDist[static_cast<std::size_t>(
+            ordinal_ % sched.phases.size())];
         for (unsigned b = 0; b < 2; ++b) {
             if (phase.kind == WorkloadKind::Broker)
-                brokerOp(ctx, phase);
+                brokerOp(ctx, phase, dist);
             else
-                kvOp(ctx, phase);
+                kvOp(ctx, phase, dist);
         }
         return RunResult::Yield;
     }
@@ -106,7 +108,7 @@ class PhasedWorkload::Worker : public Task
     }
 
     void
-    kvOp(SysCtx &ctx, const WorkloadPhase &phase)
+    kvOp(SysCtx &ctx, const WorkloadPhase &phase, KeyChooser &dist)
     {
         auto &sh = w_.sh_;
         auto &kern = ctx.kernel();
@@ -115,7 +117,7 @@ class PhasedWorkload::Worker : public Task
         receive(ctx, conn, kRequestBytes);
 
         const auto key =
-            static_cast<std::uint64_t>(sh.keyDist->sample(rng_));
+            static_cast<std::uint64_t>(dist.sample(rng_));
         kern.syscalls().writeEntry(ctx, sh.serverProc,
                                    sh.connFd[conn]);
         if (rng_.chance(phase.mix)) {
@@ -126,11 +128,13 @@ class PhasedWorkload::Worker : public Task
                                    kBlockSize);
             } else {
                 sh.store->set(ctx, key, sh.store->valueBlocks(key));
+                dist.noteInsert();
                 kern.ip().send(ctx, sh.connPcb[conn],
                                sh.workerBuf[id_], 64);
             }
         } else {
             sh.store->set(ctx, key, sh.store->valueBlocks(key));
+            dist.noteInsert();
             kern.ip().send(ctx, sh.connPcb[conn], sh.workerBuf[id_],
                            64);
         }
@@ -138,7 +142,7 @@ class PhasedWorkload::Worker : public Task
     }
 
     void
-    brokerOp(SysCtx &ctx, const WorkloadPhase &phase)
+    brokerOp(SysCtx &ctx, const WorkloadPhase &phase, KeyChooser &dist)
     {
         auto &sh = w_.sh_;
         auto &kern = ctx.kernel();
@@ -158,8 +162,9 @@ class PhasedWorkload::Worker : public Task
                 256 + static_cast<std::uint32_t>(rng_.below(1024));
             receive(ctx, conn, bytes);
             const auto topic = static_cast<std::uint32_t>(
-                sh.topicDist->sample(rng_));
+                dist.sample(rng_));
             sh.broker->publish(ctx, topic, bytes, sh.workerBuf[id_]);
+            dist.noteInsert();
         }
         w_.mqOps_++;
     }
@@ -183,10 +188,11 @@ PhasedWorkload::setup(Kernel &kern)
 
     sh_.store = std::make_unique<KvStore>(cfg_.kv, reg, /*pid=*/440);
     sh_.broker = std::make_unique<Broker>(cfg_.mq, reg, /*pid=*/441);
-    sh_.keyDist = std::make_unique<ZipfSampler>(
-        static_cast<std::size_t>(cfg_.kv.keys), cfg_.kv.zipf);
-    sh_.topicDist =
-        std::make_unique<ZipfSampler>(cfg_.mq.topics, cfg_.mq.zipf);
+    for (const WorkloadPhase &p : cfg_.schedule.phases)
+        sh_.phaseDist.push_back(makeKeyChooser(
+            p.dist, p.kind == WorkloadKind::Broker
+                        ? cfg_.mq.topics
+                        : static_cast<std::size_t>(cfg_.kv.keys)));
     sh_.fnParse =
         reg.intern("mix_parse_request", Category::KvHashIndex);
     sh_.serverProc = kern.syscalls().newProc();

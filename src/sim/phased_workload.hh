@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "gen/key_chooser.hh"
 #include "kv/kvstore.hh"
 #include "mq/broker.hh"
 #include "sim/workload.hh"
@@ -97,8 +98,12 @@ class PhasedWorkload : public Workload
     {
         std::unique_ptr<KvStore> store;
         std::unique_ptr<Broker> broker;
-        std::unique_ptr<ZipfSampler> keyDist;
-        std::unique_ptr<ZipfSampler> topicDist;
+        /**
+         * One chooser per schedule phase (index = ordinal % phases):
+         * KV phases choose keys in [0, kv.keys), broker phases choose
+         * topics in [0, mq.topics), each under its phase's dist spec.
+         */
+        std::vector<std::unique_ptr<KeyChooser>> phaseDist;
 
         std::vector<std::uint32_t> connFd;
         std::vector<Addr> connPcb;

@@ -1,5 +1,8 @@
 #include "sim/workload.hh"
 
+#include <algorithm>
+#include <cmath>
+
 #include "sim/dss_workload.hh"
 #include "sim/kv_workload.hh"
 #include "sim/mq_workload.hh"
@@ -73,19 +76,80 @@ PhaseSchedule::ordinalAt(std::uint64_t instructions) const
 PhaseSchedule
 PhaseSchedule::standardMix()
 {
+    // Distribution parameters spell out the PhasedConfig defaults
+    // (kv.zipf = 0.95, mq.zipf = 0.8) so the resolved default schedule
+    // is self-describing and a config file can reproduce it verbatim.
     PhaseSchedule s;
     s.phases = {
-        {WorkloadKind::KvStore, 0.90, 1'500'000}, // cache, read-heavy
-        {WorkloadKind::Broker, 0.75, 1'500'000},  // delivery-heavy
-        {WorkloadKind::KvStore, 0.50, 1'500'000}, // write/evict churn
-        {WorkloadKind::Broker, 0.25, 1'500'000},  // ingest + trimming
+        // cache, read-heavy
+        {WorkloadKind::KvStore, 0.90, 1'500'000,
+         {KeyDistKind::Zipfian, 0.95}},
+        // delivery-heavy
+        {WorkloadKind::Broker, 0.75, 1'500'000,
+         {KeyDistKind::Zipfian, 0.80}},
+        // write/evict churn
+        {WorkloadKind::KvStore, 0.50, 1'500'000,
+         {KeyDistKind::Zipfian, 0.95}},
+        // ingest + trimming
+        {WorkloadKind::Broker, 0.25, 1'500'000,
+         {KeyDistKind::Zipfian, 0.80}},
     };
     return s;
 }
 
+PhaseSchedule
+resolvedSchedule(WorkloadKind kind, const PhaseSchedule &phases)
+{
+    switch (kind) {
+      case WorkloadKind::PhasedMix:
+        return phases.empty() ? PhaseSchedule::standardMix() : phases;
+      case WorkloadKind::KvStore: {
+        if (!phases.empty())
+            return phases;
+        const KvAppConfig app;
+        PhaseSchedule s;
+        s.phases = {{WorkloadKind::KvStore, app.getFraction, 0,
+                     {KeyDistKind::Zipfian, app.store.zipf}}};
+        return s;
+      }
+      case WorkloadKind::Broker: {
+        if (!phases.empty())
+            return phases;
+        const MqAppConfig app;
+        PhaseSchedule s;
+        s.phases = {{WorkloadKind::Broker,
+                     static_cast<double>(app.consumers) /
+                         (app.producers + app.consumers),
+                     0, {KeyDistKind::Zipfian, app.broker.zipf}}};
+        return s;
+      }
+      default:
+        return {};
+    }
+}
+
+namespace
+{
+
+/** The single server phase a KvStore/Broker spec may carry. */
+const WorkloadPhase &
+singleServerPhase(const WorkloadSpec &spec)
+{
+    if (spec.phases.phases.size() != 1 ||
+        spec.phases.phases[0].kind != spec.kind)
+        fatal("makeWorkload: standalone scenario workloads take "
+              "exactly one phase of their own kind");
+    return spec.phases.phases[0];
+}
+
+} // namespace
+
 std::unique_ptr<Workload>
 makeWorkload(const WorkloadSpec &spec)
 {
+    if (!spec.phases.empty() && !workloadIsScenario(spec.kind))
+        fatal("makeWorkload: phase schedules apply only to the "
+              "scenario workloads (kv/broker/phased-mix)");
     switch (spec.kind) {
       case WorkloadKind::Apache: {
         WebConfig cfg = WebConfig::apache();
@@ -117,19 +181,44 @@ makeWorkload(const WorkloadSpec &spec)
       case WorkloadKind::KvStore: {
         KvAppConfig cfg;
         cfg.rescale(spec.scale);
+        if (!spec.phases.empty()) {
+            const WorkloadPhase &p = singleServerPhase(spec);
+            cfg.getFraction = p.mix;
+            cfg.keyDist = p.dist;
+        }
         return std::make_unique<KvWorkload>(cfg);
       }
       case WorkloadKind::Broker: {
         MqAppConfig cfg;
         cfg.rescale(spec.scale);
+        if (!spec.phases.empty()) {
+            const WorkloadPhase &p = singleServerPhase(spec);
+            cfg.topicDist = p.dist;
+            // The mix is the consumer share of the task pool:
+            // repartition the (rescaled) task count, keeping at least
+            // one task on each side. The default 24/36 = 2/3 maps
+            // back onto the compiled-in split at every scale.
+            const unsigned total = cfg.producers + cfg.consumers;
+            const unsigned cons = std::min(
+                total - 1,
+                std::max(1u, static_cast<unsigned>(std::lround(
+                                 total * p.mix))));
+            cfg.consumers = cons;
+            cfg.producers = total - cons;
+        }
         return std::make_unique<MqWorkload>(cfg);
       }
       case WorkloadKind::PhasedMix: {
         PhasedConfig cfg;
         cfg.rescale(spec.scale);
         cfg.seed = spec.seed;
-        cfg.schedule = spec.phases.empty() ? PhaseSchedule::standardMix()
-                                           : spec.phases;
+        cfg.schedule = resolvedSchedule(spec.kind, spec.phases);
+        for (const WorkloadPhase &p : cfg.schedule.phases)
+            if ((p.kind != WorkloadKind::KvStore &&
+                 p.kind != WorkloadKind::Broker) ||
+                p.duration == 0)
+                fatal("makeWorkload: PhasedMix phases must target "
+                      "kv/broker with a positive duration");
         return std::make_unique<PhasedWorkload>(cfg);
       }
     }

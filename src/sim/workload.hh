@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "gen/key_chooser.hh"
 #include "kernel/kernel.hh"
 
 namespace tstream
@@ -64,6 +65,21 @@ struct WorkloadPhase
     double mix = 0.9;
     /** Phase length in committed instructions. */
     std::uint64_t duration = 1'500'000;
+    /**
+     * Key (KV phases) / topic (broker phases) popularity distribution
+     * over the app's key space (gen/key_chooser.hh). The default —
+     * zipfian theta 0.95 — matches the standalone apps' historical
+     * hard-coded samplers.
+     */
+    KeyDistSpec dist{};
+
+    bool
+    operator==(const WorkloadPhase &o) const
+    {
+        return kind == o.kind && mix == o.mix &&
+               duration == o.duration && dist == o.dist;
+    }
+    bool operator!=(const WorkloadPhase &o) const { return !(*this == o); }
 };
 
 /**
@@ -111,6 +127,26 @@ struct PhaseSchedule
     static PhaseSchedule standardMix();
 };
 
+/**
+ * The schedule a spec (kind, phases) actually executes, with defaults
+ * resolved so equivalent specs compare (and hash) equal:
+ *
+ * - PhasedMix: @p phases, or standardMix() when empty.
+ * - KvStore / Broker: @p phases (a single duration-less phase set by a
+ *   workload config file), or the single phase describing the app's
+ *   compiled-in defaults — KV: the default GET fraction over a
+ *   zipfian(KvConfig.zipf) key distribution; broker: the default
+ *   consumer task fraction over a zipfian(MqConfig.zipf) topic
+ *   distribution.
+ * - Paper workloads: always empty (they take no schedule).
+ *
+ * configHash() hashes this resolved form, so a config file spelling
+ * out today's defaults lands in the same trace-cache cell as a run of
+ * the compiled-in binary.
+ */
+PhaseSchedule resolvedSchedule(WorkloadKind kind,
+                               const PhaseSchedule &phases);
+
 /** A runnable application: allocates state and spawns its threads. */
 class Workload
 {
@@ -137,7 +173,13 @@ struct WorkloadSpec
     double scale = 1.0;
     /** Experiment seed (drives deterministic per-phase seeding). */
     std::uint64_t seed = 42;
-    /** Phase schedule (PhasedMix only; empty = standardMix()). */
+    /**
+     * Phase schedule (scenario workloads only; empty = the compiled-in
+     * defaults, see resolvedSchedule()). For KvStore/Broker a
+     * non-empty schedule must be a single duration-less phase (the op
+     * mix + key distribution of the standalone server), as produced by
+     * gen/workload_config.hh.
+     */
     PhaseSchedule phases;
 };
 

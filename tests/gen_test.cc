@@ -1,0 +1,337 @@
+/**
+ * @file
+ * Statistical tests for the key choosers (gen/key_chooser.hh): every
+ * distribution is checked against its closed form with fixed seeds,
+ * so a sampler regression shows up as a deterministic failure, not a
+ * flaky one. Also pins the bit-identity contract: ZipfianChooser must
+ * reproduce ZipfSampler draw-for-draw, since the default workload
+ * traces depend on it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "gen/key_chooser.hh"
+#include "util/rng.hh"
+
+namespace tstream
+{
+namespace
+{
+
+constexpr std::uint64_t kSeed = 0x7453545247454eull; // "tSTRGEN"
+
+KeyDistSpec
+spec(KeyDistKind kind)
+{
+    KeyDistSpec s;
+    s.kind = kind;
+    return s;
+}
+
+/** Empirical per-key frequencies over @p draws samples. */
+std::vector<double>
+frequencies(KeyChooser &chooser, std::size_t draws,
+            std::uint64_t seed = kSeed)
+{
+    Rng rng(seed);
+    std::vector<double> freq(chooser.size(), 0.0);
+    for (std::size_t i = 0; i < draws; ++i) {
+        const std::size_t k = chooser.sample(rng);
+        EXPECT_LT(k, chooser.size());
+        freq[k] += 1.0;
+    }
+    for (double &f : freq)
+        f /= static_cast<double>(draws);
+    return freq;
+}
+
+/** Closed-form zipfian PMF over [0, n): p(i) ∝ 1/(i+1)^theta. */
+std::vector<double>
+zipfPmf(std::size_t n, double theta)
+{
+    std::vector<double> p(n);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        p[i] = 1.0 / std::pow(static_cast<double>(i + 1), theta);
+        sum += p[i];
+    }
+    for (double &v : p)
+        v /= sum;
+    return p;
+}
+
+/** Kolmogorov–Smirnov statistic of empirical vs expected PMF. */
+double
+ksStatistic(const std::vector<double> &freq,
+            const std::vector<double> &pmf)
+{
+    EXPECT_EQ(freq.size(), pmf.size());
+    double emp = 0.0, exp = 0.0, dev = 0.0;
+    for (std::size_t i = 0; i < freq.size(); ++i) {
+        emp += freq[i];
+        exp += pmf[i];
+        dev = std::max(dev, std::abs(emp - exp));
+    }
+    return dev;
+}
+
+// ---------------------------------------------------------------------------
+// Zipfian
+// ---------------------------------------------------------------------------
+
+TEST(ZipfianChooser, EcdfMatchesClosedFormHarmonicWeights)
+{
+    // 1M draws over 1000 keys at the KV default theta: the empirical
+    // CDF must track the normalized harmonic weights. The KS bound is
+    // loose relative to the ~0.0016 sampling noise at this count but
+    // far below any mis-parameterized distribution (uniform, or a
+    // theta off by 0.05, both deviate by > 0.01).
+    const std::size_t n = 1000;
+    const double theta = 0.95;
+    KeyDistSpec s = spec(KeyDistKind::Zipfian);
+    s.theta = theta;
+    auto chooser = makeKeyChooser(s, n);
+    ASSERT_TRUE(chooser);
+    EXPECT_EQ(chooser->size(), n);
+
+    const auto freq = frequencies(*chooser, 1'000'000);
+    EXPECT_LT(ksStatistic(freq, zipfPmf(n, theta)), 0.005);
+
+    // Skew sanity: the head must dominate (rank 0 carries ~12% at
+    // theta 0.95 over 1000 keys; uniform would give 0.1%).
+    EXPECT_GT(freq[0], 0.10);
+    EXPECT_GT(freq[0], 10.0 * freq[99]);
+}
+
+TEST(ZipfianChooser, ThetaControlsSkew)
+{
+    const std::size_t n = 500;
+    KeyDistSpec mild = spec(KeyDistKind::Zipfian);
+    mild.theta = 0.5;
+    KeyDistSpec steep = spec(KeyDistKind::Zipfian);
+    steep.theta = 1.2;
+    auto mildC = makeKeyChooser(mild, n);
+    auto steepC = makeKeyChooser(steep, n);
+
+    const auto mildF = frequencies(*mildC, 200'000);
+    const auto steepF = frequencies(*steepC, 200'000);
+    // Each empirical CDF must match its own closed form and *not* the
+    // other's — theta measurably reshapes the distribution.
+    EXPECT_LT(ksStatistic(mildF, zipfPmf(n, 0.5)), 0.01);
+    EXPECT_LT(ksStatistic(steepF, zipfPmf(n, 1.2)), 0.01);
+    EXPECT_GT(ksStatistic(mildF, zipfPmf(n, 1.2)), 0.05);
+    EXPECT_GT(ksStatistic(steepF, zipfPmf(n, 0.5)), 0.05);
+}
+
+TEST(ZipfianChooser, BitIdenticalToZipfSampler)
+{
+    // The default workload traces are byte-identical only if the
+    // chooser consumes the Rng exactly like the raw sampler.
+    const std::size_t n = 4096;
+    const double theta = 0.80; // broker default
+    KeyDistSpec s = spec(KeyDistKind::Zipfian);
+    s.theta = theta;
+    auto chooser = makeKeyChooser(s, n);
+    ZipfSampler sampler(n, theta);
+
+    Rng a(kSeed), b(kSeed);
+    for (int i = 0; i < 10'000; ++i)
+        ASSERT_EQ(chooser->sample(a), sampler.sample(b)) << "draw " << i;
+    // noteInsert is a no-op for zipfian: the streams stay in lockstep.
+    chooser->noteInsert();
+    for (int i = 0; i < 1'000; ++i)
+        ASSERT_EQ(chooser->sample(a), sampler.sample(b));
+}
+
+// ---------------------------------------------------------------------------
+// Uniform
+// ---------------------------------------------------------------------------
+
+TEST(UniformChooser, FlatWithinSamplingNoise)
+{
+    const std::size_t n = 200;
+    auto chooser = makeKeyChooser(spec(KeyDistKind::Uniform), n);
+    const std::size_t draws = 1'000'000;
+    const auto freq = frequencies(*chooser, draws);
+
+    // Expected 1/n = 0.5% per key, sd ≈ sqrt(p(1-p)/draws) ≈ 7e-5;
+    // allow 6 sigma per bucket and a tight KS bound overall.
+    const double expect = 1.0 / static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(freq[i], expect, 6.0 * 7.1e-5) << "key " << i;
+    EXPECT_LT(ksStatistic(freq, std::vector<double>(n, expect)),
+              0.003);
+}
+
+// ---------------------------------------------------------------------------
+// Hotspot
+// ---------------------------------------------------------------------------
+
+TEST(HotspotChooser, HitRateAndIntraSetUniformity)
+{
+    const std::size_t n = 1000;
+    KeyDistSpec s = spec(KeyDistKind::Hotspot);
+    s.hotFrac = 0.2;
+    s.hotProb = 0.9;
+    auto chooser = makeKeyChooser(s, n);
+    const std::size_t draws = 1'000'000;
+    const auto freq = frequencies(*chooser, draws);
+
+    // The hot set is the first ceil(0.2 * 1000) = 200 keys and must
+    // absorb 90% of requests (binomial sd ≈ 3e-4 at 1M draws).
+    const std::size_t hot = 200;
+    double hotMass = 0.0;
+    for (std::size_t i = 0; i < hot; ++i)
+        hotMass += freq[i];
+    EXPECT_NEAR(hotMass, 0.9, 0.002);
+
+    // Within each set the distribution is uniform: hot keys at
+    // 0.9/200 = 0.45%, cold keys at 0.1/800 = 0.0125%.
+    for (std::size_t i = 0; i < hot; ++i)
+        EXPECT_NEAR(freq[i], 0.9 / 200.0, 6.0 * 2.2e-4)
+            << "hot key " << i;
+    for (std::size_t i = hot; i < n; ++i)
+        EXPECT_NEAR(freq[i], 0.1 / 800.0, 6.0 * 3.6e-5)
+            << "cold key " << i;
+}
+
+TEST(HotspotChooser, HotCountClampedToValidRange)
+{
+    // frac near 0 still keeps >= 1 hot key; frac near 1 keeps >= 1
+    // cold key, so both rng.below() bounds stay positive.
+    KeyDistSpec tiny = spec(KeyDistKind::Hotspot);
+    tiny.hotFrac = 1e-9;
+    tiny.hotProb = 0.99;
+    auto lo = makeKeyChooser(tiny, 10);
+
+    KeyDistSpec huge = spec(KeyDistKind::Hotspot);
+    huge.hotFrac = 0.999999;
+    huge.hotProb = 0.5;
+    auto hi = makeKeyChooser(huge, 10);
+
+    Rng rng(kSeed);
+    for (int i = 0; i < 10'000; ++i) {
+        EXPECT_LT(lo->sample(rng), 10u);
+        EXPECT_LT(hi->sample(rng), 10u);
+    }
+    // With frac=1e-9 and prob=0.99 essentially every draw hits the
+    // single hot key.
+    const auto freq = frequencies(*lo, 100'000);
+    EXPECT_NEAR(freq[0], 0.99, 0.005);
+}
+
+// ---------------------------------------------------------------------------
+// Latest
+// ---------------------------------------------------------------------------
+
+TEST(LatestChooser, TracksInsertFrontier)
+{
+    const std::size_t n = 100;
+    KeyDistSpec s = spec(KeyDistKind::Latest);
+    s.theta = 0.99;
+    auto chooser = makeKeyChooser(s, n);
+
+    // Before any insert the frontier is 0, so the most recent key is
+    // (0 + n - 1 - 0) % n = n - 1 and it dominates.
+    {
+        const auto freq = frequencies(*chooser, 200'000);
+        const auto m = std::max_element(freq.begin(), freq.end());
+        EXPECT_EQ(m - freq.begin(),
+                  static_cast<std::ptrdiff_t>(n - 1));
+    }
+
+    // After 10 inserts the mode shifts to key 9 and popularity decays
+    // with distance behind the frontier.
+    for (int i = 0; i < 10; ++i)
+        chooser->noteInsert();
+    {
+        const auto freq = frequencies(*chooser, 200'000);
+        const auto m = std::max_element(freq.begin(), freq.end());
+        EXPECT_EQ(m - freq.begin(), 9);
+        EXPECT_GT(freq[9], freq[8]);
+        EXPECT_GT(freq[8], freq[5]);
+    }
+}
+
+TEST(LatestChooser, FrontierWrapsAroundKeySpace)
+{
+    const std::size_t n = 16;
+    KeyDistSpec s = spec(KeyDistKind::Latest);
+    s.theta = 1.2;
+    auto chooser = makeKeyChooser(s, n);
+
+    // n + 3 inserts: frontier = 3, most recent key = 2.
+    for (std::size_t i = 0; i < n + 3; ++i)
+        chooser->noteInsert();
+    const auto freq = frequencies(*chooser, 200'000);
+    const auto m = std::max_element(freq.begin(), freq.end());
+    EXPECT_EQ(m - freq.begin(), 2);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_GT(freq[i], 0.0) << "key " << i << " never drawn";
+}
+
+TEST(LatestChooser, OffsetsAreZipfianOverRecency)
+{
+    // Mapping samples back to offsets behind the frontier must
+    // recover the zipfian offset distribution exactly.
+    const std::size_t n = 256;
+    const double theta = 0.95;
+    KeyDistSpec s = spec(KeyDistKind::Latest);
+    s.theta = theta;
+    auto chooser = makeKeyChooser(s, n);
+    for (int i = 0; i < 7; ++i) // arbitrary frontier position
+        chooser->noteInsert();
+
+    Rng rng(kSeed);
+    const std::size_t draws = 500'000;
+    std::vector<double> offFreq(n, 0.0);
+    for (std::size_t i = 0; i < draws; ++i) {
+        const std::size_t k = chooser->sample(rng);
+        // key = (frontier + n - 1 - offset) % n with frontier = 7
+        const std::size_t offset = (7 + n - 1 - k) % n;
+        offFreq[offset] += 1.0;
+    }
+    for (double &f : offFreq)
+        f /= static_cast<double>(draws);
+    EXPECT_LT(ksStatistic(offFreq, zipfPmf(n, theta)), 0.005);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism & names
+// ---------------------------------------------------------------------------
+
+TEST(KeyChooser, SameSeedSameStream)
+{
+    for (const KeyDistKind kind :
+         {KeyDistKind::Uniform, KeyDistKind::Zipfian,
+          KeyDistKind::Hotspot, KeyDistKind::Latest}) {
+        auto a = makeKeyChooser(spec(kind), 333);
+        auto b = makeKeyChooser(spec(kind), 333);
+        Rng ra(42), rb(42);
+        for (int i = 0; i < 5'000; ++i)
+            ASSERT_EQ(a->sample(ra), b->sample(rb))
+                << keyDistName(kind) << " draw " << i;
+    }
+}
+
+TEST(KeyDistNames, RoundTripAndRejectUnknown)
+{
+    for (const KeyDistKind kind :
+         {KeyDistKind::Uniform, KeyDistKind::Zipfian,
+          KeyDistKind::Hotspot, KeyDistKind::Latest}) {
+        KeyDistKind parsed;
+        ASSERT_TRUE(parseKeyDistName(keyDistName(kind), parsed));
+        EXPECT_EQ(parsed, kind);
+    }
+    KeyDistKind out;
+    EXPECT_FALSE(parseKeyDistName("zipf", out));
+    EXPECT_FALSE(parseKeyDistName("", out));
+    EXPECT_FALSE(parseKeyDistName("ZIPFIAN", out));
+}
+
+} // namespace
+} // namespace tstream

@@ -229,12 +229,24 @@ TEST(PhasedConfigHash, CoversPhaseSchedule)
     swapped.phases.phases[0].kind = WorkloadKind::Broker;
     EXPECT_NE(configHash(base), configHash(swapped));
 
-    // Non-phased workloads ignore the schedule field entirely.
+    // Standalone scenario workloads hash their *resolved* schedule:
+    // spelling out the built-in defaults is the same cell, changing
+    // one distribution parameter is not.
     auto kv = tinyConfig(WorkloadKind::KvStore,
                          SystemContext::MultiChip);
-    auto kvWithPhases = kv;
-    kvWithPhases.phases = PhaseSchedule::standardMix();
-    EXPECT_EQ(configHash(kv), configHash(kvWithPhases));
+    auto kvExplicit = kv;
+    kvExplicit.phases =
+        resolvedSchedule(WorkloadKind::KvStore, PhaseSchedule{});
+    ASSERT_EQ(kvExplicit.phases.phases.size(), 1u);
+    EXPECT_EQ(configHash(kv), configHash(kvExplicit));
+
+    auto kvHot = kvExplicit;
+    kvHot.phases.phases[0].dist.theta = 0.99;
+    EXPECT_NE(configHash(kv), configHash(kvHot));
+
+    auto kvDist = kvExplicit;
+    kvDist.phases.phases[0].dist.kind = KeyDistKind::Hotspot;
+    EXPECT_NE(configHash(kv), configHash(kvDist));
 }
 
 // ---- engine-level invariants ------------------------------------------------

@@ -71,10 +71,10 @@ usage(const char *msg)
     std::fprintf(stderr,
         "usage:\n"
         "  tstream-bench run [--quick] [--jobs N] [--shard k/N]\n"
-        "                [--resume] [--bench-dir DIR] -o OUT.json\n"
-        "                BENCH...\n"
+        "                [--resume] [--workload FILE] [--phases SPEC]\n"
+        "                [--bench-dir DIR] -o OUT.json BENCH...\n"
         "  tstream-bench merge -o OUT.json IN.json...\n"
-        "  tstream-bench check-equal A.json B.json\n"
+        "  tstream-bench check-equal [--subset] A.json B.json\n"
         "  tstream-bench check-stdout REPORT.json STDOUT.txt\n"
         "  tstream-bench compare [--max-regress R] [--series NAME]...\n"
         "                BASELINE.json CURRENT.json\n"
@@ -89,7 +89,11 @@ usage(const char *msg)
         "reassembled with merge, which fails if any grid cell is\n"
         "missing. check-equal ignores wall time, cache hits and shard\n"
         "geometry, so `merge(shard 0/2, shard 1/2)` must check-equal\n"
-        "the unsharded run. With --resume, cells already present in\n"
+        "the unsharded run; with --subset, every cell of A must match\n"
+        "its same-id cell in B (B may hold more — e.g. a --workload\n"
+        "config run against the full compiled-in sweep). run forwards\n"
+        "--workload/--phases to every named bench, restricting each to\n"
+        "the configured workload. With --resume, cells already present in\n"
         "the existing OUT.json are reused instead of re-run; the run\n"
         "fails if that report's schema version or any cell's config\n"
         "hash mismatches. compare reads Google Benchmark JSON\n"
@@ -144,6 +148,8 @@ cmdRun(int argc, char **argv, const char *argv0)
     bool resume = false;
     unsigned jobs = 0;
     std::string shard;
+    std::string workloadFile;
+    std::string phasesSpec;
     std::string benchDir = dirName(argv0) + "/../bench";
     std::string out;
     std::vector<std::string> names;
@@ -174,6 +180,10 @@ cmdRun(int argc, char **argv, const char *argv0)
             ShardSpec spec;
             if (!parseShardSpec(shard, spec))
                 return usage("--shard wants k/N with k < N");
+        } else if (arg == "--workload") {
+            workloadFile = value("--workload");
+        } else if (arg == "--phases") {
+            phasesSpec = value("--phases");
         } else if (arg == "--bench-dir") {
             benchDir = value("--bench-dir");
         } else if (arg == "-o" || arg == "--output") {
@@ -199,6 +209,8 @@ cmdRun(int argc, char **argv, const char *argv0)
         return usage("run needs -o OUT.json");
     if (names.empty())
         return usage("run needs at least one bench name (see list)");
+    if (!workloadFile.empty() && !phasesSpec.empty())
+        return usage("--workload and --phases are mutually exclusive");
 
     // --resume: reuse cells recorded in the existing OUT.json. Each
     // bench's prior document is re-written to its part path and the
@@ -236,6 +248,10 @@ cmdRun(int argc, char **argv, const char *argv0)
             cmd += " --jobs " + std::to_string(jobs);
         if (!shard.empty())
             cmd += " --shard " + shard;
+        if (!workloadFile.empty())
+            cmd += " --workload " + shellQuote(workloadFile);
+        if (!phasesSpec.empty())
+            cmd += " --phases " + shellQuote(phasesSpec);
         cmd += " --json " + shellQuote(part);
         if (resume) {
             for (const BenchDoc &doc : priorDocs)
@@ -478,7 +494,8 @@ cmdCompare(int argc, char **argv)
 // ---- check-equal / check-stdout / print ------------------------------------
 
 int
-cmdCheckEqual(const std::string &pathA, const std::string &pathB)
+cmdCheckEqual(const std::string &pathA, const std::string &pathB,
+              bool subset)
 {
     std::vector<BenchDoc> a, b;
     std::string err;
@@ -487,7 +504,7 @@ cmdCheckEqual(const std::string &pathA, const std::string &pathB)
         std::fprintf(stderr, "tstream-bench: %s\n", err.c_str());
         return 1;
     }
-    if (a.size() != b.size()) {
+    if (!subset && a.size() != b.size()) {
         std::fprintf(stderr,
                      "tstream-bench: bench counts differ (%zu vs "
                      "%zu)\n",
@@ -506,14 +523,17 @@ cmdCheckEqual(const std::string &pathA, const std::string &pathB)
             return 1;
         }
         std::string why;
-        if (!benchDocsEquivalent(da, *db, why)) {
+        const bool ok = subset ? benchDocIsSubset(da, *db, why)
+                               : benchDocsEquivalent(da, *db, why);
+        if (!ok) {
             std::fprintf(stderr, "tstream-bench: %s: %s\n",
                          da.bench.c_str(), why.c_str());
             return 1;
         }
     }
-    std::printf("reports equivalent: %s == %s\n", pathA.c_str(),
-                pathB.c_str());
+    std::printf(subset ? "report subset ok: %s <= %s\n"
+                       : "reports equivalent: %s == %s\n",
+                pathA.c_str(), pathB.c_str());
     return 0;
 }
 
@@ -610,9 +630,17 @@ main(int argc, char **argv)
     if (cmd == "merge")
         return cmdMerge(argc - 2, argv + 2);
     if (cmd == "check-equal") {
-        if (argc != 4)
+        bool subset = false;
+        std::vector<const char *> paths;
+        for (int i = 2; i < argc; ++i) {
+            if (std::string_view(argv[i]) == "--subset")
+                subset = true;
+            else
+                paths.push_back(argv[i]);
+        }
+        if (paths.size() != 2)
             return usage("check-equal takes exactly two reports");
-        return cmdCheckEqual(argv[2], argv[3]);
+        return cmdCheckEqual(paths[0], paths[1], subset);
     }
     if (cmd == "check-stdout") {
         if (argc != 4)

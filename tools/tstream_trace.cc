@@ -30,6 +30,7 @@
 
 #include "core/module_profile.hh"
 #include "core/stream_analysis.hh"
+#include "gen/workload_config.hh"
 #include "sim/experiment.hh"
 #include "stats/histogram.hh"
 #include "trace/trace_io.hh"
@@ -53,7 +54,12 @@ usage(const char *msg)
         "\n"
         "record options:\n"
         "  --workload W       apache|zeus|oltp|dss-q1|dss-q2|dss-q17|\n"
-        "                     kv|broker|phased-mix\n"
+        "                     kv|broker|phased-mix, or the path of a\n"
+        "                     workload config file (grammar in\n"
+        "                     docs/BENCHMARKING.md)\n"
+        "  --phases S         inline phase records for phased-mix,\n"
+        "                     e.g. \"kv mix=0.9 dist=zipfian theta=0.99\n"
+        "                     duration=1500000; broker ...\"\n"
         "  --context C        multi-chip|single-chip\n"
         "  --trace T          off-chip (default) | intra-chip (on-chip-\n"
         "                     satisfied L1 misses) | intra-all\n"
@@ -140,8 +146,10 @@ cmdRecord(int argc, char **argv)
     cfg.measureInstructions = kPaperBudgets.measureInstructions;
     cfg.scale = kPaperBudgets.scale;
     bool haveWorkload = false, haveContext = false;
+    bool workloadFromFile = false;
     std::string out;
     std::string traceSel = "off-chip";
+    std::string phasesSpec;
     TraceWriteOptions opts;
 
     for (int i = 0; i < argc; ++i) {
@@ -151,9 +159,30 @@ cmdRecord(int argc, char **argv)
         };
         const char *v;
         if (arg == "--workload") {
-            if (!(v = value()) || !parseWorkload(v, cfg.workload))
-                return usage("bad or missing --workload");
-            haveWorkload = true;
+            if (!(v = value()))
+                return usage("missing --workload value");
+            if (parseWorkload(v, cfg.workload)) {
+                haveWorkload = true;
+            } else {
+                // Not a workload name: treat it as a workload config
+                // file (gen/workload_config.hh).
+                WorkloadConfig config;
+                std::string err;
+                if (!config.loadFromFile(v, err))
+                    return usage(("--workload: '" + std::string(v) +
+                                  "' is neither a workload name nor "
+                                  "a valid config file (" +
+                                  err + ")")
+                                     .c_str());
+                cfg.workload = config.kind;
+                cfg.phases = config.schedule;
+                haveWorkload = true;
+                workloadFromFile = true;
+            }
+        } else if (arg == "--phases") {
+            if (!(v = value()))
+                return usage("missing --phases value");
+            phasesSpec = v;
         } else if (arg == "--context") {
             if (!(v = value()) || !parseContext(v, cfg.context))
                 return usage("bad or missing --context");
@@ -213,6 +242,21 @@ cmdRecord(int argc, char **argv)
         cfg.context != SystemContext::SingleChip)
         return usage("intra-chip traces exist only in the single-chip "
                      "context");
+    if (!phasesSpec.empty()) {
+        // Reject silently-ineffective combinations: a schedule only
+        // means something for phased-mix, and a config file already
+        // carries its own.
+        if (workloadFromFile)
+            return usage("--phases cannot be combined with a workload "
+                         "config file (the file already carries its "
+                         "schedule)");
+        if (cfg.workload != WorkloadKind::PhasedMix)
+            return usage("--phases applies only to --workload "
+                         "phased-mix");
+        std::string err;
+        if (!parsePhasesSpec(phasesSpec, cfg.phases, err))
+            return usage(("--phases: " + err).c_str());
+    }
 
     std::fprintf(stderr,
                  "recording %s / %s (%" PRIu64 " warm-up + %" PRIu64
