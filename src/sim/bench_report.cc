@@ -298,6 +298,79 @@ writeBenchDoc(const BenchDoc &doc, const std::string &path,
 }
 
 json::Value
+queryDocToJson(const QueryDoc &doc)
+{
+    json::Value v = json::Value::object();
+    v["schema"] = json::Value(kQueryDocSchema);
+    v["source"] = json::Value(doc.source);
+    if (!doc.member.empty())
+        v["member"] = json::Value(doc.member);
+    v["kind"] = json::Value(traceContentKindName(doc.kind));
+    v["config_hash"] = json::Value(hashToHex(doc.configHash));
+
+    // Echo the resolved filters so a stored document says exactly
+    // what it answered (only the filters that were set).
+    const QuerySpec &s = doc.spec;
+    json::Value filters = json::Value::object();
+    if (s.cpu)
+        filters["cpu"] = json::Value(*s.cpu);
+    if (!s.cls.empty())
+        filters["class"] = json::Value(s.cls);
+    if (!s.module.empty())
+        filters["module"] = json::Value(s.module);
+    if (!s.category.empty())
+        filters["category"] = json::Value(s.category);
+    if (s.blockLo)
+        filters["block_lo"] = json::Value(*s.blockLo);
+    if (s.blockHi)
+        filters["block_hi"] = json::Value(*s.blockHi);
+    if (s.seqLo)
+        filters["window_lo"] = json::Value(*s.seqLo);
+    if (s.seqHi)
+        filters["window_hi"] = json::Value(*s.seqHi);
+    v["filters"] = std::move(filters);
+
+    json::Value aggs = json::Value::array();
+    for (const std::string &a : s.aggregates)
+        aggs.push(json::Value(a));
+    v["aggregates"] = std::move(aggs);
+    v["intervals"] = json::Value(s.intervals);
+    v["limit"] = json::Value(s.limit);
+
+    const QueryOutput &o = doc.output;
+    v["matched"] = json::Value(o.matched);
+    v["records_scanned"] = json::Value(o.scanned);
+    v["chunks_decoded"] = json::Value(o.chunksDecoded);
+    v["chunks_total"] = json::Value(o.chunksTotal);
+
+    // Same row shape as a bench cell's rows, so the two documents
+    // compare metric-for-metric through the same serializer.
+    json::Value rows = json::Value::array();
+    for (const QueryRow &r : o.rows) {
+        json::Value jr = json::Value::object();
+        jr["table"] = json::Value(r.table);
+        jr["trace"] = json::Value(r.trace);
+        if (!r.label.empty())
+            jr["label"] = json::Value(r.label);
+        jr["text"] = json::Value(r.text);
+        json::Value metrics = json::Value::object();
+        for (const auto &[name, value] : r.metrics)
+            metrics[name] = json::Value(value);
+        jr["metrics"] = std::move(metrics);
+        rows.push(std::move(jr));
+    }
+    v["rows"] = std::move(rows);
+    return v;
+}
+
+bool
+writeQueryDoc(const QueryDoc &doc, const std::string &path,
+              std::string &err)
+{
+    return json::writeFile(queryDocToJson(doc), path, err);
+}
+
+json::Value
 combinedReportToJson(const std::vector<BenchDoc> &docs)
 {
     json::Value v = json::Value::object();

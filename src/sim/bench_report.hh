@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "sim/driver.hh"
+#include "trace/query.hh"
 #include "util/json.hh"
 
 namespace tstream
@@ -43,6 +44,7 @@ namespace tstream
 inline constexpr std::string_view kBenchDocSchema = "tstream-bench/v2";
 inline constexpr std::string_view kBenchReportSchema =
     "tstream-bench-report/v2";
+inline constexpr std::string_view kQueryDocSchema = "tstream-query/v1";
 
 /** One printed table row with its machine-readable metrics. */
 struct BenchRow
@@ -152,6 +154,20 @@ bool benchDocsEquivalent(const BenchDoc &a, const BenchDoc &b,
  */
 bool benchDocIsSubset(const BenchDoc &sub, const BenchDoc &full,
                       std::string &why);
+
+// ---------------------------------------------------------------------------
+// Query documents — the `--json` output of `tstream-trace query`
+// (schema "tstream-query/v1"). Rows share the bench rows' JSON shape
+// ({table, trace, label, text, metrics}), so the fig2-equality e2e
+// chain can compare a query's `streams` row against a live bench row
+// value-for-value through the same serializer.
+// ---------------------------------------------------------------------------
+
+json::Value queryDocToJson(const QueryDoc &doc);
+
+/** Serialize @p doc to @p path (pretty JSON). */
+bool writeQueryDoc(const QueryDoc &doc, const std::string &path,
+                   std::string &err);
 
 // ---------------------------------------------------------------------------
 // Perf-series comparison — the primitive behind `tstream-bench

@@ -4,6 +4,14 @@
 #include <cstring>
 #include <set>
 
+#if defined(__unix__) || defined(__APPLE__)
+#define TSTREAM_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
 namespace tstream
 {
 
@@ -423,7 +431,45 @@ saveTrace(const MissTrace &trace, const std::string &path,
 }
 
 TraceResult<TraceReader>
-TraceReader::open(const std::string &path)
+TraceReader::open(const std::string &path, const TraceOpenOptions &opts)
+{
+    return openImpl(path, 0, std::nullopt, opts);
+}
+
+TraceResult<TraceReader>
+TraceReader::openSlice(const std::string &path, std::uint64_t offset,
+                       std::uint64_t bytes, const TraceOpenOptions &opts)
+{
+    return openImpl(path, offset, bytes, opts);
+}
+
+bool
+TraceReader::readBytes(std::uint64_t off, unsigned char *p,
+                       std::size_t n) const
+{
+    if (n == 0)
+        return true;
+    if (off > size_ || n > size_ - off)
+        return false;
+    if (map_ != nullptr) {
+        std::memcpy(p, map_ + base_ + off, n);
+        return true;
+    }
+    return readAt(file_.get(), base_ + off, p, n);
+}
+
+const unsigned char *
+TraceReader::viewBytes(std::uint64_t off, std::size_t n) const
+{
+    if (map_ == nullptr || off > size_ || n > size_ - off)
+        return nullptr;
+    return map_ + base_ + off;
+}
+
+TraceResult<TraceReader>
+TraceReader::openImpl(const std::string &path, std::uint64_t offset,
+                      std::optional<std::uint64_t> bytes,
+                      const TraceOpenOptions &opts)
 {
     using Result = TraceResult<TraceReader>;
 
@@ -432,10 +478,34 @@ TraceReader::open(const std::string &path)
     if (!r.file_)
         return Result::failure("cannot open " + path);
     std::FILE *f = r.file_.get();
-    const std::uint64_t size = fileSize(f);
+    const std::uint64_t fileBytes = fileSize(f);
+    if (offset > fileBytes || (bytes && *bytes > fileBytes - offset))
+        return Result::failure(path + ": slice extends past end of file");
+    r.base_ = offset;
+    r.size_ = bytes ? *bytes : fileBytes - offset;
+    const std::uint64_t size = r.size_;
+
+#ifdef TSTREAM_HAVE_MMAP
+    // Map the whole file (the slice is a view into it); a failed mmap
+    // silently selects the stdio path, which returns identical bytes.
+    if (opts.allowMmap && fileBytes > 0) {
+        void *m = ::mmap(nullptr, static_cast<std::size_t>(fileBytes),
+                         PROT_READ, MAP_PRIVATE, ::fileno(f), 0);
+        if (m != MAP_FAILED) {
+            const std::size_t len = static_cast<std::size_t>(fileBytes);
+            r.mapping_ = std::shared_ptr<const void>(
+                m, [len](const void *p) {
+                    ::munmap(const_cast<void *>(p), len);
+                });
+            r.map_ = static_cast<const unsigned char *>(m);
+        }
+    }
+#else
+    (void)opts;
+#endif
 
     unsigned char head[kV2HeaderBytes];
-    if (size < 8 || !readAt(f, 0, head, 8))
+    if (size < 8 || !r.readBytes(0, head, 8))
         return Result::failure(path + ": truncated header");
     if (std::memcmp(head, kMagic, 4) != 0)
         return Result::failure(path + ": bad magic (not a tstream trace)");
@@ -444,7 +514,8 @@ TraceReader::open(const std::string &path)
     m.version = version;
 
     if (version == 1) {
-        if (size < kV1HeaderBytes || !readAt(f, 0, head, kV1HeaderBytes))
+        if (size < kV1HeaderBytes ||
+            !r.readBytes(0, head, kV1HeaderBytes))
             return Result::failure(path + ": truncated v1 header");
         m.numCpus = getU32(head + 8);
         m.instructions = getU64(head + 12);
@@ -469,9 +540,12 @@ TraceReader::open(const std::string &path)
             c.storedBytes =
                 static_cast<std::uint32_t>(n * kV1RecordBytes);
             unsigned char first[8];
-            if (!readAt(f, c.offset, first, 8))
+            if (!r.readBytes(c.offset, first, 8))
                 return Result::failure(path + ": unreadable v1 payload");
             c.firstSeq = getU64(first);
+            if (!m.chunks.empty() && c.firstSeq < m.chunks.back().firstSeq)
+                return Result::failure(
+                    path + ": chunk index firstSeq not non-decreasing");
             m.chunks.push_back(c);
         }
         return Result(std::move(r));
@@ -481,7 +555,7 @@ TraceReader::open(const std::string &path)
         return Result::failure(path + ": unsupported version " +
                                std::to_string(version));
 
-    if (size < kV2HeaderBytes || !readAt(f, 0, head, kV2HeaderBytes))
+    if (size < kV2HeaderBytes || !r.readBytes(0, head, kV2HeaderBytes))
         return Result::failure(path + ": truncated v2 header");
     const std::uint32_t headerBytes = getU32(head + 8);
     if (headerBytes < kV2HeaderBytes || headerBytes > 4096 ||
@@ -509,7 +583,7 @@ TraceReader::open(const std::string &path)
     // is a diagnosable error, not a misparse.
     std::vector<unsigned char> fields(fieldCount * kFieldEntryBytes);
     if (!fields.empty() &&
-        !readAt(f, headerBytes, fields.data(), fields.size()))
+        !r.readBytes(headerBytes, fields.data(), fields.size()))
         return Result::failure(path + ": truncated field table");
     for (std::uint32_t i = 0; i < fieldCount; ++i) {
         const unsigned char *p = fields.data() + i * kFieldEntryBytes;
@@ -523,19 +597,21 @@ TraceReader::open(const std::string &path)
             return Result::failure(path + ": unsupported field layout");
 
     // Function table.
-    const std::uint64_t fnTableOffset =
-        headerBytes + fieldCount * kFieldEntryBytes;
+    std::uint64_t cursor =
+        headerBytes + std::uint64_t(fieldCount) * kFieldEntryBytes;
     unsigned char cnt[4];
-    if (!readAt(f, fnTableOffset, cnt, 4))
+    if (!r.readBytes(cursor, cnt, 4))
         return Result::failure(path + ": truncated function table");
+    cursor += 4;
     const std::uint32_t fnCount = getU32(cnt);
     if (fnCount > 0xFFFF)
         return Result::failure(path + ": implausible function count");
     m.functions.reserve(fnCount);
     for (std::uint32_t i = 0; i < fnCount; ++i) {
         unsigned char entry[4];
-        if (std::fread(entry, 1, 4, f) != 4)
+        if (!r.readBytes(cursor, entry, 4))
             return Result::failure(path + ": truncated function table");
+        cursor += 4;
         const std::uint16_t id = getU16(entry);
         const std::uint8_t cat = entry[2];
         const std::uint8_t len = entry[3];
@@ -546,8 +622,12 @@ TraceReader::open(const std::string &path)
             return Result::failure(path +
                                    ": bad category in function table");
         std::string name(len, '\0');
-        if (len > 0 && std::fread(&name[0], 1, len, f) != len)
+        if (len > 0 &&
+            !r.readBytes(cursor,
+                         reinterpret_cast<unsigned char *>(&name[0]),
+                         len))
             return Result::failure(path + ": truncated function table");
+        cursor += len;
         m.functions.push_back(
             {std::move(name), static_cast<Category>(cat)});
     }
@@ -558,7 +638,8 @@ TraceReader::open(const std::string &path)
         return Result::failure(path + ": truncated chunk index");
     std::vector<unsigned char> idx(std::size_t(chunkCount) *
                                    kIndexEntryBytes);
-    if (!idx.empty() && !readAt(f, indexOffset, idx.data(), idx.size()))
+    if (!idx.empty() &&
+        !r.readBytes(indexOffset, idx.data(), idx.size()))
         return Result::failure(path + ": unreadable chunk index");
     std::uint64_t total = 0;
     for (std::uint32_t i = 0; i < chunkCount; ++i) {
@@ -578,6 +659,13 @@ TraceReader::open(const std::string &path)
                                    std::to_string(i) +
                                    " claims an implausible record "
                                    "count");
+        // chunkRangeForSeq() binary-searches this column; a
+        // non-monotone index would make it disagree with a full scan,
+        // so it is rejected here rather than trusted.
+        if (!m.chunks.empty() && c.firstSeq < m.chunks.back().firstSeq)
+            return Result::failure(path + ": chunk index firstSeq not "
+                                          "non-decreasing at chunk " +
+                                   std::to_string(i));
         total += c.records;
         m.chunks.push_back(c);
     }
@@ -596,14 +684,18 @@ try {
     if (index >= meta_.chunks.size())
         return Result::failure("chunk index out of range");
     const TraceChunk &c = meta_.chunks[index];
-    std::FILE *f = file_.get();
 
+    std::vector<MissRecord> out;
     if (meta_.version == 1) {
-        std::vector<unsigned char> buf(c.storedBytes);
-        if (!readAt(f, c.offset, buf.data(), buf.size()))
-            return Result::failure("short read on v1 records");
-        std::vector<MissRecord> out(c.records);
-        const unsigned char *p = buf.data();
+        std::vector<unsigned char> buf;
+        const unsigned char *p = viewBytes(c.offset, c.storedBytes);
+        if (p == nullptr) {
+            buf.resize(c.storedBytes);
+            if (!readBytes(c.offset, buf.data(), buf.size()))
+                return Result::failure("short read on v1 records");
+            p = buf.data();
+        }
+        out.resize(c.records);
         for (std::uint32_t i = 0; i < c.records;
              ++i, p += kV1RecordBytes) {
             out[i].seq = getU64(p);
@@ -612,41 +704,68 @@ try {
             out[i].cls = p[17];
             out[i].fn = static_cast<FnId>(getU16(p + 18));
         }
-        return Result(std::move(out));
+    } else {
+        unsigned char chunkHeader[8];
+        if (!readBytes(c.offset, chunkHeader, 8))
+            return Result::failure("short read on chunk header");
+        const std::uint32_t rawBytes = getU32(chunkHeader);
+        const std::uint32_t storedBytes = getU32(chunkHeader + 4);
+        if (storedBytes != c.storedBytes)
+            return Result::failure("chunk/index size disagreement");
+        if (rawBytes < storedBytes ||
+            rawBytes < c.records * kMinEncodedRecordBytes ||
+            rawBytes > c.records * kMaxEncodedRecordBytes + 16 ||
+            rawBytes > maxRawBytes(storedBytes))
+            return Result::failure("implausible chunk payload size");
+
+        // Zero-copy when mapped: the stored payload is used in place;
+        // a raw-stored (incompressible) chunk decodes straight out of
+        // the page cache with no intermediate buffer at all.
+        std::vector<unsigned char> stored;
+        const unsigned char *storedPtr =
+            viewBytes(c.offset + 8, storedBytes);
+        if (storedPtr == nullptr) {
+            stored.resize(storedBytes);
+            if (storedBytes > 0 &&
+                !readBytes(c.offset + 8, stored.data(), storedBytes))
+                return Result::failure("short read on chunk payload");
+            storedPtr = stored.data();
+        }
+
+        std::vector<unsigned char> raw;
+        const unsigned char *payload = storedPtr;
+        if (storedBytes != rawBytes) {
+            const Codec *codec = codecById(meta_.codec);
+            raw.resize(rawBytes);
+            if (!codec->decompress(storedPtr, storedBytes, raw.data(),
+                                   rawBytes))
+                return Result::failure("corrupt compressed chunk");
+            payload = raw.data();
+        }
+
+        if (!decodeChunk(payload, rawBytes, c.records, out))
+            return Result::failure("corrupt chunk encoding");
     }
 
-    unsigned char chunkHeader[8];
-    if (!readAt(f, c.offset, chunkHeader, 8))
-        return Result::failure("short read on chunk header");
-    const std::uint32_t rawBytes = getU32(chunkHeader);
-    const std::uint32_t storedBytes = getU32(chunkHeader + 4);
-    if (storedBytes != c.storedBytes)
-        return Result::failure("chunk/index size disagreement");
-    if (rawBytes < storedBytes ||
-        rawBytes < c.records * kMinEncodedRecordBytes ||
-        rawBytes > c.records * kMaxEncodedRecordBytes + 16 ||
-        rawBytes > maxRawBytes(storedBytes))
-        return Result::failure("implausible chunk payload size");
-
-    std::vector<unsigned char> stored(storedBytes);
-    if (storedBytes > 0 &&
-        std::fread(stored.data(), 1, storedBytes, f) != storedBytes)
-        return Result::failure("short read on chunk payload");
-
-    std::vector<unsigned char> raw;
-    const unsigned char *payload = stored.data();
-    if (storedBytes != rawBytes) {
-        const Codec *codec = codecById(meta_.codec);
-        raw.resize(rawBytes);
-        if (!codec->decompress(stored.data(), storedBytes, raw.data(),
-                               rawBytes))
-            return Result::failure("corrupt compressed chunk");
-        payload = raw.data();
+    // Index trustworthiness: the decoded records must corroborate the
+    // index entry that located them, so that whenever reads succeed,
+    // binary-search selection over firstSeq (chunkRangeForSeq) agrees
+    // with a full scan (the differential tests rely on this: either a
+    // corrupt file fails loudly somewhere, or indexed == reference).
+    if (!out.empty()) {
+        if (out.front().seq != c.firstSeq)
+            return Result::failure(
+                "chunk records disagree with index firstSeq");
+        for (std::size_t i = 1; i < out.size(); ++i)
+            if (out[i].seq < out[i - 1].seq)
+                return Result::failure(
+                    "seq not non-decreasing within chunk");
+        if (index + 1 < meta_.chunks.size() &&
+            out.back().seq > meta_.chunks[index + 1].firstSeq)
+            return Result::failure(
+                "chunk seqs overlap the next chunk's firstSeq");
     }
-
-    std::vector<MissRecord> out;
-    if (!decodeChunk(payload, rawBytes, c.records, out))
-        return Result::failure("corrupt chunk encoding");
+    ++chunksDecoded_;
     return Result(std::move(out));
 } catch (const std::bad_alloc &) {
     // A corrupt index can claim sizes up to ~1000x the file size; an
@@ -679,6 +798,31 @@ try {
 } catch (const std::bad_alloc &) {
     return TraceResult<MissTrace>::failure(
         "trace too large to allocate");
+}
+
+std::pair<std::size_t, std::size_t>
+TraceReader::chunkRangeForSeq(std::uint64_t t0, std::uint64_t t1) const
+{
+    const std::vector<TraceChunk> &chunks = meta_.chunks;
+    if (t1 <= t0 || chunks.empty())
+        return {0, 0};
+    const auto less = [](const TraceChunk &c, std::uint64_t v) {
+        return c.firstSeq < v;
+    };
+    // First chunk whose records are entirely >= t1: everything from
+    // it on is outside the window.
+    const std::size_t hi = static_cast<std::size_t>(
+        std::lower_bound(chunks.begin(), chunks.end(), t1, less) -
+        chunks.begin());
+    // First chunk with firstSeq >= t0 — minus one, because the
+    // preceding chunk's extent is unknown from the index alone and
+    // may reach into [t0, t1).
+    std::size_t lo = static_cast<std::size_t>(
+        std::lower_bound(chunks.begin(), chunks.end(), t0, less) -
+        chunks.begin());
+    if (lo > 0)
+        --lo;
+    return {std::min(lo, hi), hi};
 }
 
 TraceResult<FunctionRegistry>

@@ -161,17 +161,53 @@ struct TraceWriteOptions
     const FunctionRegistry *registry = nullptr;
 };
 
+/** How TraceReader accesses the bytes of a trace file. */
+struct TraceOpenOptions
+{
+    /**
+     * Memory-map the file when the platform supports it, so chunk
+     * payloads decode zero-copy out of the page cache (raw-stored
+     * chunks never pass through an intermediate buffer). false — or
+     * an unsupported platform, or a failed mmap — selects the
+     * portable streaming (stdio) path; both paths return identical
+     * results for identical bytes (tests/trace_query_test.cc proves
+     * it differentially).
+     */
+    bool allowMmap = true;
+};
+
 /**
- * Streaming trace reader: parses header, field/function tables and
- * the chunk index on open(), then decodes chunks on demand, so a
- * paper-scale trace can be scanned without materializing it.
- * Understands v1 files as a single synthetic chunk.
+ * Trace reader: parses header, field/function tables and the chunk
+ * index on open(), then decodes chunks on demand, so a paper-scale
+ * trace can be scanned without materializing it. The backing file is
+ * memory-mapped when possible (see TraceOpenOptions) and streamed
+ * through stdio otherwise. Understands v1 files as bounded synthetic
+ * chunks, and can open a trace embedded inside a larger file (an
+ * archive member; trace/query.hh) via openSlice().
+ *
+ * open() validates the chunk index (in-bounds chunks, plausible
+ * record counts, firstSeq non-decreasing) and readChunk() validates
+ * decoded records against the index (first record's seq equals the
+ * index's firstSeq, seq non-decreasing within the chunk and across
+ * the boundary into the next chunk), so whenever reads succeed the
+ * index is trustworthy and binary-search time-range selection
+ * (chunkRangeForSeq) agrees with a full scan.
  */
 class TraceReader
 {
   public:
     /** Open @p path and parse all metadata. */
-    static TraceResult<TraceReader> open(const std::string &path);
+    static TraceResult<TraceReader> open(const std::string &path,
+                                         const TraceOpenOptions &opts = {});
+
+    /**
+     * Open the trace stored at [@p offset, @p offset + @p bytes) of
+     * @p path — an archive member (trace/query.hh). All validation
+     * applies relative to the slice.
+     */
+    static TraceResult<TraceReader>
+    openSlice(const std::string &path, std::uint64_t offset,
+              std::uint64_t bytes, const TraceOpenOptions &opts = {});
 
     const TraceMeta &meta() const { return meta_; }
 
@@ -191,10 +227,52 @@ class TraceReader
      */
     TraceResult<FunctionRegistry> functions() const;
 
+    /** True when the file is memory-mapped (zero-copy decode path). */
+    bool usingMmap() const { return map_ != nullptr; }
+
+    /**
+     * Chunks decoded through readChunk() so far — the decode-counter
+     * hook the differential tests assert against: a `[t0, t1)` window
+     * query must decode only chunks chunkRangeForSeq() selects, never
+     * the whole file.
+     */
+    std::uint64_t chunksDecoded() const { return chunksDecoded_; }
+
+    /**
+     * The half-open chunk-index range [lo, hi) that can contain
+     * records with seq in [@p t0, @p t1), by binary search over the
+     * index's firstSeq column (validated non-decreasing at open).
+     * O(log chunks); touches no chunk payload. The range is tight to
+     * index granularity: at most one leading chunk whose records all
+     * precede @p t0 is included (its extent is unknowable without
+     * decoding it).
+     */
+    std::pair<std::size_t, std::size_t>
+    chunkRangeForSeq(std::uint64_t t0, std::uint64_t t1) const;
+
   private:
     TraceReader() : file_(nullptr, &std::fclose) {}
 
+    /** Read @p n bytes at slice-relative @p off (map or stdio). */
+    bool readBytes(std::uint64_t off, unsigned char *p,
+                   std::size_t n) const;
+
+    /** Pointer into the mapping at slice-relative @p off, or nullptr
+     *  when not mapped (bounds are pre-checked by callers). */
+    const unsigned char *viewBytes(std::uint64_t off,
+                                   std::size_t n) const;
+
+    static TraceResult<TraceReader>
+    openImpl(const std::string &path, std::uint64_t offset,
+             std::optional<std::uint64_t> bytes,
+             const TraceOpenOptions &opts);
+
     std::unique_ptr<std::FILE, int (*)(std::FILE *)> file_;
+    std::shared_ptr<const void> mapping_; ///< owns the munmap
+    const unsigned char *map_ = nullptr;  ///< whole-file mapping
+    std::uint64_t base_ = 0;              ///< slice start in the file
+    std::uint64_t size_ = 0;              ///< slice byte count
+    std::uint64_t chunksDecoded_ = 0;
     TraceMeta meta_;
 };
 

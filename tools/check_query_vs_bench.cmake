@@ -1,0 +1,70 @@
+# Compare a `tstream-trace query --agg streams --json` document
+# against one cell's "streams" row in a bench --json report, metric by
+# metric. Both sides serialize doubles shortest-round-trip through the
+# same writer, so exact string equality of the JSON numbers proves the
+# offline query path reproduces the live bench row bit-for-bit.
+#
+# Usage:
+#   cmake -DQUERY_JSON=<query doc> -DBENCH_JSON=<bench doc>
+#         -DCELL=<cell id, e.g. oltp/multi-chip>
+#         -P check_query_vs_bench.cmake
+if(NOT DEFINED QUERY_JSON OR NOT DEFINED BENCH_JSON OR NOT DEFINED CELL)
+  message(FATAL_ERROR
+      "check_query_vs_bench.cmake needs -DQUERY_JSON, -DBENCH_JSON "
+      "and -DCELL")
+endif()
+
+file(READ ${QUERY_JSON} qdoc)
+file(READ ${BENCH_JSON} bdoc)
+
+# The query doc's single "streams" row.
+set(qrow -1)
+string(JSON nq LENGTH ${qdoc} rows)
+math(EXPR last "${nq} - 1")
+foreach(i RANGE ${last})
+  string(JSON table GET ${qdoc} rows ${i} table)
+  if(table STREQUAL "streams")
+    set(qrow ${i})
+  endif()
+endforeach()
+if(qrow EQUAL -1)
+  message(FATAL_ERROR "${QUERY_JSON}: no streams row")
+endif()
+
+# The bench cell's "streams" row.
+set(bcell -1)
+set(brow -1)
+string(JSON nc LENGTH ${bdoc} cells)
+math(EXPR last "${nc} - 1")
+foreach(i RANGE ${last})
+  string(JSON id GET ${bdoc} cells ${i} id)
+  if(id STREQUAL "${CELL}")
+    set(bcell ${i})
+    string(JSON nr LENGTH ${bdoc} cells ${i} rows)
+    math(EXPR rlast "${nr} - 1")
+    foreach(j RANGE ${rlast})
+      string(JSON table GET ${bdoc} cells ${i} rows ${j} table)
+      if(table STREQUAL "streams")
+        set(brow ${j})
+      endif()
+    endforeach()
+  endif()
+endforeach()
+if(bcell EQUAL -1)
+  message(FATAL_ERROR "${BENCH_JSON}: no cell '${CELL}'")
+endif()
+if(brow EQUAL -1)
+  message(FATAL_ERROR "${BENCH_JSON}: cell '${CELL}' has no streams row")
+endif()
+
+foreach(metric non_repetitive_pct new_stream_pct recurring_stream_pct
+        in_streams_pct)
+  string(JSON qv GET ${qdoc} rows ${qrow} metrics ${metric})
+  string(JSON bv GET ${bdoc} cells ${bcell} rows ${brow} metrics
+         ${metric})
+  if(NOT qv STREQUAL bv)
+    message(FATAL_ERROR
+        "${metric} differs: query=${qv} bench=${bv} (cell '${CELL}')")
+  endif()
+  message(STATUS "${metric}: ${qv} == ${bv}")
+endforeach()

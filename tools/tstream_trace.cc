@@ -9,10 +9,17 @@
  * Table 3-5 module attribution without re-simulating.
  *
  * Subcommands:
- *   record   run one experiment and save the trace (v2 by default)
- *   info     print header, field/function tables and the chunk index
- *   dump     print records as text, streamed chunk-at-a-time
- *   analyze  fig1-fig4 stream analyses (+ module table) offline
+ *   record         run one experiment and save the trace (v2 default)
+ *   info           print header, tables and chunk index — or, for a
+ *                  merged archive, the member catalog
+ *   dump           print records as text, streamed chunk-at-a-time
+ *   analyze        fig1-fig4 stream analyses (+ module table) offline
+ *   query          filtered/windowed temporal queries (trace/query.hh):
+ *                  cpu/class/module/category/block/seq-window filters
+ *                  with summary/select/counts/streams/lengths
+ *                  aggregates, human-readable and --json output
+ *   merge-archive  pack several cell traces into one archive behind a
+ *                  top-level catalog; `query --member` opens a member
  *
  * `record --quick` uses exactly the bench harness's --quick budgets
  * (2 M warm-up, 4 M measured, 0.15x footprints, seed 42), so the
@@ -31,8 +38,10 @@
 #include "core/module_profile.hh"
 #include "core/stream_analysis.hh"
 #include "gen/workload_config.hh"
+#include "sim/bench_report.hh"
 #include "sim/experiment.hh"
 #include "stats/histogram.hh"
+#include "trace/query.hh"
 #include "trace/trace_io.hh"
 
 using namespace tstream;
@@ -51,6 +60,8 @@ usage(const char *msg)
         "  tstream-trace info FILE\n"
         "  tstream-trace dump FILE [--limit N] [--chunk I]\n"
         "  tstream-trace analyze FILE [--section S]...\n"
+        "  tstream-trace query FILE [filters] [--agg LIST] [opts]\n"
+        "  tstream-trace merge-archive -o OUT [NAME=]FILE...\n"
         "\n"
         "record options:\n"
         "  --workload W       apache|zeus|oltp|dss-q1|dss-q2|dss-q17|\n"
@@ -79,7 +90,26 @@ usage(const char *msg)
         "  strides   strided x repetitive joint breakdown (fig3-style)\n"
         "  lengths   length CDF and reuse-distance PDF (fig4-style)\n"
         "  modules   per-module origin table (tables 3-5 style;\n"
-        "            needs an embedded function table)\n");
+        "            needs an embedded function table)\n"
+        "\n"
+        "query filters (AND-ed; all optional):\n"
+        "  --member NAME      archive member to query (archives only)\n"
+        "  --cpu N            requesting cpu / node\n"
+        "  --class NAME       miss class (\"Compulsory\", ...; intra\n"
+        "                     traces take \"Coherence:L2\", ...)\n"
+        "  --module NAME      exact function name (needs fn table)\n"
+        "  --category NAME    Table 2 category (\"System calls\", ...)\n"
+        "  --block LO:HI      half-open block range (0x.. accepted)\n"
+        "  --window T0:T1     half-open seq window; only overlapping\n"
+        "                     chunks are decoded (binary search)\n"
+        "\n"
+        "query options:\n"
+        "  --agg LIST         comma list of summary|select|counts|\n"
+        "                     streams|lengths (default summary,select)\n"
+        "  --intervals N      intervals for counts/lengths (default 8)\n"
+        "  --limit N          max select rows, 0 = all (default 32)\n"
+        "  --json PATH        also write a tstream-query/v1 document\n"
+        "  --no-mmap          force the streaming (stdio) read path\n");
     return 2;
 }
 
@@ -410,6 +440,294 @@ cmdDump(const std::string &path, std::uint64_t limit, long onlyChunk)
     return 0;
 }
 
+// ---- query ------------------------------------------------------------------
+
+bool
+parseU64(const char *s, std::uint64_t &v)
+{
+    char *end = nullptr;
+    v = std::strtoull(s, &end, 0);
+    return end != nullptr && end != s && *end == '\0';
+}
+
+/** Parse "LO:HI" (base-0 integers, 0x.. accepted) into a pair. */
+bool
+parseRange(const char *s, std::uint64_t &lo, std::uint64_t &hi)
+{
+    const char *colon = std::strchr(s, ':');
+    if (!colon || colon == s || colon[1] == '\0')
+        return false;
+    const std::string a(s, colon), b(colon + 1);
+    return parseU64(a.c_str(), lo) && parseU64(b.c_str(), hi);
+}
+
+int
+cmdQuery(int argc, char **argv)
+{
+    std::string path, member, jsonPath;
+    QuerySpec spec;
+    TraceOpenOptions oopts;
+
+    for (int i = 0; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        auto value = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        const char *v;
+        std::uint64_t n, m;
+        if (arg == "--member") {
+            if (!(v = value()))
+                return usage("missing --member value");
+            member = v;
+        } else if (arg == "--cpu") {
+            if (!(v = value()) || !parseU64(v, n) || n > 0xFFFFFFFFu)
+                return usage("bad or missing --cpu value");
+            spec.cpu = static_cast<std::uint32_t>(n);
+        } else if (arg == "--class") {
+            if (!(v = value()))
+                return usage("missing --class value");
+            spec.cls = v;
+        } else if (arg == "--module") {
+            if (!(v = value()))
+                return usage("missing --module value");
+            spec.module = v;
+        } else if (arg == "--category") {
+            if (!(v = value()))
+                return usage("missing --category value");
+            spec.category = v;
+        } else if (arg == "--block") {
+            if (!(v = value()) || !parseRange(v, n, m))
+                return usage("--block needs LO:HI");
+            if (m <= n)
+                return usage("--block: empty or inverted range");
+            spec.blockLo = n;
+            spec.blockHi = m;
+        } else if (arg == "--window") {
+            if (!(v = value()) || !parseRange(v, n, m))
+                return usage("--window needs T0:T1");
+            if (m <= n)
+                return usage("--window: empty or inverted range");
+            spec.seqLo = n;
+            spec.seqHi = m;
+        } else if (arg == "--agg") {
+            if (!(v = value()))
+                return usage("missing --agg value");
+            std::string_view rest = v;
+            while (!rest.empty()) {
+                const std::size_t comma = rest.find(',');
+                const std::string_view one = rest.substr(0, comma);
+                if (!one.empty())
+                    spec.aggregates.emplace_back(one);
+                if (comma == std::string_view::npos)
+                    break;
+                rest.remove_prefix(comma + 1);
+            }
+        } else if (arg == "--intervals") {
+            if (!(v = value()) || !parseU64(v, n) || n == 0 ||
+                n > 4096)
+                return usage("--intervals needs 1..4096");
+            spec.intervals = static_cast<std::uint32_t>(n);
+        } else if (arg == "--limit") {
+            if (!(v = value()) || !parseU64(v, n))
+                return usage("bad or missing --limit value");
+            spec.limit = n;
+        } else if (arg == "--json") {
+            if (!(v = value()))
+                return usage("missing --json value");
+            jsonPath = v;
+        } else if (arg == "--no-mmap") {
+            oopts.allowMmap = false;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage(
+                ("unknown query option: " + std::string(arg)).c_str());
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            return usage("query takes exactly one trace file");
+        }
+    }
+    if (path.empty())
+        return usage("query needs a trace or archive file");
+
+    // Open: a merged archive needs --member; a plain trace takes none.
+    std::optional<TraceReader> reader;
+    if (TraceArchive::isArchive(path)) {
+        auto ar = TraceArchive::open(path);
+        if (!ar) {
+            std::fprintf(stderr, "tstream-trace: %s\n",
+                         ar.error().c_str());
+            return 1;
+        }
+        if (member.empty()) {
+            std::fprintf(stderr,
+                         "tstream-trace: %s is a merged archive; "
+                         "pick a member with --member NAME (`info` "
+                         "lists the catalog)\n",
+                         path.c_str());
+            return 1;
+        }
+        const ArchiveMember *m = ar->find(member);
+        if (!m) {
+            std::fprintf(stderr,
+                         "tstream-trace: %s: no member '%s'\n",
+                         path.c_str(), member.c_str());
+            return 1;
+        }
+        auto r = ar->openMember(*m, oopts);
+        if (!r) {
+            std::fprintf(stderr, "tstream-trace: %s\n",
+                         r.error().c_str());
+            return 1;
+        }
+        reader.emplace(std::move(*r));
+    } else {
+        if (!member.empty()) {
+            std::fprintf(stderr,
+                         "tstream-trace: --member: %s is not a "
+                         "merged archive\n",
+                         path.c_str());
+            return 1;
+        }
+        auto r = TraceReader::open(path, oopts);
+        if (!r) {
+            std::fprintf(stderr, "tstream-trace: %s\n",
+                         r.error().c_str());
+            return 1;
+        }
+        reader.emplace(std::move(*r));
+    }
+
+    auto result = runQuery(*reader, spec);
+    if (!result) {
+        std::fprintf(stderr, "tstream-trace: %s: %s\n", path.c_str(),
+                     result.error().c_str());
+        return 1;
+    }
+
+    const TraceMeta &meta = reader->meta();
+    std::printf("%s%s%s: %s trace, %" PRIu64 " records, %zu chunks\n",
+                path.c_str(), member.empty() ? "" : "#",
+                member.c_str(),
+                std::string(traceContentKindName(meta.kind)).c_str(),
+                meta.recordCount, meta.chunks.size());
+    std::string table;
+    for (const QueryRow &row : result->rows) {
+        if (row.table != table) {
+            table = row.table;
+            std::printf("%s:\n", table.c_str());
+        }
+        std::printf("  %s\n", row.text.c_str());
+    }
+
+    if (!jsonPath.empty()) {
+        QueryDoc doc;
+        doc.source = path;
+        doc.member = member;
+        doc.kind = meta.kind;
+        doc.configHash = meta.configHash;
+        doc.spec = spec;
+        doc.output = std::move(*result);
+        std::string err;
+        if (!writeQueryDoc(doc, jsonPath, err)) {
+            std::fprintf(stderr, "tstream-trace: %s\n", err.c_str());
+            return 1;
+        }
+    }
+    return 0;
+}
+
+// ---- merge-archive ----------------------------------------------------------
+
+/** Member name for a bare FILE spec: basename minus extension. */
+std::string
+defaultMemberName(std::string_view file)
+{
+    const std::size_t slash = file.find_last_of('/');
+    if (slash != std::string_view::npos)
+        file.remove_prefix(slash + 1);
+    const std::size_t dot = file.find_last_of('.');
+    if (dot != std::string_view::npos && dot > 0)
+        file = file.substr(0, dot);
+    return std::string(file);
+}
+
+int
+cmdMergeArchive(int argc, char **argv)
+{
+    std::string out;
+    std::vector<ArchiveInput> inputs;
+    for (int i = 0; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == "-o" || arg == "--output") {
+            if (i + 1 >= argc)
+                return usage("missing -o value");
+            out = argv[++i];
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage(("unknown merge-archive option: " +
+                          std::string(arg))
+                             .c_str());
+        } else {
+            // [NAME=]FILE
+            ArchiveInput in;
+            const std::size_t eq = arg.find('=');
+            if (eq != std::string_view::npos && eq > 0) {
+                in.name = std::string(arg.substr(0, eq));
+                in.path = std::string(arg.substr(eq + 1));
+            } else {
+                in.path = std::string(arg);
+                in.name = defaultMemberName(arg);
+            }
+            if (in.path.empty())
+                return usage("empty member file in [NAME=]FILE");
+            inputs.push_back(std::move(in));
+        }
+    }
+    if (out.empty())
+        return usage("merge-archive needs -o OUT");
+    if (inputs.empty())
+        return usage("merge-archive needs at least one member trace");
+
+    auto res = mergeArchive(inputs, out);
+    if (!res) {
+        std::fprintf(stderr, "tstream-trace: %s\n",
+                     res.error().c_str());
+        return 1;
+    }
+    std::printf("wrote %s: %" PRIu64 " members\n", out.c_str(), *res);
+    return 0;
+}
+
+// ---- info (archive) ---------------------------------------------------------
+
+int
+cmdInfoArchive(const std::string &path)
+{
+    auto ar = TraceArchive::open(path);
+    if (!ar) {
+        std::fprintf(stderr, "tstream-trace: %s\n",
+                     ar.error().c_str());
+        return 1;
+    }
+    std::printf("%s: merged archive, %zu members\n", path.c_str(),
+                ar->members().size());
+    std::printf("  %-20s %-12s %4s %10s %12s %-24s %s\n", "member",
+                "kind", "cpus", "records", "instructions",
+                "seq [first,last]", "config");
+    for (const ArchiveMember &m : ar->members()) {
+        char span[64];
+        std::snprintf(span, sizeof(span),
+                      "[%" PRIu64 ",%" PRIu64 "]", m.seqFirst,
+                      m.seqLast);
+        std::printf("  %-20s %-12s %4u %10" PRIu64 " %12" PRIu64
+                    " %-24s %016" PRIx64 "\n",
+                    m.name.c_str(),
+                    std::string(traceContentKindName(m.kind)).c_str(),
+                    m.numCpus, m.records, m.instructions, span,
+                    m.configHash);
+    }
+    return 0;
+}
+
 // ---- analyze ----------------------------------------------------------------
 
 bool
@@ -584,8 +902,15 @@ main(int argc, char **argv)
         }
         if (path.empty())
             return usage("info needs a trace file");
-        return cmdInfo(path);
+        return TraceArchive::isArchive(path) ? cmdInfoArchive(path)
+                                             : cmdInfo(path);
     }
+
+    if (cmd == "query")
+        return cmdQuery(argc - 2, argv + 2);
+
+    if (cmd == "merge-archive")
+        return cmdMergeArchive(argc - 2, argv + 2);
 
     if (cmd == "dump") {
         std::string path;
