@@ -93,15 +93,30 @@ printTable(const std::vector<BenchCell> &cells, const char *table)
  * whose stored rows are reused verbatim (the simulator is
  * deterministic, so a stored cell equals a re-run one). A resume
  * mismatch (schema version, budgets, grid size, or a cell's config
- * hash) aborts with an error instead of mixing configurations.
- * @p build maps one executed CellResult to its table rows. Cells come
- * back in grid order either way.
+ * hash) aborts with an error instead of mixing configurations. Under
+ * `--claim-session` the whole grid is offered to the driver and the
+ * claim protocol decides which cells this worker runs (--shard and
+ * --resume are excluded by the parser). A cell that exhausted its
+ * retries comes back as a failure row with no table rows. @p build
+ * maps one executed CellResult to its table rows. Cells come back in
+ * grid order either way.
  */
 template <typename Build>
 std::vector<BenchCell>
 runBenchCells(const std::vector<Cell> &grid, const BenchOptions &opts,
               const DriverOptions &dopts, Build &&build)
 {
+    if (dopts.claim.enabled()) {
+        const std::vector<CellResult> results = runCells(grid, dopts);
+        std::vector<BenchCell> cells;
+        cells.reserve(results.size());
+        for (const CellResult &res : results)
+            cells.push_back(makeBenchCell(
+                res, res.failed ? std::vector<BenchRow>{}
+                                : build(res)));
+        return cells;
+    }
+
     std::vector<BenchCell> prior;
     if (opts.resume) {
         std::string err;
@@ -146,7 +161,9 @@ runBenchCells(const std::vector<Cell> &grid, const BenchOptions &opts,
             cells.push_back(std::move(prior[p++]));
         else {
             const CellResult &res = results[f++];
-            cells.push_back(makeBenchCell(res, build(res)));
+            cells.push_back(makeBenchCell(
+                res, res.failed ? std::vector<BenchRow>{}
+                                : build(res)));
         }
     }
     return cells;

@@ -43,6 +43,9 @@ makeBenchCell(const CellResult &res, std::vector<BenchRow> rows)
     c.cacheHit = res.cacheHit;
     c.wallSeconds = res.wallSeconds;
     c.instructions = res.instructions;
+    c.attempts = res.attempts;
+    c.failed = res.failed;
+    c.failureCause = res.failureCause;
     c.rows = std::move(rows);
     return c;
 }
@@ -113,6 +116,15 @@ loadResumeCells(const std::string &path, const std::string &benchName,
             return false;
         }
         seen[cell.index] = true;
+        if (cell.failed) {
+            // A failure row is not a result to reuse: resume re-runs
+            // the cell (that is the whole point of resuming).
+            std::fprintf(stderr,
+                         "[bench] --resume: re-running failed cell %s "
+                         "(%s)\n",
+                         cell.id.c_str(), cell.failureCause.c_str());
+            continue;
+        }
         out.push_back(cell);
     }
     std::sort(out.begin(), out.end(),
@@ -156,6 +168,12 @@ benchDocToJson(const BenchDoc &doc)
         jc["cache_hit"] = json::Value(c.cacheHit);
         jc["wall_seconds"] = json::Value(c.wallSeconds);
         jc["instructions"] = json::Value(c.instructions);
+        jc["attempts"] = json::Value(c.attempts);
+        if (c.failed) {
+            json::Value failed = json::Value::object();
+            failed["cause"] = json::Value(c.failureCause);
+            jc["failed"] = std::move(failed);
+        }
 
         json::Value rows = json::Value::array();
         for (const BenchRow &r : c.rows) {
@@ -264,6 +282,13 @@ benchDocFromJson(const json::Value &v, BenchDoc &out, std::string &err)
             c.wallSeconds = f->asDouble();
         if (const json::Value *f = jc.find("instructions"))
             c.instructions = f->asUint();
+        if (const json::Value *f = jc.find("attempts"))
+            c.attempts = static_cast<unsigned>(f->asUint());
+        if (const json::Value *f = jc.find("failed")) {
+            c.failed = true;
+            if (const json::Value *cause = f->find("cause"))
+                c.failureCause = cause->asString();
+        }
         if (!rows->isArray()) {
             err = "cell " + c.id + ": rows is not an array";
             return false;
@@ -471,6 +496,17 @@ cellsEqual(const BenchCell &a, const BenchCell &b, std::string &why)
               hashToHex(b.configHash) + ")";
         return false;
     }
+    if (a.failed != b.failed) {
+        const BenchCell &f = a.failed ? a : b;
+        why = "cell " + a.id + " (index " + std::to_string(a.index) +
+              ") failed in the " + (a.failed ? "first" : "second") +
+              " report (cause=" + f.failureCause + ", attempts=" +
+              std::to_string(f.attempts) +
+              ") but succeeded in the other";
+        return false;
+    }
+    // Both failed: causes may legitimately differ between workers, so
+    // only the identity above is compared.
     if (a.instructions != b.instructions) {
         why = "cell " + a.id + ": simulated instructions differ";
         return false;
@@ -481,7 +517,8 @@ cellsEqual(const BenchCell &a, const BenchCell &b, std::string &why)
     }
     for (std::size_t i = 0; i < a.rows.size(); ++i)
         if (!rowsEqual(a.rows[i], b.rows[i], why)) {
-            why = "cell " + a.id + ": " + why;
+            why = "cell " + a.id + " row " + std::to_string(i) + ": " +
+                  why;
             return false;
         }
     return true;
@@ -538,6 +575,17 @@ mergeBenchDocs(const std::vector<BenchDoc> &docs, BenchDoc &out,
                     return c.index == cell.index;
                 });
             if (dup != out.cells.end()) {
+                // Duplicate cell. A success beats a failure — another
+                // worker recovered the cell after the first attempt's
+                // owner failed/died; of two failures the first is
+                // kept (causes may differ between workers); two
+                // successes must agree bit-for-bit.
+                if (dup->failed && !cell.failed) {
+                    *dup = cell;
+                    continue;
+                }
+                if (cell.failed)
+                    continue;
                 std::string why;
                 if (!cellsEqual(*dup, cell, why)) {
                     err = "conflicting duplicates of cell " + cell.id +
@@ -585,15 +633,45 @@ benchDocsEquivalent(const BenchDoc &a, const BenchDoc &b,
 {
     if (!headersCompatible(a, b, why))
         return false;
-    if (a.cells.size() != b.cells.size()) {
-        why = "bench " + a.bench + ": cell counts differ (" +
-              std::to_string(a.cells.size()) + " vs " +
-              std::to_string(b.cells.size()) + ")";
-        return false;
-    }
-    for (std::size_t i = 0; i < a.cells.size(); ++i)
-        if (!cellsEqual(a.cells[i], b.cells[i], why))
+
+    // Walk the union of cell indexes so "missing" names the exact
+    // cell rather than collapsing into a bare count mismatch, and so
+    // a failure row on either side gets its own diagnostic.
+    auto findByIndex = [](const BenchDoc &doc,
+                          std::size_t index) -> const BenchCell * {
+        for (const BenchCell &c : doc.cells)
+            if (c.index == index)
+                return &c;
+        return nullptr;
+    };
+    std::size_t maxIndex = 0;
+    for (const BenchCell &c : a.cells)
+        maxIndex = std::max(maxIndex, c.index + 1);
+    for (const BenchCell &c : b.cells)
+        maxIndex = std::max(maxIndex, c.index + 1);
+
+    for (std::size_t i = 0; i < maxIndex; ++i) {
+        const BenchCell *ca = findByIndex(a, i);
+        const BenchCell *cb = findByIndex(b, i);
+        if (!ca && !cb)
+            continue;
+        if (!ca || !cb) {
+            const BenchCell &have = ca ? *ca : *cb;
+            why = "cell " + have.id + " (index " + std::to_string(i) +
+                  ") missing from the " +
+                  (ca ? "second" : "first") + " report";
             return false;
+        }
+        if (ca->failed && cb->failed) {
+            why = "cell " + ca->id + " (index " + std::to_string(i) +
+                  ") failed in both reports (first: " +
+                  ca->failureCause + "; second: " + cb->failureCause +
+                  ")";
+            return false;
+        }
+        if (!cellsEqual(*ca, *cb, why))
+            return false;
+    }
     return true;
 }
 
@@ -623,6 +701,13 @@ benchDocIsSubset(const BenchDoc &sub, const BenchDoc &full,
         if (match == full.cells.end()) {
             why = "bench " + sub.bench + ": cell " + cell.id +
                   " has no counterpart in the full report";
+            return false;
+        }
+        if (cell.failed && match->failed) {
+            why = "bench " + sub.bench + ": cell " + cell.id +
+                  " failed in both reports (subset: " +
+                  cell.failureCause + "; full: " + match->failureCause +
+                  ")";
             return false;
         }
         BenchCell reindexed = cell;
@@ -657,9 +742,12 @@ loadPerfSeries(const std::string &path, std::vector<PerfSample> &out,
         if (!readBenchDocs(path, docs, err))
             return false;
         for (const BenchDoc &doc : docs)
-            for (const BenchCell &cell : doc.cells)
+            for (const BenchCell &cell : doc.cells) {
+                if (cell.failed)
+                    continue; // a failure's wall time is not a perf point
                 out.push_back(PerfSample{doc.bench + "/" + cell.id,
                                          cell.wallSeconds * 1e9});
+            }
         if (out.empty()) {
             err = path + ": report holds no cells";
             return false;
@@ -794,6 +882,55 @@ comparePerfSeries(const std::vector<PerfSample> &base,
         cmp.rows.push_back(std::move(d));
     }
     return cmp;
+}
+
+TrendTable
+computeTrend(const std::vector<std::string> &labels,
+             const std::vector<std::vector<PerfSample>> &series,
+             const std::vector<std::string> &filter)
+{
+    TrendTable table;
+    table.labels = labels;
+
+    auto wanted = [&](const std::string &name) {
+        if (filter.empty())
+            return true;
+        for (const std::string &f : filter)
+            if (f == name)
+                return true;
+        return false;
+    };
+    auto rowFor = [&](const std::string &name) -> TrendSeries & {
+        for (TrendSeries &r : table.rows)
+            if (r.name == name)
+                return r;
+        table.rows.push_back(TrendSeries{});
+        table.rows.back().name = name;
+        table.rows.back().timesNs.assign(labels.size(), 0.0);
+        return table.rows.back();
+    };
+
+    const std::size_t n =
+        std::min(labels.size(), series.size());
+    for (std::size_t i = 0; i < n; ++i)
+        for (const PerfSample &s : series[i])
+            if (wanted(s.name))
+                rowFor(s.name).timesNs[i] = s.timeNs;
+
+    for (TrendSeries &r : table.rows) {
+        double first = 0.0, last = 0.0;
+        std::size_t points = 0;
+        for (double t : r.timesNs) {
+            if (t <= 0)
+                continue;
+            if (points == 0)
+                first = t;
+            last = t;
+            ++points;
+        }
+        r.lastVsFirst = points >= 2 && first > 0 ? last / first : 0.0;
+    }
+    return table;
 }
 
 } // namespace tstream

@@ -4,26 +4,37 @@
  * every figure/table bench and the interchange format of the
  * tstream-bench front-end.
  *
- * One *bench document* (schema "tstream-bench/v2") describes one
- * bench binary's (possibly sharded) run: the budgets, the total grid
- * size, and one entry per executed cell carrying the cell id, its
- * configHash() provenance, wall/sim time, and the bench's rows — each
- * row holds both the exact printed table line (`text`) and the named
- * numeric metrics behind it, so a JSON report is bit-identical to the
- * printed table and still machine-comparable. Shard documents of the
+ * One *bench document* (schema "tstream-bench/v3") describes one
+ * bench binary's (possibly sharded or fleet) run: the budgets, the
+ * total grid size, and one entry per executed cell carrying the cell
+ * id, its configHash() provenance, wall/sim time, and the bench's
+ * rows — each row holds both the exact printed table line (`text`)
+ * and the named numeric metrics behind it, so a JSON report is
+ * bit-identical to the printed table and still machine-comparable. A
+ * cell whose execution exhausted its retries is recorded as a
+ * *failure row*: `failed.cause` + `attempts`, with no table rows —
+ * the sweep keeps going and the failure travels through merge and
+ * check-equal instead of disappearing. Shard/worker documents of the
  * same bench merge into the unsharded document (exact cover of the
- * grid is verified); equivalence ignores non-deterministic fields
- * (wall time, cache hits, jobs, shard) so "merged 2-shard run equals
- * unsharded run" is a checkable invariant. Several bench documents
- * bundle into a *combined report* (schema "tstream-bench-report/v2").
+ * grid is verified; a *failed* cell covers its index, a *missing*
+ * cell is still an error — the two are never conflated); equivalence
+ * ignores non-deterministic fields (wall time, cache hits, jobs,
+ * shard) so "merged fleet run equals unsharded run" is a checkable
+ * invariant. Several bench documents bundle into a *combined report*
+ * (schema "tstream-bench-report/v3").
  *
  * v1 -> v2 (scenario-subsystem PR): the nine-workload grid, the
  * origins benches' self-contained `origins_block` rows, and the
  * l2-sweep per-workload label changed the *row* content without any
  * field-level change, so the version was bumped to keep `--resume`
  * (which reuses stored rows verbatim) from silently mixing row
- * shapes across binaries. v1 reports are rejected with a schema
- * error; re-run the bench to regenerate.
+ * shapes across binaries.
+ *
+ * v2 -> v3 (fleet PR): cells gained `attempts` and the optional
+ * `failed` object, and a cell with a failure row deliberately has no
+ * table rows — a v2 consumer would misread such a cell as "ran fine,
+ * produced nothing", so the version was bumped. Old reports are
+ * rejected with a schema error; re-run the bench to regenerate.
  *
  * Field-by-field schema documentation: docs/BENCHMARKING.md.
  */
@@ -41,9 +52,9 @@
 namespace tstream
 {
 
-inline constexpr std::string_view kBenchDocSchema = "tstream-bench/v2";
+inline constexpr std::string_view kBenchDocSchema = "tstream-bench/v3";
 inline constexpr std::string_view kBenchReportSchema =
-    "tstream-bench-report/v2";
+    "tstream-bench-report/v3";
 inline constexpr std::string_view kQueryDocSchema = "tstream-query/v1";
 
 /** One printed table row with its machine-readable metrics. */
@@ -67,6 +78,11 @@ struct BenchCell
     bool cacheHit = false;
     double wallSeconds = 0.0;
     std::uint64_t instructions = 0;
+    unsigned attempts = 1; ///< execution attempts consumed
+    /** Failure row: the cell exhausted its retries; rows is empty and
+     *  failureCause says why (e.g. "timeout after 500ms"). */
+    bool failed = false;
+    std::string failureCause;
     std::vector<BenchRow> rows;
 };
 
@@ -124,10 +140,16 @@ bool readBenchDocs(const std::string &path, std::vector<BenchDoc> &out,
                    std::string &err);
 
 /**
- * Merge shard documents of one bench into the unsharded document:
- * headers (bench, quick, budgets, grid size) must agree, duplicate
- * cells must be equivalent, and the union must cover every grid index
- * exactly — a missing cell is an error naming the absent indexes.
+ * Merge shard/worker documents of one bench into the unsharded
+ * document: headers (bench, quick, budgets, grid size) must agree and
+ * the union must cover every grid index exactly. A *failed* cell
+ * covers its index (the failure row is carried into the merged
+ * document); a *missing* cell is an error naming the absent indexes —
+ * the two are distinct outcomes and neither is dropped silently.
+ * Duplicate cells: a successful copy beats a failed one (another
+ * worker recovered the cell), two successful copies must be
+ * equivalent, and of two failed copies the first is kept (causes may
+ * legitimately differ between workers).
  */
 bool mergeBenchDocs(const std::vector<BenchDoc> &docs, BenchDoc &out,
                     std::string &err);
@@ -136,8 +158,10 @@ bool mergeBenchDocs(const std::vector<BenchDoc> &docs, BenchDoc &out,
  * Deterministic-content equivalence: bench, quick, budgets, grid
  * size, and every cell's (index, id, workload, context, configHash,
  * instructions, rows) must match exactly; wallSeconds, cacheHit,
- * jobs and shard are execution details and ignored. On mismatch
- * @p why describes the first difference.
+ * attempts, jobs and shard are execution details and ignored. A cell
+ * present on one side only, a cell that failed on either side, and a
+ * metric mismatch each produce a distinct diagnostic in @p why naming
+ * the cell — a failure row is never silently "equal" to anything.
  */
 bool benchDocsEquivalent(const BenchDoc &a, const BenchDoc &b,
                          std::string &why);
@@ -252,6 +276,41 @@ struct PerfComparison
 PerfComparison comparePerfSeries(const std::vector<PerfSample> &base,
                                  const std::vector<PerfSample> &current,
                                  const PerfGateOptions &opts);
+
+// ---------------------------------------------------------------------------
+// Perf trend — `tstream-bench trend`: one series' trajectory across an
+// ordered sequence of archived reports (e.g. BENCH_perf.json artifacts
+// from successive commits).
+// ---------------------------------------------------------------------------
+
+/** One series across the report sequence. */
+struct TrendSeries
+{
+    std::string name;
+    /** Aligned with TrendTable::labels; 0 = absent from that report. */
+    std::vector<double> timesNs;
+    /** last present value / first present value; 0 with <2 points. */
+    double lastVsFirst = 0.0;
+};
+
+/** The trend of every (filtered) series across the inputs. */
+struct TrendTable
+{
+    std::vector<std::string> labels; ///< one per input report, in order
+    std::vector<TrendSeries> rows;   ///< first-appearance order
+};
+
+/**
+ * Align the per-report sample sets of an ordered sequence of reports
+ * (@p labels names them, typically file paths or commit ids) into one
+ * table. @p filter restricts to exact series names (empty = all).
+ * Pure over already-loaded samples so it unit-tests without files;
+ * `tstream-bench trend` feeds it one loadPerfSeries() result per
+ * report and optionally gates lastVsFirst against --max-regress.
+ */
+TrendTable computeTrend(const std::vector<std::string> &labels,
+                        const std::vector<std::vector<PerfSample>> &series,
+                        const std::vector<std::string> &filter);
 
 } // namespace tstream
 

@@ -3,16 +3,22 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cinttypes>
+#include <condition_variable>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <memory>
+#include <mutex>
 #include <thread>
 
 #include "gen/workload_config.hh"
 #include "trace/trace_io.hh"
+#include "util/claim_file.hh"
 #include "util/work_pool.hh"
 
 namespace tstream
@@ -138,18 +144,326 @@ runCell(const Cell &cell, const DriverOptions &opts)
     return out;
 }
 
+/** What one bounded attempt produced. */
+struct AttemptOutcome
+{
+    bool ok = false;
+    std::string error;
+    CellResult result;
+};
+
+/** Shared between the driver and a timed attempt thread: the thread
+ *  may be abandoned on timeout, so it publishes into shared_ptr state
+ *  instead of the driver's stack. */
+struct AttemptShared
+{
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    AttemptOutcome out;
+};
+
+AttemptOutcome
+attemptCell(const Cell &cell, const DriverOptions &opts,
+            unsigned attempt)
+{
+    AttemptOutcome out;
+    try {
+        if (opts.testCellHook)
+            opts.testCellHook(cell, attempt);
+        out.result = runCell(cell, opts);
+        out.ok = true;
+    } catch (const std::exception &e) {
+        out.error = std::string("exception: ") + e.what();
+    } catch (...) {
+        out.error = "exception: unknown";
+    }
+    return out;
+}
+
+/**
+ * Run one cell under the options' RetryPolicy: each attempt is bounded
+ * by retry.timeoutMs (enforced by running it on a dedicated thread and
+ * abandoning the thread past the deadline — the simulator has no
+ * cancellation points, so a stuck attempt keeps running detached and
+ * publishes into shared state nobody reads); failures back off and
+ * retry up to maxAttempts, then surface as a failure result.
+ */
+CellResult
+runCellWithRetry(const Cell &cell, const DriverOptions &opts)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    RetryState retry(opts.retry);
+
+    for (;;) {
+        const unsigned attempt = retry.beginAttempt(wallClockMs());
+
+        AttemptOutcome out;
+        if (opts.retry.timeoutMs <= 0) {
+            out = attemptCell(cell, opts, attempt);
+        } else {
+            auto shared = std::make_shared<AttemptShared>();
+            // Copy cell + opts: on timeout the thread outlives this
+            // frame (and possibly the whole runCells call).
+            std::thread worker(
+                [shared, cell, opts, attempt] {
+                    AttemptOutcome r = attemptCell(cell, opts, attempt);
+                    std::lock_guard<std::mutex> lk(shared->mu);
+                    shared->out = std::move(r);
+                    shared->done = true;
+                    shared->cv.notify_all();
+                });
+            std::unique_lock<std::mutex> lk(shared->mu);
+            const bool finished = shared->cv.wait_for(
+                lk, std::chrono::milliseconds(opts.retry.timeoutMs),
+                [&] { return shared->done; });
+            if (finished) {
+                out = std::move(shared->out);
+                lk.unlock();
+                worker.join();
+            } else {
+                lk.unlock();
+                worker.detach();
+            }
+        }
+
+        const std::int64_t now = wallClockMs();
+        RetryState::Decision d;
+        if (out.ok) {
+            d = retry.onSuccess(now);
+        } else if (!out.error.empty()) {
+            d = retry.onFailure(std::move(out.error), now);
+        } else {
+            d = retry.onTimeout(now);
+            if (d.kind == RetryState::Decision::Kind::None)
+                // Clock granularity: the wait expired but the ms clock
+                // has not visibly passed the deadline yet.
+                d = retry.onFailure(
+                    "timeout after " +
+                        std::to_string(opts.retry.timeoutMs) + "ms",
+                    now);
+        }
+
+        switch (d.kind) {
+          case RetryState::Decision::Kind::Done:
+            out.result.attempts = retry.attempts();
+            return out.result;
+          case RetryState::Decision::Kind::RetryAt: {
+            std::fprintf(stderr,
+                         "[driver] cell %s attempt %u failed (%s); "
+                         "retrying\n",
+                         cell.id.c_str(), attempt,
+                         retry.failureCause().c_str());
+            const std::int64_t delay = d.retryAtMs - wallClockMs();
+            if (delay > 0)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(delay));
+            break;
+          }
+          case RetryState::Decision::Kind::Failed: {
+            CellResult fail;
+            fail.cell = cell;
+            fail.failed = true;
+            fail.failureCause = retry.failureCause();
+            fail.attempts = retry.attempts();
+            fail.wallSeconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            std::fprintf(stderr,
+                         "[driver] cell %s FAILED after %u attempts: "
+                         "%s\n",
+                         cell.id.c_str(), fail.attempts,
+                         fail.failureCause.c_str());
+            return fail;
+          }
+          case RetryState::Decision::Kind::None:
+            break; // unreachable; loop again defensively
+        }
+    }
+}
+
+/** Claim key for a cell: grid index + config hash, so a stale claim
+ *  directory from a different grid/budget never aliases. */
+std::string
+claimKeyFor(const Cell &cell)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "%zu-%016" PRIx64, cell.index,
+                  configHash(cell.cfg));
+    return buf;
+}
+
+/**
+ * Dynamic-claiming executor: opts.jobs worker threads race (with every
+ * other process sharing the claim directory) to claim cells, run each
+ * claimed cell under retry/timeout, and publish done markers. A
+ * background thread heartbeats all actively running claims. Returns
+ * only the cells this worker executed, in grid order.
+ */
+std::vector<CellResult>
+runCellsClaiming(const std::vector<Cell> &grid,
+                 const DriverOptions &opts)
+{
+    ClaimDir::Options copts;
+    copts.dir = opts.claim.dir;
+    copts.owner = opts.claim.owner;
+    copts.ttlMs = opts.claim.ttlMs;
+    ClaimDir claims(copts);
+
+    const std::int64_t beatMs =
+        opts.claim.heartbeatMs > 0
+            ? opts.claim.heartbeatMs
+            : std::max<std::int64_t>(1, opts.claim.ttlMs / 3);
+    const std::int64_t pollMs =
+        std::clamp<std::int64_t>(opts.claim.ttlMs / 4, 50, 500);
+
+    long dieAfter = 0;
+    if (const char *env = std::getenv("TSTREAM_CLAIM_DIE_AFTER"))
+        dieAfter = std::strtol(env, nullptr, 10);
+    std::atomic<long> claimsWon{0};
+
+    std::mutex resMu;
+    std::vector<CellResult> results;
+
+    // Heartbeat thread: beats every actively running claim so a slow
+    // cell is not stolen mid-run. Workers register keys under hbMu.
+    std::mutex hbMu;
+    std::condition_variable hbCv;
+    bool stop = false;
+    std::vector<std::string> active;
+    std::thread beater([&] {
+        std::unique_lock<std::mutex> lk(hbMu);
+        while (!stop) {
+            hbCv.wait_for(lk, std::chrono::milliseconds(beatMs),
+                          [&] { return stop; });
+            if (stop)
+                break;
+            std::vector<std::string> keys = active;
+            lk.unlock();
+            for (const std::string &k : keys)
+                claims.heartbeat(k);
+            lk.lock();
+        }
+    });
+
+    auto workerLoop = [&] {
+        std::vector<std::size_t> pending(grid.size());
+        for (std::size_t i = 0; i < grid.size(); ++i)
+            pending[i] = i;
+
+        while (!pending.empty()) {
+            bool progress = false;
+            std::vector<std::size_t> still;
+            still.reserve(pending.size());
+            for (std::size_t idx : pending) {
+                const Cell &cell = grid[idx];
+                const std::string key = claimKeyFor(cell);
+                if (claims.done(key)) {
+                    progress = true;
+                    continue; // another worker finished it
+                }
+                std::string why;
+                const ClaimDir::Outcome got = claims.tryClaim(key, &why);
+                if (got == ClaimDir::Outcome::Done) {
+                    progress = true;
+                    continue;
+                }
+                if (got == ClaimDir::Outcome::Held) {
+                    still.push_back(idx); // revisit next sweep
+                    continue;
+                }
+                if (got == ClaimDir::Outcome::Error) {
+                    // Claim directory unusable: record a failure row
+                    // rather than spinning forever. merge() keeps the
+                    // first copy if several workers hit this.
+                    CellResult fail;
+                    fail.cell = cell;
+                    fail.failed = true;
+                    fail.failureCause = "claim error: " + why;
+                    fail.attempts = 0;
+                    std::lock_guard<std::mutex> lk(resMu);
+                    results.push_back(std::move(fail));
+                    progress = true;
+                    continue;
+                }
+
+                // Claimed. Fault injection first: die after the N-th
+                // win, before the cell runs — the claim file is left
+                // behind with no done marker, exactly the "worker died
+                // mid-cell" shape the fleet tests need.
+                const long won =
+                    claimsWon.fetch_add(1, std::memory_order_relaxed) +
+                    1;
+                if (dieAfter > 0 && won >= dieAfter)
+                    std::raise(SIGKILL);
+
+                {
+                    std::lock_guard<std::mutex> lk(hbMu);
+                    active.push_back(key);
+                }
+                CellResult res = runCellWithRetry(cell, opts);
+                {
+                    std::lock_guard<std::mutex> lk(hbMu);
+                    active.erase(std::remove(active.begin(),
+                                             active.end(), key),
+                                 active.end());
+                }
+                claims.markDone(key, res.failed
+                                         ? "failed:" + res.failureCause
+                                         : "ok");
+                {
+                    std::lock_guard<std::mutex> lk(resMu);
+                    results.push_back(std::move(res));
+                }
+                progress = true;
+            }
+            pending = std::move(still);
+            if (!pending.empty() && !progress)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(pollMs));
+        }
+    };
+
+    unsigned jobs = opts.jobs ? opts.jobs : WorkPool::defaultJobs();
+    jobs = static_cast<unsigned>(std::min<std::size_t>(
+        std::max<std::size_t>(1, grid.size()), jobs));
+    std::vector<std::thread> workers;
+    workers.reserve(jobs);
+    for (unsigned i = 0; i < jobs; ++i)
+        workers.emplace_back(workerLoop);
+    for (std::thread &w : workers)
+        w.join();
+
+    {
+        std::lock_guard<std::mutex> lk(hbMu);
+        stop = true;
+    }
+    hbCv.notify_all();
+    beater.join();
+
+    std::sort(results.begin(), results.end(),
+              [](const CellResult &a, const CellResult &b) {
+                  return a.cell.index < b.cell.index;
+              });
+    return results;
+}
+
 } // namespace
 
 std::vector<CellResult>
 runCells(const std::vector<Cell> &grid, const DriverOptions &opts)
 {
+    if (opts.claim.enabled())
+        return runCellsClaiming(grid, opts);
+
     const std::vector<Cell> mine = shardCells(grid, opts.shard);
 
     std::vector<CellResult> out(mine.size());
     WorkPool pool(opts.jobs);
     for (std::size_t i = 0; i < mine.size(); ++i)
         pool.submit(
-            [&, i] { out[i] = runCell(mine[i], opts); });
+            [&, i] { out[i] = runCellWithRetry(mine[i], opts); });
     pool.wait();
     return out;
 }
@@ -185,15 +499,64 @@ benchUsage(const char *benchName, const char *msg, int status)
         "  --phases S     inline phase records for the PhasedMix\n"
         "                 workload, e.g. \"kv mix=0.9 dist=zipfian\n"
         "                 theta=0.99 duration=1500000; broker ...\"\n"
+        "  --claim-session ID\n"
+        "                 drain the grid by dynamic work claiming:\n"
+        "                 workers sharing TSTREAM_TRACE_CACHE and the\n"
+        "                 session id race on atomic claim files, so a\n"
+        "                 dead worker's cells are re-run elsewhere\n"
+        "                 (also: TSTREAM_CLAIM_SESSION; requires\n"
+        "                 TSTREAM_TRACE_CACHE; excludes --shard and\n"
+        "                 --resume)\n"
+        "  --claim-ttl MS heartbeat staleness before a claim may be\n"
+        "                 stolen (also: TSTREAM_CLAIM_TTL_MS;\n"
+        "                 default 30000)\n"
+        "  --heartbeat MS heartbeat period for running claims (also:\n"
+        "                 TSTREAM_HEARTBEAT_MS; default: ttl/3)\n"
+        "  --cell-timeout MS\n"
+        "                 per-attempt cell timeout; 0 = none (also:\n"
+        "                 TSTREAM_CELL_TIMEOUT_MS)\n"
+        "  --cell-retries N\n"
+        "                 attempts per cell before it becomes a\n"
+        "                 failure row in the report (also:\n"
+        "                 TSTREAM_CELL_RETRIES; default 3)\n"
         "  --help         this message\n"
         "\n"
-        "See docs/BENCHMARKING.md for sharded multi-process recipes\n"
-        "and the trace cache (TSTREAM_TRACE_CACHE).\n",
+        "See docs/BENCHMARKING.md for sharded and fleet multi-process\n"
+        "recipes and the trace cache (TSTREAM_TRACE_CACHE).\n",
         benchName);
     std::exit(status);
 }
 
+/** Parse a non-negative integer CLI/env value or die with usage. */
+long
+parsePositive(const char *benchName, const char *what, const char *v,
+              bool allowZero)
+{
+    char *end = nullptr;
+    const long n = std::strtol(v, &end, 10);
+    if (!end || *end != '\0' || n < 0 || (!allowZero && n == 0))
+        benchUsage(benchName,
+                   (std::string(what) + " wants a " +
+                    (allowZero ? "non-negative" : "positive") +
+                    " integer")
+                       .c_str(),
+                   2);
+    return n;
+}
+
 } // namespace
+
+std::string
+BenchOptions::claimDir() const
+{
+    if (claimSession.empty())
+        return {};
+    const char *cache = std::getenv("TSTREAM_TRACE_CACHE");
+    if (!cache || !*cache)
+        return {};
+    return std::string(cache) + "/claims/" + claimSession + "/" +
+           benchName;
+}
 
 BenchOptions
 parseBenchArgs(int argc, char **argv, const char *benchName)
@@ -204,6 +567,20 @@ parseBenchArgs(int argc, char **argv, const char *benchName)
     if (const char *env = std::getenv("TSTREAM_SHARD"))
         if (!parseShardSpec(env, opts.shard))
             benchUsage(benchName, "bad TSTREAM_SHARD (want k/N)", 2);
+    if (const char *env = std::getenv("TSTREAM_CLAIM_SESSION"))
+        opts.claimSession = env;
+    if (const char *env = std::getenv("TSTREAM_CLAIM_TTL_MS"))
+        opts.claimTtlMs =
+            parsePositive(benchName, "TSTREAM_CLAIM_TTL_MS", env, false);
+    if (const char *env = std::getenv("TSTREAM_HEARTBEAT_MS"))
+        opts.heartbeatMs =
+            parsePositive(benchName, "TSTREAM_HEARTBEAT_MS", env, true);
+    if (const char *env = std::getenv("TSTREAM_CELL_TIMEOUT_MS"))
+        opts.cellTimeoutMs = parsePositive(
+            benchName, "TSTREAM_CELL_TIMEOUT_MS", env, true);
+    if (const char *env = std::getenv("TSTREAM_CELL_RETRIES"))
+        opts.cellRetries = static_cast<unsigned>(parsePositive(
+            benchName, "TSTREAM_CELL_RETRIES", env, false));
 
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg = argv[i];
@@ -236,6 +613,22 @@ parseBenchArgs(int argc, char **argv, const char *benchName)
             opts.workloadFile = value("--workload");
         } else if (arg == "--phases") {
             opts.phasesSpec = value("--phases");
+        } else if (arg == "--claim-session") {
+            opts.claimSession = value("--claim-session");
+        } else if (arg == "--claim-ttl") {
+            opts.claimTtlMs = parsePositive(
+                benchName, "--claim-ttl", value("--claim-ttl"), false);
+        } else if (arg == "--heartbeat") {
+            opts.heartbeatMs = parsePositive(
+                benchName, "--heartbeat", value("--heartbeat"), true);
+        } else if (arg == "--cell-timeout") {
+            opts.cellTimeoutMs =
+                parsePositive(benchName, "--cell-timeout",
+                              value("--cell-timeout"), true);
+        } else if (arg == "--cell-retries") {
+            opts.cellRetries = static_cast<unsigned>(
+                parsePositive(benchName, "--cell-retries",
+                              value("--cell-retries"), false));
         } else if (arg == "--help" || arg == "-h") {
             benchUsage(benchName, nullptr, 0);
         } else {
@@ -258,6 +651,27 @@ parseBenchArgs(int argc, char **argv, const char *benchName)
                    "--workload and --phases are mutually exclusive "
                    "(a config file already carries its schedule)",
                    2);
+    if (!opts.claimSession.empty()) {
+        const char *cache = std::getenv("TSTREAM_TRACE_CACHE");
+        if (!cache || !*cache)
+            benchUsage(benchName,
+                       "--claim-session needs TSTREAM_TRACE_CACHE set "
+                       "(the claim directory lives in the shared "
+                       "cache)",
+                       2);
+        if (opts.shard.count > 1)
+            benchUsage(benchName,
+                       "--claim-session and --shard are mutually "
+                       "exclusive (dynamic claiming replaces static "
+                       "sharding)",
+                       2);
+        if (opts.resume)
+            benchUsage(benchName,
+                       "--claim-session and --resume are mutually "
+                       "exclusive (claiming workers skip done cells "
+                       "via the claim directory instead)",
+                       2);
+    }
 
     if (opts.quick) {
         opts.budgets.warmup = kQuickBudgets.warmupInstructions;

@@ -1,20 +1,34 @@
 /**
  * @file
- * Sharded cell-level experiment driver.
+ * Sharded/fleet cell-level experiment driver.
  *
  * The paper's results form a (workload x context x budget) grid; this
  * driver enumerates that grid as independent *cells*, executes them on
  * a bounded work-stealing thread pool (util/work_pool.hh) sized by
- * --jobs / TSTREAM_JOBS, and supports deterministic multi-process
- * sharding via --shard k/N / TSTREAM_SHARD=k/N: shard k owns exactly
- * the cells whose grid index is congruent to k mod N, so the N shards
- * are a disjoint exact cover of the grid for any N and a merged run
- * equals an unsharded one cell-for-cell. All shards can point at one
- * TSTREAM_TRACE_CACHE directory (cells are keyed on configHash(), and
- * distinct shards own distinct cells, so they never write the same
- * file). Results always come back in deterministic grid order,
- * independent of the job count, so printed tables and --json reports
- * (sim/bench_report.hh) are reproducible.
+ * --jobs / TSTREAM_JOBS, and distributes cells across processes two
+ * ways:
+ *
+ *  - **Static sharding** (--shard k/N / TSTREAM_SHARD=k/N): shard k
+ *    owns exactly the cells whose grid index is congruent to k mod N,
+ *    so the N shards are a disjoint exact cover of the grid for any N
+ *    and a merged run equals an unsharded one cell-for-cell.
+ *  - **Dynamic claiming** (--claim-session / TSTREAM_CLAIM_SESSION):
+ *    heterogeneous workers drain the grid by racing on atomic claim
+ *    files (util/claim_file.hh) under
+ *    `$TSTREAM_TRACE_CACHE/claims/<session>/<bench>`; a worker that
+ *    dies mid-cell leaves a stale claim that another worker reclaims
+ *    after the heartbeat TTL, so the sweep completes without
+ *    pre-partitioning. `tstream-bench run --fleet` builds on this.
+ *
+ * Cells additionally run under a per-attempt timeout with bounded
+ * retry/backoff (util/retry.hh); a cell that exhausts its attempts
+ * becomes a structured *failure result* (cause, attempts, wall time)
+ * in the report instead of aborting the sweep. All shards/workers can
+ * point at one TSTREAM_TRACE_CACHE directory (cells are keyed on
+ * configHash(); stores are temp+rename atomic). Results always come
+ * back in deterministic grid order, independent of the job count, so
+ * printed tables and --json reports (sim/bench_report.hh) are
+ * reproducible.
  *
  * Every figure/table bench binary (bench/) is a thin main() over this
  * driver; docs/BENCHMARKING.md is the operator's guide.
@@ -23,6 +37,7 @@
 #ifndef TSTREAM_SIM_DRIVER_HH
 #define TSTREAM_SIM_DRIVER_HH
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -30,6 +45,7 @@
 #include "core/module_profile.hh"
 #include "core/stream_analysis.hh"
 #include "sim/experiment.hh"
+#include "util/retry.hh"
 
 namespace tstream
 {
@@ -112,6 +128,35 @@ struct CellResult
     double wallSeconds = 0.0;          ///< execute + analyze wall time
     std::uint64_t instructions = 0;    ///< simulated instructions
     bool cacheHit = false;             ///< served from TSTREAM_TRACE_CACHE
+    /**
+     * Attempts exhausted (timeouts and/or exceptions): runs is empty
+     * and the cell becomes a structured failure row in the report
+     * instead of aborting the sweep.
+     */
+    bool failed = false;
+    std::string failureCause; ///< last failure, e.g. "timeout after 500ms"
+    unsigned attempts = 1;    ///< attempts consumed (1 = first try)
+};
+
+/** Dynamic work claiming across cooperating worker processes. */
+struct ClaimOptions
+{
+    /** Sweep id; all workers draining one grid share it. Empty =
+     *  static sharding (the default). */
+    std::string session;
+    /** Claim directory. Empty = derived by BenchOptions::driver() as
+     *  `$TSTREAM_TRACE_CACHE/claims/<session>/<bench>`. */
+    std::string dir;
+    std::int64_t ttlMs = 30'000; ///< stale-claim steal threshold
+    /** Heartbeat period; 0 = ttlMs / 3. */
+    std::int64_t heartbeatMs = 0;
+    std::string owner; ///< "" = ClaimDir::defaultOwner()
+
+    bool
+    enabled() const
+    {
+        return !session.empty();
+    }
 };
 
 /** Execution options for runCells(). */
@@ -121,14 +166,40 @@ struct DriverOptions
     ShardSpec shard;
     bool analyzeStreams = true; ///< run SEQUITUR + module attribution
     bool filterIntra = true;    ///< restrict intra trace to on-chip hits
+    /** When claim.enabled(), shard is ignored: workers race on claim
+     *  files instead of owning a static residue class. */
+    ClaimOptions claim;
+    /** Per-attempt timeout / bounded retry for every cell. The default
+     *  (timeoutMs = 0) never times out and never retries in practice
+     *  because a cell only "fails" on exception or timeout. */
+    RetryPolicy retry;
+    /**
+     * Test seam: invoked at the start of every attempt with the cell
+     * and the 1-based attempt ordinal, before simulation. A throwing
+     * hook makes the attempt fail with "exception: <what>" — used by
+     * the fault-injection tests to exercise retry and failure rows
+     * deterministically.
+     */
+    std::function<void(const Cell &, unsigned attempt)> testCellHook;
 };
 
 /**
  * Execute the cells of @p grid owned by opts.shard on a bounded
- * work-stealing pool of opts.jobs threads. Results are returned in
- * grid order regardless of completion order. Cells are served from
- * the trace cache when TSTREAM_TRACE_CACHE is set and the cell was
- * recorded before (by any shard or bench).
+ * work-stealing pool of opts.jobs threads — or, when
+ * opts.claim.enabled(), the subset of @p grid this worker wins by
+ * racing on the claim directory (dying workers' cells are reclaimed
+ * after the heartbeat TTL, so cooperating workers always drain the
+ * whole grid between them). Results are returned in grid order
+ * regardless of completion order; under claiming only the cells this
+ * worker executed are returned (merge the per-worker reports to get
+ * the full grid). Cells are served from the trace cache when
+ * TSTREAM_TRACE_CACHE is set and the cell was recorded before (by any
+ * shard, worker or bench).
+ *
+ * Fault injection: TSTREAM_CLAIM_DIE_AFTER=N makes the process
+ * raise(SIGKILL) immediately after winning its N-th claim, before
+ * running the cell — the deterministic "worker dies mid-cell" used by
+ * the fleet tests and the CI smoke job.
  */
 std::vector<CellResult> runCells(const std::vector<Cell> &grid,
                                  const DriverOptions &opts);
@@ -163,6 +234,20 @@ struct BenchOptions
      * PhasedMix. Mutually exclusive with --workload.
      */
     std::string phasesSpec;
+    /**
+     * --claim-session ID: drain the grid by dynamic claiming instead
+     * of static sharding (requires TSTREAM_TRACE_CACHE for the shared
+     * claim directory; mutually exclusive with --shard and --resume).
+     */
+    std::string claimSession;
+    std::int64_t claimTtlMs = 30'000; ///< --claim-ttl MS
+    std::int64_t heartbeatMs = 0;     ///< --heartbeat MS; 0 = ttl/3
+    std::int64_t cellTimeoutMs = 0;   ///< --cell-timeout MS; 0 = none
+    unsigned cellRetries = 3;         ///< --cell-retries N (attempts)
+
+    /** The claim directory for this bench's sweep, or "" when
+     *  claiming is off: `$TSTREAM_TRACE_CACHE/claims/<session>/<bench>`. */
+    std::string claimDir() const;
 
     DriverOptions
     driver(bool analyze_streams = true, bool filter_intra = true) const
@@ -172,18 +257,30 @@ struct BenchOptions
         d.shard = shard;
         d.analyzeStreams = analyze_streams;
         d.filterIntra = filter_intra;
+        d.claim.session = claimSession;
+        d.claim.dir = claimDir();
+        d.claim.ttlMs = claimTtlMs;
+        d.claim.heartbeatMs = heartbeatMs;
+        d.retry.maxAttempts = cellRetries;
+        d.retry.timeoutMs = cellTimeoutMs;
         return d;
     }
 };
 
 /**
  * Strict bench argument parser: --quick, --jobs N, --shard k/N,
- * --json PATH, --resume, --workload FILE, --phases SPEC, --help,
- * plus the TSTREAM_QUICK / TSTREAM_JOBS / TSTREAM_SHARD environment
+ * --json PATH, --resume, --workload FILE, --phases SPEC,
+ * --claim-session ID, --claim-ttl MS, --heartbeat MS,
+ * --cell-timeout MS, --cell-retries N, --help, plus the TSTREAM_QUICK
+ * / TSTREAM_JOBS / TSTREAM_SHARD / TSTREAM_CLAIM_SESSION /
+ * TSTREAM_CLAIM_TTL_MS / TSTREAM_HEARTBEAT_MS /
+ * TSTREAM_CELL_TIMEOUT_MS / TSTREAM_CELL_RETRIES environment
  * fallbacks. Any unknown flag prints a usage message naming
  * @p benchName and exits with status 2 (a typo like --qiuck must not
  * silently run at paper scale for hours); --help exits 0. --resume
- * requires --json; --workload and --phases are mutually exclusive.
+ * requires --json; --workload and --phases are mutually exclusive;
+ * --claim-session requires TSTREAM_TRACE_CACHE and excludes --shard
+ * and --resume.
  */
 BenchOptions parseBenchArgs(int argc, char **argv,
                             const char *benchName);

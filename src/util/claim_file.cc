@@ -1,0 +1,273 @@
+#include "util/claim_file.hh"
+
+#include <errno.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <thread>
+
+namespace tstream
+{
+
+std::int64_t
+wallClockMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}
+
+ClaimDir::ClaimDir(Options opts)
+    : dir_(std::move(opts.dir)), owner_(std::move(opts.owner)),
+      ttlMs_(opts.ttlMs), now_(std::move(opts.now))
+{
+    if (owner_.empty())
+        owner_ = defaultOwner();
+    if (!now_)
+        now_ = wallClockMs;
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+}
+
+std::string
+ClaimDir::defaultOwner()
+{
+    char host[256] = "unknown-host";
+    ::gethostname(host, sizeof host - 1);
+    host[sizeof host - 1] = '\0';
+    char buf[384];
+    std::snprintf(buf, sizeof buf, "%s-%ld-%lld", host,
+                  static_cast<long>(::getpid()),
+                  static_cast<long long>(wallClockMs()));
+    return buf;
+}
+
+std::string
+ClaimDir::sanitizeKey(std::string_view key)
+{
+    std::string out;
+    out.reserve(key.size());
+    for (char c : key) {
+        const bool safe = (c >= 'a' && c <= 'z') ||
+                          (c >= 'A' && c <= 'Z') ||
+                          (c >= '0' && c <= '9') || c == '-' ||
+                          c == '_' || c == '.';
+        out += safe ? c : '-';
+    }
+    return out;
+}
+
+std::string
+ClaimDir::claimPath(const std::string &key) const
+{
+    return dir_ + "/" + key + ".claim";
+}
+
+std::string
+ClaimDir::donePath(const std::string &key) const
+{
+    return dir_ + "/" + key + ".done";
+}
+
+std::string
+ClaimDir::tempPath(const std::string &key)
+{
+    // Unique per (owner, thread, call): concurrent threads share one
+    // ClaimDir, so the owner id alone is not enough.
+    const std::uint64_t seq =
+        seq_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t tid =
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) &
+        0xffffff;
+    char suffix[64];
+    std::snprintf(suffix, sizeof suffix, ".tmp.%llx.%llx",
+                  static_cast<unsigned long long>(tid),
+                  static_cast<unsigned long long>(seq));
+    return dir_ + "/" + key + suffix;
+}
+
+bool
+ClaimDir::writeClaimFile(const std::string &tmp, std::int64_t bornMs,
+                         std::int64_t beatMs) const
+{
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        return false;
+    std::fprintf(f, "owner=%s\nborn=%lld\nbeat=%lld\npid=%ld\n",
+                 owner_.c_str(), static_cast<long long>(bornMs),
+                 static_cast<long long>(beatMs),
+                 static_cast<long>(::getpid()));
+    const bool ok = std::fflush(f) == 0;
+    std::fclose(f);
+    return ok;
+}
+
+bool
+ClaimDir::readClaim(const std::string &path, ClaimInfo &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    out = ClaimInfo{};
+    char line[512];
+    bool sawOwner = false, sawBeat = false;
+    while (std::fgets(line, sizeof line, f)) {
+        char *nl = std::strchr(line, '\n');
+        if (nl)
+            *nl = '\0';
+        if (std::strncmp(line, "owner=", 6) == 0) {
+            out.owner = line + 6;
+            sawOwner = true;
+        } else if (std::strncmp(line, "born=", 5) == 0) {
+            out.bornMs = std::strtoll(line + 5, nullptr, 10);
+        } else if (std::strncmp(line, "beat=", 5) == 0) {
+            out.beatMs = std::strtoll(line + 5, nullptr, 10);
+            sawBeat = true;
+        } else if (std::strncmp(line, "pid=", 4) == 0) {
+            out.pid = std::strtol(line + 4, nullptr, 10);
+        }
+    }
+    std::fclose(f);
+    return sawOwner && sawBeat;
+}
+
+ClaimDir::Outcome
+ClaimDir::tryClaim(const std::string &key, std::string *why)
+{
+    const std::string claim = claimPath(key);
+    if (done(key))
+        return Outcome::Done;
+
+    // One claim attempt: write a fully formed temp file, then link it
+    // onto the claim name — link(2) refuses an existing target, so of
+    // N racers exactly one succeeds.
+    auto attempt = [&]() -> Outcome {
+        const std::int64_t now = now_();
+        const std::string tmp = tempPath(key);
+        if (!writeClaimFile(tmp, now, now)) {
+            if (why)
+                *why = "cannot write " + tmp + ": " +
+                       std::strerror(errno);
+            return Outcome::Error;
+        }
+        const int rc = ::link(tmp.c_str(), claim.c_str());
+        const int linkErrno = errno;
+        ::unlink(tmp.c_str());
+        if (rc == 0) {
+            // Re-check the done marker AFTER winning: markDone()
+            // publishes the marker before unlinking the claim, so a
+            // win against a name another worker just released-as-done
+            // always sees the marker here — without this, a racer
+            // whose pre-check ran before the marker appeared would
+            // re-execute a finished cell.
+            if (done(key)) {
+                ::unlink(claim.c_str());
+                return Outcome::Done;
+            }
+            return Outcome::Claimed;
+        }
+        if (linkErrno == EEXIST)
+            return Outcome::Held;
+        if (why)
+            *why = "cannot link " + claim + ": " +
+                   std::strerror(linkErrno);
+        return Outcome::Error;
+    };
+
+    Outcome out = attempt();
+    if (out != Outcome::Held)
+        return out;
+
+    // Someone holds it. Stale (no heartbeat within the TTL)? Steal it
+    // exactly-once: rename the stale file to a worker-unique tomb —
+    // only one of N simultaneous stealers finds the source present —
+    // then re-run the normal claim. A fresh claim racing in between
+    // is fine: our link attempt just loses again.
+    ClaimInfo info;
+    if (!readClaim(claim, info))
+        return Outcome::Held; // vanished (owner finished/released)
+    if (info.owner == owner_)
+        return Outcome::Held; // our own live claim (double tryClaim)
+    if (now_() - info.beatMs <= ttlMs_)
+        return Outcome::Held;
+
+    const std::string tomb = tempPath(key) + ".tomb";
+    if (::rename(claim.c_str(), tomb.c_str()) != 0)
+        return Outcome::Held; // another stealer won
+    ::unlink(tomb.c_str());
+    out = attempt();
+    return out;
+}
+
+bool
+ClaimDir::heartbeat(const std::string &key)
+{
+    const std::string claim = claimPath(key);
+    ClaimInfo info;
+    if (!readClaim(claim, info) || info.owner != owner_)
+        return false; // stolen or released — see header note
+    const std::string tmp = tempPath(key);
+    if (!writeClaimFile(tmp, info.bornMs, now_()))
+        return false;
+    if (::rename(tmp.c_str(), claim.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+ClaimDir::markDone(const std::string &key, const std::string &status)
+{
+    const std::string tmp = tempPath(key);
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        return false;
+    std::fprintf(f, "owner=%s\nstatus=%s\n", owner_.c_str(),
+                 status.c_str());
+    std::fclose(f);
+    const std::string dest = donePath(key);
+    if (::rename(tmp.c_str(), dest.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    ::unlink(claimPath(key).c_str());
+    return true;
+}
+
+bool
+ClaimDir::done(const std::string &key, std::string *status) const
+{
+    std::FILE *f = std::fopen(donePath(key).c_str(), "rb");
+    if (!f)
+        return false;
+    if (status) {
+        status->clear();
+        char line[512];
+        while (std::fgets(line, sizeof line, f)) {
+            char *nl = std::strchr(line, '\n');
+            if (nl)
+                *nl = '\0';
+            if (std::strncmp(line, "status=", 7) == 0)
+                *status = line + 7;
+        }
+    }
+    std::fclose(f);
+    return true;
+}
+
+bool
+ClaimDir::release(const std::string &key)
+{
+    const std::string claim = claimPath(key);
+    ClaimInfo info;
+    if (!readClaim(claim, info) || info.owner != owner_)
+        return false;
+    return ::unlink(claim.c_str()) == 0;
+}
+
+} // namespace tstream

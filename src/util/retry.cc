@@ -1,0 +1,80 @@
+#include "util/retry.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tstream
+{
+
+unsigned
+RetryState::beginAttempt(std::int64_t nowMs)
+{
+    // Tolerate a begin while Running only in the degenerate "caller
+    // restarts without reporting" sense: treat it as a fresh attempt.
+    if (phase_ == Phase::Done || phase_ == Phase::Failed)
+        return attempts_;
+    phase_ = Phase::Running;
+    attemptStartMs_ = nowMs;
+    return ++attempts_;
+}
+
+bool
+RetryState::attemptTimedOut(std::int64_t nowMs) const
+{
+    return phase_ == Phase::Running && policy_.timeoutMs > 0 &&
+           nowMs - attemptStartMs_ > policy_.timeoutMs;
+}
+
+RetryState::Decision
+RetryState::onSuccess(std::int64_t)
+{
+    if (phase_ != Phase::Running)
+        return Decision{}; // late completion of an abandoned attempt
+    phase_ = Phase::Done;
+    return Decision{Decision::Kind::Done, 0};
+}
+
+RetryState::Decision
+RetryState::fail(std::string cause, std::int64_t nowMs)
+{
+    cause_ = std::move(cause);
+    if (attempts_ >= policy_.maxAttempts) {
+        phase_ = Phase::Failed;
+        return Decision{Decision::Kind::Failed, 0};
+    }
+    phase_ = Phase::Backoff;
+    return Decision{Decision::Kind::RetryAt,
+                    nowMs + backoffDelayMs(attempts_)};
+}
+
+RetryState::Decision
+RetryState::onFailure(std::string cause, std::int64_t nowMs)
+{
+    if (phase_ != Phase::Running)
+        return Decision{};
+    return fail(std::move(cause), nowMs);
+}
+
+RetryState::Decision
+RetryState::onTimeout(std::int64_t nowMs)
+{
+    if (!attemptTimedOut(nowMs))
+        return Decision{};
+    return fail("timeout after " + std::to_string(policy_.timeoutMs) +
+                    "ms",
+                nowMs);
+}
+
+std::int64_t
+RetryState::backoffDelayMs(unsigned attempt) const
+{
+    if (attempt == 0 || policy_.backoffBaseMs <= 0)
+        return 0;
+    double delay = static_cast<double>(policy_.backoffBaseMs);
+    for (unsigned i = 1; i < attempt; ++i)
+        delay *= policy_.backoffFactor;
+    const double cap = static_cast<double>(policy_.backoffMaxMs);
+    return static_cast<std::int64_t>(std::min(delay, cap));
+}
+
+} // namespace tstream

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Deterministic per-cell timeout/retry state machine for the
+ * experiment driver (sim/driver.hh).
+ *
+ * The machine is pure bookkeeping over caller-supplied millisecond
+ * timestamps — it never reads a clock or sleeps — so every path
+ * (success after retry, exhaustion into a failure row, and the
+ * timeout-vs-completion race in both orders) is unit-testable with a
+ * fake clock (tests/retry_test.cc). The driver feeds it the wall
+ * clock; the policy's backoff sequence is
+ * `backoffBaseMs * backoffFactor^(attempt-1)` capped at
+ * `backoffMaxMs`.
+ *
+ * Race semantics (the part worth stating precisely): while an attempt
+ * is Running, whichever event the driver delivers first wins. If
+ * onSuccess() arrives first, the cell is Done even when the attempt
+ * had already exceeded its deadline — a result in hand beats an
+ * abandoned retry. If onTimeout() is delivered first (it is only
+ * accepted once attemptTimedOut() is true), the machine moves to
+ * Backoff/Failed and a late onSuccess() from the abandoned attempt
+ * returns Decision::Kind::None and changes nothing.
+ */
+
+#ifndef TSTREAM_UTIL_RETRY_HH
+#define TSTREAM_UTIL_RETRY_HH
+
+#include <cstdint>
+#include <string>
+
+namespace tstream
+{
+
+/** Bounded retry with exponential backoff and a per-attempt timeout. */
+struct RetryPolicy
+{
+    unsigned maxAttempts = 3;
+    /** Per-attempt timeout; 0 = attempts never time out. */
+    std::int64_t timeoutMs = 0;
+    std::int64_t backoffBaseMs = 200; ///< delay before attempt 2
+    double backoffFactor = 2.0;
+    std::int64_t backoffMaxMs = 10'000;
+};
+
+class RetryState
+{
+  public:
+    enum class Phase
+    {
+        Idle,    ///< before the first attempt
+        Running, ///< an attempt is in flight
+        Backoff, ///< waiting to start the next attempt
+        Done,    ///< an attempt succeeded
+        Failed,  ///< attempts exhausted
+    };
+
+    struct Decision
+    {
+        enum class Kind
+        {
+            None,    ///< event ignored (e.g. late success)
+            Done,    ///< cell finished successfully
+            RetryAt, ///< retry when the clock reaches retryAtMs
+            Failed,  ///< attempts exhausted — emit a failure row
+        };
+        Kind kind = Kind::None;
+        std::int64_t retryAtMs = 0; ///< valid for RetryAt
+    };
+
+    explicit RetryState(const RetryPolicy &policy) : policy_(policy) {}
+
+    /**
+     * Start the next attempt at @p nowMs (Idle or Backoff phase).
+     * Returns the 1-based attempt ordinal.
+     */
+    unsigned beginAttempt(std::int64_t nowMs);
+
+    /** True while Running with a timeout and past the deadline. */
+    bool attemptTimedOut(std::int64_t nowMs) const;
+
+    /** The running attempt produced a result. Ignored (None) unless
+     *  Running — a completion that lost the race to onTimeout(). */
+    Decision onSuccess(std::int64_t nowMs);
+
+    /** The running attempt failed with @p cause. */
+    Decision onFailure(std::string cause, std::int64_t nowMs);
+
+    /**
+     * Declare the running attempt timed out. Guarded: returns None
+     * unless attemptTimedOut(@p nowMs) — a driver cannot time out an
+     * attempt that still has budget.
+     */
+    Decision onTimeout(std::int64_t nowMs);
+
+    /** Backoff delay after the @p attempt-th attempt failed. */
+    std::int64_t backoffDelayMs(unsigned attempt) const;
+
+    unsigned
+    attempts() const
+    {
+        return attempts_;
+    }
+
+    Phase
+    phase() const
+    {
+        return phase_;
+    }
+
+    /** Cause of the most recent failure (last one wins). */
+    const std::string &
+    failureCause() const
+    {
+        return cause_;
+    }
+
+  private:
+    Decision fail(std::string cause, std::int64_t nowMs);
+
+    RetryPolicy policy_;
+    Phase phase_ = Phase::Idle;
+    unsigned attempts_ = 0;
+    std::int64_t attemptStartMs_ = 0;
+    std::string cause_;
+};
+
+} // namespace tstream
+
+#endif // TSTREAM_UTIL_RETRY_HH

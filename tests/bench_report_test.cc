@@ -395,7 +395,160 @@ TEST(BenchReportTest, EquivalenceCatchesContentDrift)
     b = a;
     b.cells.pop_back();
     EXPECT_FALSE(benchDocsEquivalent(a, b, why));
-    EXPECT_NE(why.find("cell counts differ"), std::string::npos);
+    // The union walk names the exact absent cell and which side.
+    EXPECT_NE(why.find("cell cell-2 (index 2) missing from the "
+                       "second report"),
+              std::string::npos)
+        << why;
+}
+
+// ---- failure rows -----------------------------------------------------------
+
+BenchCell
+makeFailedCell(std::size_t index, const std::string &cause,
+               unsigned attempts)
+{
+    BenchCell c = makeCell(index, 0.0);
+    c.failed = true;
+    c.failureCause = cause;
+    c.attempts = attempts;
+    c.rows.clear(); // a failure row never carries table rows
+    c.instructions = 0;
+    return c;
+}
+
+TEST(FailureRowTest, RoundTripsThroughJson)
+{
+    BenchDoc doc = makeDoc(3);
+    doc.cells[1] = makeFailedCell(1, "timeout after 500ms", 3);
+
+    json::Value reparsed;
+    std::string err;
+    ASSERT_TRUE(
+        json::Value::parse(benchDocToJson(doc).dump(2), reparsed, err))
+        << err;
+    BenchDoc back;
+    ASSERT_TRUE(benchDocFromJson(reparsed, back, err)) << err;
+
+    ASSERT_EQ(back.cells.size(), 3u);
+    EXPECT_FALSE(back.cells[0].failed);
+    EXPECT_EQ(back.cells[0].attempts, 1u);
+    EXPECT_TRUE(back.cells[1].failed);
+    EXPECT_EQ(back.cells[1].failureCause, "timeout after 500ms");
+    EXPECT_EQ(back.cells[1].attempts, 3u);
+    EXPECT_TRUE(back.cells[1].rows.empty());
+}
+
+TEST(FailureRowTest, MergeDistinguishesFailedFromMissing)
+{
+    // A failed cell *covers* its grid index: merge succeeds and
+    // carries the failure row through.
+    BenchDoc withFailure = makeDoc(3);
+    withFailure.cells[1] = makeFailedCell(1, "exception: boom", 2);
+    BenchDoc merged;
+    std::string err;
+    ASSERT_TRUE(mergeBenchDocs({withFailure}, merged, err)) << err;
+    ASSERT_EQ(merged.cells.size(), 3u);
+    EXPECT_TRUE(merged.cells[1].failed);
+    EXPECT_EQ(merged.cells[1].failureCause, "exception: boom");
+
+    // A missing cell is still a hard error naming the absent index.
+    BenchDoc withHole = makeDoc(3);
+    withHole.cells.erase(withHole.cells.begin() + 1);
+    EXPECT_FALSE(mergeBenchDocs({withHole}, merged, err));
+    EXPECT_NE(err.find("missing cell indexes: 1"), std::string::npos)
+        << err;
+}
+
+TEST(FailureRowTest, MergeSuccessBeatsFailureEitherOrder)
+{
+    const BenchDoc good = makeDoc(2);
+    BenchDoc bad = makeDoc(2);
+    bad.cells[0] = makeFailedCell(0, "timeout after 500ms", 3);
+
+    for (const auto &docs :
+         {std::vector<BenchDoc>{good, bad},
+          std::vector<BenchDoc>{bad, good}}) {
+        BenchDoc merged;
+        std::string err;
+        ASSERT_TRUE(mergeBenchDocs(docs, merged, err)) << err;
+        ASSERT_EQ(merged.cells.size(), 2u);
+        // Another worker recovered the cell: the success wins.
+        EXPECT_FALSE(merged.cells[0].failed) << merged.cells[0].failureCause;
+        EXPECT_FALSE(merged.cells[0].rows.empty());
+    }
+}
+
+TEST(FailureRowTest, MergeKeepsFirstOfTwoFailures)
+{
+    BenchDoc a = makeDoc(2);
+    a.cells[0] = makeFailedCell(0, "timeout after 500ms", 3);
+    BenchDoc b = makeDoc(2);
+    b.cells[0] = makeFailedCell(0, "exception: boom", 2);
+
+    BenchDoc merged;
+    std::string err;
+    ASSERT_TRUE(mergeBenchDocs({a, b}, merged, err)) << err;
+    EXPECT_TRUE(merged.cells[0].failed);
+    // Causes may legitimately differ between workers; first is kept.
+    EXPECT_EQ(merged.cells[0].failureCause, "timeout after 500ms");
+}
+
+TEST(FailureRowTest, EquivalenceNeverTreatsFailureAsEqual)
+{
+    const BenchDoc good = makeDoc(2);
+
+    // Failed on one side: named diagnostic with cause and attempts.
+    BenchDoc oneFailed = good;
+    oneFailed.cells[1] = makeFailedCell(1, "timeout after 500ms", 3);
+    std::string why;
+    EXPECT_FALSE(benchDocsEquivalent(good, oneFailed, why));
+    EXPECT_NE(why.find("cell cell-1 (index 1) failed in the second "
+                       "report (cause=timeout after 500ms, attempts=3)"
+                       " but succeeded in the other"),
+              std::string::npos)
+        << why;
+
+    // Failed on both sides: still not silently equal.
+    BenchDoc bothFailed = oneFailed;
+    EXPECT_FALSE(benchDocsEquivalent(oneFailed, bothFailed, why));
+    EXPECT_NE(why.find("failed in both reports"), std::string::npos)
+        << why;
+    EXPECT_NE(why.find("timeout after 500ms"), std::string::npos)
+        << why;
+}
+
+TEST(FailureRowTest, SubsetCheckRejectsFailures)
+{
+    BenchDoc full = makeDoc(3);
+    BenchDoc sub = makeDoc(3);
+    sub.cells = {sub.cells[1]};
+    std::string why;
+    ASSERT_TRUE(benchDocIsSubset(sub, full, why)) << why;
+
+    sub.cells[0] = makeFailedCell(1, "exception: boom", 1);
+    EXPECT_FALSE(benchDocIsSubset(sub, full, why));
+    EXPECT_NE(why.find("failed"), std::string::npos) << why;
+}
+
+TEST(FailureRowTest, PerfSeriesSkipsFailedCells)
+{
+    BenchDoc doc = makeDoc(3);
+    doc.cells[2] = makeFailedCell(2, "timeout after 500ms", 3);
+    const std::string path =
+        testing::TempDir() + "/bench_failed_perf.json";
+    std::string err;
+    ASSERT_TRUE(writeBenchDoc(doc, path, err)) << err;
+
+    std::vector<PerfSample> samples;
+    ASSERT_TRUE(loadPerfSeries(path, samples, err)) << err;
+    // One sample per *successful* cell; the failed cell has no
+    // wall-time worth trending.
+    ASSERT_EQ(samples.size(), 2u);
+    for (const PerfSample &s : samples)
+        EXPECT_EQ(s.name.find("fig2_stream_fraction/cell-2"),
+                  std::string::npos);
+    std::remove(path.c_str());
 }
 
 } // namespace

@@ -231,6 +231,147 @@ TEST(BenchArgsDeathTest, RejectsMissingValue)
                 testing::ExitedWithCode(2), "missing value");
 }
 
+// ---- claiming / retry flags -------------------------------------------------
+
+class ClaimArgsTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ::unsetenv("TSTREAM_TRACE_CACHE");
+        ::unsetenv("TSTREAM_CLAIM_SESSION");
+        ::unsetenv("TSTREAM_CLAIM_TTL_MS");
+        ::unsetenv("TSTREAM_HEARTBEAT_MS");
+        ::unsetenv("TSTREAM_CELL_TIMEOUT_MS");
+        ::unsetenv("TSTREAM_CELL_RETRIES");
+        ::unsetenv("TSTREAM_SHARD");
+        ::unsetenv("TSTREAM_QUICK");
+    }
+
+    void
+    TearDown() override
+    {
+        SetUp(); // same scrub on the way out
+    }
+};
+
+using ClaimArgsDeathTest = ClaimArgsTest;
+
+TEST_F(ClaimArgsTest, ParsesClaimAndRetryFlags)
+{
+    ::setenv("TSTREAM_TRACE_CACHE", "/tmp/tstream-cache", 1);
+    const char *argv[] = {"bench",        "--claim-session", "sweep1",
+                          "--claim-ttl",  "5000",            "--heartbeat",
+                          "250",          "--cell-timeout",  "2000",
+                          "--cell-retries", "5"};
+    const BenchOptions opts = parseBenchArgs(
+        11, const_cast<char **>(argv), "bench_under_test");
+    EXPECT_EQ(opts.claimSession, "sweep1");
+    EXPECT_EQ(opts.claimTtlMs, 5000);
+    EXPECT_EQ(opts.heartbeatMs, 250);
+    EXPECT_EQ(opts.cellTimeoutMs, 2000);
+    EXPECT_EQ(opts.cellRetries, 5u);
+    EXPECT_EQ(opts.claimDir(),
+              "/tmp/tstream-cache/claims/sweep1/bench_under_test");
+
+    // The driver options carry the whole claiming + retry surface.
+    const DriverOptions d = opts.driver();
+    EXPECT_TRUE(d.claim.enabled());
+    EXPECT_EQ(d.claim.session, "sweep1");
+    EXPECT_EQ(d.claim.dir, opts.claimDir());
+    EXPECT_EQ(d.claim.ttlMs, 5000);
+    EXPECT_EQ(d.claim.heartbeatMs, 250);
+    EXPECT_EQ(d.retry.maxAttempts, 5u);
+    EXPECT_EQ(d.retry.timeoutMs, 2000);
+}
+
+TEST_F(ClaimArgsTest, ClaimEnvFallbacks)
+{
+    ::setenv("TSTREAM_TRACE_CACHE", "/tmp/tstream-cache", 1);
+    ::setenv("TSTREAM_CLAIM_SESSION", "env-sweep", 1);
+    ::setenv("TSTREAM_CLAIM_TTL_MS", "7000", 1);
+    ::setenv("TSTREAM_HEARTBEAT_MS", "0", 1);
+    ::setenv("TSTREAM_CELL_TIMEOUT_MS", "0", 1);
+    ::setenv("TSTREAM_CELL_RETRIES", "2", 1);
+    const char *argv[] = {"bench"};
+    const BenchOptions opts =
+        parseBenchArgs(1, const_cast<char **>(argv), "bench");
+    EXPECT_EQ(opts.claimSession, "env-sweep");
+    EXPECT_EQ(opts.claimTtlMs, 7000);
+    EXPECT_EQ(opts.heartbeatMs, 0);
+    EXPECT_EQ(opts.cellTimeoutMs, 0);
+    EXPECT_EQ(opts.cellRetries, 2u);
+}
+
+TEST_F(ClaimArgsTest, ClaimingDisabledByDefault)
+{
+    const char *argv[] = {"bench"};
+    const BenchOptions opts =
+        parseBenchArgs(1, const_cast<char **>(argv), "bench");
+    EXPECT_TRUE(opts.claimSession.empty());
+    EXPECT_EQ(opts.claimDir(), "");
+    EXPECT_FALSE(opts.driver().claim.enabled());
+    EXPECT_EQ(opts.cellRetries, 3u);
+    EXPECT_EQ(opts.cellTimeoutMs, 0);
+}
+
+TEST_F(ClaimArgsDeathTest, ClaimSessionNeedsTraceCache)
+{
+    const char *argv[] = {"bench", "--claim-session", "s"};
+    EXPECT_EXIT(parseBenchArgs(3, const_cast<char **>(argv), "bench"),
+                testing::ExitedWithCode(2),
+                "--claim-session needs TSTREAM_TRACE_CACHE");
+}
+
+TEST_F(ClaimArgsDeathTest, ClaimSessionExcludesShard)
+{
+    ::setenv("TSTREAM_TRACE_CACHE", "/tmp/tstream-cache", 1);
+    const char *argv[] = {"bench", "--claim-session", "s", "--shard",
+                          "0/2"};
+    EXPECT_EXIT(parseBenchArgs(5, const_cast<char **>(argv), "bench"),
+                testing::ExitedWithCode(2),
+                "--claim-session and --shard are mutually exclusive");
+}
+
+TEST_F(ClaimArgsDeathTest, ClaimSessionExcludesResume)
+{
+    ::setenv("TSTREAM_TRACE_CACHE", "/tmp/tstream-cache", 1);
+    const char *argv[] = {"bench", "--claim-session", "s", "--resume",
+                          "--json", "out.json"};
+    EXPECT_EXIT(parseBenchArgs(6, const_cast<char **>(argv), "bench"),
+                testing::ExitedWithCode(2),
+                "--claim-session and --resume are mutually exclusive");
+}
+
+TEST_F(ClaimArgsDeathTest, RejectsNonNumericKnobs)
+{
+    const char *ttl[] = {"bench", "--claim-ttl", "0"};
+    EXPECT_EXIT(parseBenchArgs(3, const_cast<char **>(ttl), "bench"),
+                testing::ExitedWithCode(2),
+                "--claim-ttl wants a positive integer");
+
+    const char *retries[] = {"bench", "--cell-retries", "-1"};
+    EXPECT_EXIT(
+        parseBenchArgs(3, const_cast<char **>(retries), "bench"),
+        testing::ExitedWithCode(2),
+        "--cell-retries wants a positive integer");
+
+    const char *timeout[] = {"bench", "--cell-timeout", "2s"};
+    EXPECT_EXIT(
+        parseBenchArgs(3, const_cast<char **>(timeout), "bench"),
+        testing::ExitedWithCode(2),
+        "--cell-timeout wants a non-negative integer");
+
+    // Bad *environment* values die too — a typo in a fleet wrapper
+    // must not silently fall back to defaults.
+    ::setenv("TSTREAM_CELL_RETRIES", "many", 1);
+    const char *plain[] = {"bench"};
+    EXPECT_EXIT(parseBenchArgs(1, const_cast<char **>(plain), "bench"),
+                testing::ExitedWithCode(2),
+                "TSTREAM_CELL_RETRIES wants a positive integer");
+}
+
 class DriverRunTest : public ::testing::Test
 {
   protected:

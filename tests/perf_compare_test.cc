@@ -237,5 +237,69 @@ TEST(PerfCompare, FilterNameAbsentFromBaselineFails)
     EXPECT_FALSE(cmp.pass);
 }
 
+// ---- trend (`tstream-bench trend`) -----------------------------------------
+
+TEST(PerfTrend, AlignsSeriesAcrossReportsInFirstAppearanceOrder)
+{
+    const auto t = computeTrend(
+        {"r0", "r1", "r2"},
+        {{sample("a", 100.0), sample("b", 50.0)},
+         {sample("b", 55.0), sample("a", 110.0)},
+         {sample("a", 120.0), sample("b", 60.0), sample("c", 7.0)}},
+        {});
+    ASSERT_EQ(t.labels.size(), 3u);
+    ASSERT_EQ(t.rows.size(), 3u);
+    EXPECT_EQ(t.rows[0].name, "a");
+    EXPECT_EQ(t.rows[1].name, "b");
+    EXPECT_EQ(t.rows[2].name, "c");
+    ASSERT_EQ(t.rows[0].timesNs.size(), 3u);
+    EXPECT_DOUBLE_EQ(t.rows[0].timesNs[0], 100.0);
+    EXPECT_DOUBLE_EQ(t.rows[0].timesNs[1], 110.0);
+    EXPECT_DOUBLE_EQ(t.rows[0].timesNs[2], 120.0);
+    EXPECT_DOUBLE_EQ(t.rows[0].lastVsFirst, 1.2);
+    EXPECT_DOUBLE_EQ(t.rows[1].lastVsFirst, 1.2);
+}
+
+TEST(PerfTrend, AbsentReportsAreZeroAndSkippedInRatio)
+{
+    // "a" is missing from the middle report: slot is 0, the ratio
+    // still spans first-present to last-present.
+    const auto t = computeTrend(
+        {"r0", "r1", "r2"},
+        {{sample("a", 100.0)}, {}, {sample("a", 90.0)}}, {});
+    ASSERT_EQ(t.rows.size(), 1u);
+    EXPECT_DOUBLE_EQ(t.rows[0].timesNs[1], 0.0);
+    EXPECT_DOUBLE_EQ(t.rows[0].lastVsFirst, 0.9);
+}
+
+TEST(PerfTrend, SinglePointHasNoRatio)
+{
+    const auto t = computeTrend(
+        {"r0", "r1"}, {{sample("once", 42.0)}, {}}, {});
+    ASSERT_EQ(t.rows.size(), 1u);
+    EXPECT_DOUBLE_EQ(t.rows[0].lastVsFirst, 0.0); // <2 points
+}
+
+TEST(PerfTrend, FilterRestrictsToNamedSeries)
+{
+    const auto t = computeTrend(
+        {"r0", "r1"},
+        {{sample("keep", 10.0), sample("drop", 10.0)},
+         {sample("keep", 11.0), sample("drop", 99.0)}},
+        {"keep"});
+    ASSERT_EQ(t.rows.size(), 1u);
+    EXPECT_EQ(t.rows[0].name, "keep");
+    EXPECT_DOUBLE_EQ(t.rows[0].lastVsFirst, 1.1);
+}
+
+TEST(PerfTrend, FilteredNameAbsentEverywhereYieldsNoRow)
+{
+    // No row at all — `tstream-bench trend` detects the absence and
+    // fails loudly rather than printing a quiet empty row.
+    const auto t = computeTrend(
+        {"r0"}, {{sample("real", 1.0)}}, {"tpyo"});
+    EXPECT_TRUE(t.rows.empty());
+}
+
 } // namespace
 } // namespace tstream

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Deterministic tests for the per-cell timeout/retry state machine
+ * (util/retry.hh). Every path runs against a fake millisecond clock —
+ * no real sleeps anywhere: success after retry, exhaustion into a
+ * failure row, the backoff sequence and its cap, and the
+ * timeout-vs-completion race in both delivery orders.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/retry.hh"
+
+namespace tstream
+{
+namespace
+{
+
+using Kind = RetryState::Decision::Kind;
+
+RetryPolicy
+policy(unsigned maxAttempts, std::int64_t timeoutMs)
+{
+    RetryPolicy p;
+    p.maxAttempts = maxAttempts;
+    p.timeoutMs = timeoutMs;
+    p.backoffBaseMs = 200;
+    p.backoffFactor = 2.0;
+    p.backoffMaxMs = 10'000;
+    return p;
+}
+
+TEST(RetryTest, FirstAttemptSucceeds)
+{
+    RetryState s(policy(3, 0));
+    EXPECT_EQ(s.phase(), RetryState::Phase::Idle);
+    EXPECT_EQ(s.beginAttempt(1000), 1u);
+    EXPECT_EQ(s.phase(), RetryState::Phase::Running);
+    EXPECT_EQ(s.onSuccess(1500).kind, Kind::Done);
+    EXPECT_EQ(s.phase(), RetryState::Phase::Done);
+    EXPECT_EQ(s.attempts(), 1u);
+}
+
+TEST(RetryTest, SuccessAfterRetry)
+{
+    RetryState s(policy(3, 0));
+    EXPECT_EQ(s.beginAttempt(0), 1u);
+    auto d = s.onFailure("exception: transient", 10);
+    ASSERT_EQ(d.kind, Kind::RetryAt);
+    EXPECT_EQ(d.retryAtMs, 10 + 200); // base backoff after attempt 1
+    EXPECT_EQ(s.phase(), RetryState::Phase::Backoff);
+
+    EXPECT_EQ(s.beginAttempt(d.retryAtMs), 2u);
+    EXPECT_EQ(s.onSuccess(300).kind, Kind::Done);
+    EXPECT_EQ(s.attempts(), 2u);
+    EXPECT_EQ(s.failureCause(), "exception: transient");
+}
+
+TEST(RetryTest, ExhaustionBecomesFailure)
+{
+    RetryState s(policy(3, 0));
+    std::int64_t now = 0;
+    for (unsigned a = 1; a <= 2; ++a) {
+        EXPECT_EQ(s.beginAttempt(now), a);
+        auto d = s.onFailure("exception: boom", now);
+        ASSERT_EQ(d.kind, Kind::RetryAt);
+        now = d.retryAtMs;
+    }
+    EXPECT_EQ(s.beginAttempt(now), 3u);
+    auto d = s.onFailure("exception: final boom", now);
+    EXPECT_EQ(d.kind, Kind::Failed);
+    EXPECT_EQ(s.phase(), RetryState::Phase::Failed);
+    EXPECT_EQ(s.attempts(), 3u);
+    EXPECT_EQ(s.failureCause(), "exception: final boom"); // last wins
+}
+
+TEST(RetryTest, BackoffSequenceIsExponentialAndCapped)
+{
+    RetryPolicy p = policy(10, 0);
+    RetryState s(p);
+    EXPECT_EQ(s.backoffDelayMs(1), 200);
+    EXPECT_EQ(s.backoffDelayMs(2), 400);
+    EXPECT_EQ(s.backoffDelayMs(3), 800);
+    EXPECT_EQ(s.backoffDelayMs(4), 1600);
+    EXPECT_EQ(s.backoffDelayMs(7), 10'000); // 12800 capped
+    EXPECT_EQ(s.backoffDelayMs(9), 10'000);
+}
+
+TEST(RetryTest, AttemptTimesOutOnlyPastDeadline)
+{
+    RetryState s(policy(2, 500));
+    s.beginAttempt(1000);
+    EXPECT_FALSE(s.attemptTimedOut(1500)); // exactly at budget: no
+    EXPECT_TRUE(s.attemptTimedOut(1501));
+    // onTimeout is guarded: delivering it early changes nothing.
+    EXPECT_EQ(s.onTimeout(1400).kind, Kind::None);
+    EXPECT_EQ(s.phase(), RetryState::Phase::Running);
+}
+
+TEST(RetryTest, TimeoutThenRetryThenFailureRow)
+{
+    RetryState s(policy(2, 500));
+    s.beginAttempt(0);
+    auto d = s.onTimeout(501);
+    ASSERT_EQ(d.kind, Kind::RetryAt);
+    EXPECT_EQ(s.failureCause(), "timeout after 500ms");
+
+    s.beginAttempt(d.retryAtMs);
+    d = s.onTimeout(d.retryAtMs + 501);
+    EXPECT_EQ(d.kind, Kind::Failed);
+    EXPECT_EQ(s.attempts(), 2u);
+}
+
+// ---- the timeout-vs-completion race, both orders ---------------------------
+
+TEST(RetryTest, CompletionDeliveredFirstWinsEvenPastDeadline)
+{
+    // The attempt overran its budget but the driver saw the result
+    // before declaring the timeout: a result in hand beats an
+    // abandoned retry.
+    RetryState s(policy(2, 500));
+    s.beginAttempt(0);
+    EXPECT_TRUE(s.attemptTimedOut(900));
+    EXPECT_EQ(s.onSuccess(900).kind, Kind::Done);
+    // The late timeout is now a no-op.
+    EXPECT_EQ(s.onTimeout(901).kind, Kind::None);
+    EXPECT_EQ(s.phase(), RetryState::Phase::Done);
+}
+
+TEST(RetryTest, TimeoutDeliveredFirstMakesLateSuccessANoOp)
+{
+    RetryState s(policy(3, 500));
+    s.beginAttempt(0);
+    auto d = s.onTimeout(600);
+    ASSERT_EQ(d.kind, Kind::RetryAt);
+    // The abandoned attempt finishes later: ignored, phase unchanged.
+    EXPECT_EQ(s.onSuccess(700).kind, Kind::None);
+    EXPECT_EQ(s.phase(), RetryState::Phase::Backoff);
+    // The retry then proceeds normally.
+    s.beginAttempt(d.retryAtMs);
+    EXPECT_EQ(s.onSuccess(d.retryAtMs + 10).kind, Kind::Done);
+}
+
+TEST(RetryTest, ZeroTimeoutNeverTimesOut)
+{
+    RetryState s(policy(1, 0));
+    s.beginAttempt(0);
+    EXPECT_FALSE(s.attemptTimedOut(1'000'000'000));
+    EXPECT_EQ(s.onTimeout(1'000'000'000).kind, Kind::None);
+}
+
+} // namespace
+} // namespace tstream

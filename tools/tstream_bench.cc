@@ -1,18 +1,28 @@
 /**
  * @file
- * `tstream-bench` — front-end for the sharded bench driver.
+ * `tstream-bench` — front-end for the sharded/fleet bench driver.
  *
  * Runs a named list of figure/table benches (each a binary built from
  * bench/), collects their --json reports into one combined document,
- * merges shard outputs back into unsharded reports, and checks the
- * invariants the driver promises. Subcommands:
+ * merges shard/worker outputs back into unsharded reports, and checks
+ * the invariants the driver promises. Subcommands:
  *
- *   run          run benches (forwarding --quick/--jobs/--shard) and
- *                bundle their reports into one combined JSON document
- *   merge        merge shard reports; fails unless the shards are a
- *                disjoint exact cover of every bench's grid
+ *   run          run benches (forwarding --quick/--jobs/--shard and
+ *                the claim/timeout knobs) and bundle their reports
+ *                into one combined JSON document; with --fleet
+ *                HOSTS.txt, fan one dynamic-claiming session out to N
+ *                workers (local processes or ssh hosts) sharing one
+ *                TSTREAM_TRACE_CACHE, collect the per-worker reports
+ *                and logs, and merge them (a worker that dies loses
+ *                nothing: its cells are reclaimed by the survivors)
+ *   merge        merge shard/worker reports; fails unless the inputs
+ *                are an exact cover of every bench's grid — a cell
+ *                recorded as *failed* covers its index and is carried
+ *                into the merged report, a *missing* cell is an error
  *   check-equal  verify two reports are equivalent cell-for-cell
- *                (ignoring wall time and other execution details)
+ *                (ignoring wall time and other execution details);
+ *                missing cells, failed cells and metric mismatches
+ *                each get their own diagnostic and none passes
  *   check-stdout verify every row of a report appears verbatim in a
  *                captured stdout file (the bit-identity guarantee)
  *   compare      diff the perf series of two reports (Google
@@ -20,12 +30,18 @@
  *                per-series ratios, and exit non-zero when any gated
  *                series regresses beyond --max-regress or went
  *                missing — the CI perf-regression gate
+ *   trend        tabulate the perf series of an ordered sequence of
+ *                archived reports (e.g. BENCH_perf.json artifacts
+ *                across commits); informational unless --max-regress
+ *                gates last-vs-first
  *   print        re-render the tables of a report from its rows
  *   list         show the known bench names
  *
- * See docs/BENCHMARKING.md for recipes (multi-process sharding, CI,
- * baselines).
+ * See docs/BENCHMARKING.md for recipes (multi-process sharding, fleet
+ * runs, CI, baselines).
  */
+
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -34,9 +50,11 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sim/bench_report.hh"
+#include "util/claim_file.hh"
 
 using namespace tstream;
 
@@ -72,25 +90,42 @@ usage(const char *msg)
         "usage:\n"
         "  tstream-bench run [--quick] [--jobs N] [--shard k/N]\n"
         "                [--resume] [--workload FILE] [--phases SPEC]\n"
-        "                [--bench-dir DIR] -o OUT.json BENCH...\n"
+        "                [--claim-session ID] [--claim-ttl MS]\n"
+        "                [--heartbeat MS] [--cell-timeout MS]\n"
+        "                [--cell-retries N] [--fleet HOSTS.txt]\n"
+        "                [--fleet-kill-after N] [--bench-dir DIR]\n"
+        "                -o OUT.json BENCH...\n"
         "  tstream-bench merge -o OUT.json IN.json...\n"
         "  tstream-bench check-equal [--subset] A.json B.json\n"
         "  tstream-bench check-stdout REPORT.json STDOUT.txt\n"
         "  tstream-bench compare [--max-regress R] [--series NAME]...\n"
         "                BASELINE.json CURRENT.json\n"
+        "  tstream-bench trend [--max-regress R] [--series NAME]...\n"
+        "                REPORT1.json REPORT2.json...\n"
         "  tstream-bench print REPORT.json\n"
         "  tstream-bench list\n"
         "\n"
         "run executes each named bench binary (see `list`; `paper` =\n"
         "fig1-fig4 + tables, `all` adds the ablations and the\n"
-        "prefetcher extension), forwards --quick/--jobs/--shard, and\n"
-        "bundles the per-bench JSON reports into one combined\n"
-        "document. Shard reports from separate processes/machines are\n"
-        "reassembled with merge, which fails if any grid cell is\n"
-        "missing. check-equal ignores wall time, cache hits and shard\n"
-        "geometry, so `merge(shard 0/2, shard 1/2)` must check-equal\n"
-        "the unsharded run; with --subset, every cell of A must match\n"
-        "its same-id cell in B (B may hold more — e.g. a --workload\n"
+        "prefetcher extension), forwards --quick/--jobs/--shard and\n"
+        "the claim/timeout knobs, and bundles the per-bench JSON\n"
+        "reports into one combined document. Shard or fleet-worker\n"
+        "reports from separate processes/machines are reassembled\n"
+        "with merge, which fails if any grid cell is missing (a cell\n"
+        "recorded as failed covers its index and is kept). With\n"
+        "--fleet HOSTS.txt (one `local` or ssh host per line), run\n"
+        "launches one dynamic-claiming worker per line against a\n"
+        "shared TSTREAM_TRACE_CACHE, writes OUT.workerK.json/.log per\n"
+        "worker, tolerates dead workers (their cells are reclaimed by\n"
+        "the survivors after --claim-ttl), and merges the parts;\n"
+        "--fleet-kill-after N makes worker 0 SIGKILL itself after its\n"
+        "N-th claim (fault-injection for tests/CI). check-equal\n"
+        "ignores wall time, cache hits and shard geometry, so\n"
+        "`merge(shard 0/2, shard 1/2)` and a merged fleet run must\n"
+        "check-equal the unsharded run; missing cells, failed cells\n"
+        "and metric mismatches are reported distinctly and none\n"
+        "passes. With --subset, every cell of A must match its\n"
+        "same-id cell in B (B may hold more — e.g. a --workload\n"
         "config run against the full compiled-in sweep). run forwards\n"
         "--workload/--phases to every named bench, restricting each to\n"
         "the configured workload. With --resume, cells already present in\n"
@@ -101,7 +136,11 @@ usage(const char *msg)
         "reports (wall_seconds per cell) and fails when a gated\n"
         "series is slower than baseline*R or absent; ratio == R\n"
         "still passes, and current-only series are reported but\n"
-        "never gated. Recipes: docs/BENCHMARKING.md.\n");
+        "never gated. trend aligns the same series across an ordered\n"
+        "report sequence and prints each one's trajectory; with\n"
+        "--max-regress it fails when last/first exceeds R or a\n"
+        "--series name is absent from the newest report. Recipes:\n"
+        "docs/BENCHMARKING.md.\n");
     return 2;
 }
 
@@ -141,8 +180,8 @@ dirName(const std::string &path)
 
 // ---- run --------------------------------------------------------------------
 
-int
-cmdRun(int argc, char **argv, const char *argv0)
+/** Everything `run` parsed; shared with the fleet fan-out. */
+struct RunOptions
 {
     bool quick = false;
     bool resume = false;
@@ -150,9 +189,51 @@ cmdRun(int argc, char **argv, const char *argv0)
     std::string shard;
     std::string workloadFile;
     std::string phasesSpec;
-    std::string benchDir = dirName(argv0) + "/../bench";
+    std::string claimSession;
+    long claimTtlMs = 0;    ///< 0 = bench default
+    long heartbeatMs = -1;  ///< -1 = bench default
+    long cellTimeoutMs = -1;
+    long cellRetries = 0;
+    std::string fleetFile;
+    long fleetKillAfter = 0;
+    std::string benchDir;
     std::string out;
     std::vector<std::string> names;
+};
+
+/** The flags forwarded verbatim to every bench binary / inner run. */
+std::string
+forwardedFlags(const RunOptions &o)
+{
+    std::string cmd;
+    if (o.quick)
+        cmd += " --quick";
+    if (o.jobs > 0)
+        cmd += " --jobs " + std::to_string(o.jobs);
+    if (!o.shard.empty())
+        cmd += " --shard " + o.shard;
+    if (!o.workloadFile.empty())
+        cmd += " --workload " + shellQuote(o.workloadFile);
+    if (!o.phasesSpec.empty())
+        cmd += " --phases " + shellQuote(o.phasesSpec);
+    if (o.claimTtlMs > 0)
+        cmd += " --claim-ttl " + std::to_string(o.claimTtlMs);
+    if (o.heartbeatMs >= 0)
+        cmd += " --heartbeat " + std::to_string(o.heartbeatMs);
+    if (o.cellTimeoutMs >= 0)
+        cmd += " --cell-timeout " + std::to_string(o.cellTimeoutMs);
+    if (o.cellRetries > 0)
+        cmd += " --cell-retries " + std::to_string(o.cellRetries);
+    return cmd;
+}
+
+int runFleet(const RunOptions &opts, const char *argv0);
+
+int
+cmdRun(int argc, char **argv, const char *argv0)
+{
+    RunOptions o;
+    o.benchDir = dirName(argv0) + "/../bench";
 
     for (int i = 0; i < argc; ++i) {
         const std::string_view arg = argv[i];
@@ -164,30 +245,51 @@ cmdRun(int argc, char **argv, const char *argv0)
             }
             return argv[++i];
         };
-        if (arg == "--quick") {
-            quick = true;
-        } else if (arg == "--resume") {
-            resume = true;
-        } else if (arg == "--jobs") {
-            const char *v = value("--jobs");
+        auto number = [&](const char *what, long lo) -> long {
+            const char *v = value(what);
             char *end = nullptr;
             const long n = std::strtol(v, &end, 10);
-            if (!end || *end != '\0' || n <= 0)
-                return usage("--jobs wants a positive integer");
-            jobs = static_cast<unsigned>(n);
+            if (!end || *end != '\0' || n < lo) {
+                usage((std::string(what) + " wants an integer >= " +
+                       std::to_string(lo))
+                          .c_str());
+                std::exit(2);
+            }
+            return n;
+        };
+        if (arg == "--quick") {
+            o.quick = true;
+        } else if (arg == "--resume") {
+            o.resume = true;
+        } else if (arg == "--jobs") {
+            o.jobs = static_cast<unsigned>(number("--jobs", 1));
         } else if (arg == "--shard") {
-            shard = value("--shard");
+            o.shard = value("--shard");
             ShardSpec spec;
-            if (!parseShardSpec(shard, spec))
+            if (!parseShardSpec(o.shard, spec))
                 return usage("--shard wants k/N with k < N");
         } else if (arg == "--workload") {
-            workloadFile = value("--workload");
+            o.workloadFile = value("--workload");
         } else if (arg == "--phases") {
-            phasesSpec = value("--phases");
+            o.phasesSpec = value("--phases");
+        } else if (arg == "--claim-session") {
+            o.claimSession = value("--claim-session");
+        } else if (arg == "--claim-ttl") {
+            o.claimTtlMs = number("--claim-ttl", 1);
+        } else if (arg == "--heartbeat") {
+            o.heartbeatMs = number("--heartbeat", 0);
+        } else if (arg == "--cell-timeout") {
+            o.cellTimeoutMs = number("--cell-timeout", 0);
+        } else if (arg == "--cell-retries") {
+            o.cellRetries = number("--cell-retries", 1);
+        } else if (arg == "--fleet") {
+            o.fleetFile = value("--fleet");
+        } else if (arg == "--fleet-kill-after") {
+            o.fleetKillAfter = number("--fleet-kill-after", 1);
         } else if (arg == "--bench-dir") {
-            benchDir = value("--bench-dir");
+            o.benchDir = value("--bench-dir");
         } else if (arg == "-o" || arg == "--output") {
-            out = value("-o");
+            o.out = value("-o");
         } else if (!arg.empty() && arg[0] == '-') {
             return usage(
                 ("unknown run option: " + std::string(arg)).c_str());
@@ -196,21 +298,56 @@ cmdRun(int argc, char **argv, const char *argv0)
                 for (const char *n :
                      {"fig1", "fig2", "fig3", "fig4", "table3",
                       "table4", "table5"})
-                    names.push_back(n);
+                    o.names.push_back(n);
             } else if (arg == "all") {
                 for (const BenchAlias &b : kBenches)
-                    names.push_back(b.alias);
+                    o.names.push_back(b.alias);
             } else {
-                names.push_back(std::string(arg));
+                o.names.push_back(std::string(arg));
             }
         }
     }
-    if (out.empty())
+    if (o.out.empty())
         return usage("run needs -o OUT.json");
-    if (names.empty())
+    if (o.names.empty())
         return usage("run needs at least one bench name (see list)");
-    if (!workloadFile.empty() && !phasesSpec.empty())
+    if (!o.workloadFile.empty() && !o.phasesSpec.empty())
         return usage("--workload and --phases are mutually exclusive");
+    for (const std::string &name : o.names)
+        if (!resolveBench(name))
+            return usage(("unknown bench: " + name +
+                          " (see tstream-bench list)")
+                             .c_str());
+
+    const char *cache = std::getenv("TSTREAM_TRACE_CACHE");
+    const bool haveCache = cache && *cache;
+    if (!o.claimSession.empty() || !o.fleetFile.empty()) {
+        if (!haveCache)
+            return usage("--claim-session/--fleet need "
+                         "TSTREAM_TRACE_CACHE set (the claim "
+                         "directory lives in the shared cache)");
+        if (!o.shard.empty())
+            return usage("--shard is mutually exclusive with "
+                         "--claim-session/--fleet (dynamic claiming "
+                         "replaces static sharding)");
+        if (o.resume)
+            return usage("--resume is mutually exclusive with "
+                         "--claim-session/--fleet (claiming workers "
+                         "skip done cells via the claim directory)");
+    }
+    if (!o.fleetFile.empty() && !o.claimSession.empty())
+        return usage("--fleet generates its own claim session; drop "
+                     "--claim-session");
+    if (o.fleetKillAfter > 0 && o.fleetFile.empty())
+        return usage("--fleet-kill-after needs --fleet");
+
+    if (!o.fleetFile.empty())
+        return runFleet(o, argv0);
+
+    const bool resume = o.resume;
+    const std::string &benchDir = o.benchDir;
+    const std::string &out = o.out;
+    const std::vector<std::string> &names = o.names;
 
     // --resume: reuse cells recorded in the existing OUT.json. Each
     // bench's prior document is re-written to its part path and the
@@ -242,16 +379,9 @@ cmdRun(int argc, char **argv, const char *argv0)
                              .c_str());
         const std::string part = out + "." + binary + ".json";
         std::string cmd = shellQuote(benchDir + "/" + binary);
-        if (quick)
-            cmd += " --quick";
-        if (jobs > 0)
-            cmd += " --jobs " + std::to_string(jobs);
-        if (!shard.empty())
-            cmd += " --shard " + shard;
-        if (!workloadFile.empty())
-            cmd += " --workload " + shellQuote(workloadFile);
-        if (!phasesSpec.empty())
-            cmd += " --phases " + shellQuote(phasesSpec);
+        cmd += forwardedFlags(o);
+        if (!o.claimSession.empty())
+            cmd += " --claim-session " + shellQuote(o.claimSession);
         cmd += " --json " + shellQuote(part);
         if (resume) {
             for (const BenchDoc &doc : priorDocs)
@@ -312,6 +442,180 @@ cmdRun(int argc, char **argv, const char *argv0)
 
     std::fprintf(stderr, "[tstream-bench] wrote %s (%zu benches)\n",
                  out.c_str(), lastWritten);
+    return 0;
+}
+
+// ---- fleet ------------------------------------------------------------------
+
+std::vector<std::vector<BenchDoc>> groupByBench(std::vector<BenchDoc>);
+
+/** Absolute path of this binary (for ssh workers on a shared
+ *  filesystem); falls back to argv0 unresolved. */
+std::string
+selfPath(const char *argv0)
+{
+    char buf[4096];
+    if (::realpath(argv0, buf))
+        return buf;
+    return argv0;
+}
+
+/**
+ * Fan one dynamic-claiming session out to the hosts of
+ * opts.fleetFile: one worker per line (`local` / `localhost` = a
+ * local process, anything else = `ssh HOST` assuming this binary, the
+ * bench binaries and TSTREAM_TRACE_CACHE resolve identically there),
+ * each a recursive `tstream-bench run --claim-session` writing
+ * OUT.workerK.json with stdout+stderr in OUT.workerK.log. Dead
+ * workers are tolerated — their claims go stale and the survivors
+ * reclaim the cells — and merge's exact-cover gate is what verifies
+ * nothing was lost.
+ */
+int
+runFleet(const RunOptions &opts, const char *argv0)
+{
+    std::ifstream in(opts.fleetFile);
+    if (!in) {
+        std::fprintf(stderr, "tstream-bench: cannot open fleet hosts "
+                             "file %s\n",
+                     opts.fleetFile.c_str());
+        return 2;
+    }
+    std::vector<std::string> hosts;
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::size_t a = line.find_first_not_of(" \t\r");
+        if (a == std::string::npos || line[a] == '#')
+            continue;
+        const std::size_t b = line.find_last_not_of(" \t\r");
+        hosts.push_back(line.substr(a, b - a + 1));
+    }
+    if (hosts.empty()) {
+        std::fprintf(stderr, "tstream-bench: %s names no hosts\n",
+                     opts.fleetFile.c_str());
+        return 2;
+    }
+
+    const std::string cache = std::getenv("TSTREAM_TRACE_CACHE");
+    const std::string session = "fleet-" +
+                                std::to_string(::getpid()) + "-" +
+                                std::to_string(wallClockMs());
+    const std::string self = shellQuote(selfPath(argv0));
+
+    std::string inner = "run --claim-session " + shellQuote(session) +
+                        forwardedFlags(opts) + " --bench-dir " +
+                        shellQuote(opts.benchDir);
+    for (const std::string &name : opts.names)
+        inner += " " + shellQuote(name);
+
+    std::fprintf(stderr,
+                 "[tstream-bench] fleet: %zu worker(s), session %s\n",
+                 hosts.size(), session.c_str());
+
+    std::vector<int> rcs(hosts.size(), -1);
+    std::vector<std::string> parts(hosts.size()), logs(hosts.size());
+    std::vector<std::thread> threads;
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+        parts[i] = opts.out + ".worker" + std::to_string(i) + ".json";
+        logs[i] = opts.out + ".worker" + std::to_string(i) + ".log";
+        std::remove(parts[i].c_str());
+
+        std::string envs;
+        if (i == 0 && opts.fleetKillAfter > 0)
+            envs += " TSTREAM_CLAIM_DIE_AFTER=" +
+                    std::to_string(opts.fleetKillAfter);
+
+        const std::string worker =
+            self + " " + inner + " -o " + shellQuote(parts[i]);
+        std::string full;
+        if (hosts[i] == "local" || hosts[i] == "localhost") {
+            full = envs.empty() ? worker : "env" + envs + " " + worker;
+        } else {
+            // The remote shell does not inherit our environment;
+            // forward the shared cache (and fault injection) there.
+            full = "ssh " + shellQuote(hosts[i]) + " " +
+                   shellQuote("env TSTREAM_TRACE_CACHE=" +
+                              shellQuote(cache) + envs + " " + worker);
+        }
+        full += " > " + shellQuote(logs[i]) + " 2>&1";
+
+        std::fprintf(stderr, "[tstream-bench] worker %zu (%s): %s\n",
+                     i, hosts[i].c_str(), full.c_str());
+        threads.emplace_back(
+            [i, full, &rcs] { rcs[i] = std::system(full.c_str()); });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    std::vector<BenchDoc> docs;
+    std::size_t dead = 0;
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+        if (rcs[i] != 0) {
+            ++dead;
+            std::fprintf(stderr,
+                         "[tstream-bench] worker %zu (%s) exited "
+                         "with status %d (log: %s) — its cells were "
+                         "reclaimed if the merge below covers the "
+                         "grid\n",
+                         i, hosts[i].c_str(), rcs[i],
+                         logs[i].c_str());
+        }
+        std::FILE *f = std::fopen(parts[i].c_str(), "rb");
+        if (!f) {
+            std::fprintf(stderr,
+                         "[tstream-bench] worker %zu left no report "
+                         "(%s)\n",
+                         i, parts[i].c_str());
+            continue;
+        }
+        std::fclose(f);
+        std::string err;
+        if (!readBenchDocs(parts[i], docs, err))
+            std::fprintf(stderr, "[tstream-bench] worker %zu report "
+                                 "unreadable: %s\n",
+                         i, err.c_str());
+    }
+    if (docs.empty()) {
+        std::fprintf(stderr,
+                     "tstream-bench: no fleet worker produced a "
+                     "report; see the worker logs\n");
+        return 1;
+    }
+
+    std::vector<BenchDoc> merged;
+    std::string err;
+    for (auto &group : groupByBench(std::move(docs))) {
+        BenchDoc doc;
+        if (!mergeBenchDocs(group, doc, err)) {
+            std::fprintf(stderr, "tstream-bench: fleet merge: %s\n",
+                         err.c_str());
+            return 1;
+        }
+        merged.push_back(std::move(doc));
+    }
+    if (merged.size() == 1) {
+        if (!writeBenchDoc(merged[0], opts.out, err)) {
+            std::fprintf(stderr, "tstream-bench: %s\n", err.c_str());
+            return 1;
+        }
+    } else if (!json::writeFile(combinedReportToJson(merged), opts.out,
+                                err)) {
+        std::fprintf(stderr, "tstream-bench: %s\n", err.c_str());
+        return 1;
+    }
+
+    std::size_t cells = 0, failedCells = 0;
+    for (const BenchDoc &doc : merged)
+        for (const BenchCell &c : doc.cells) {
+            ++cells;
+            failedCells += c.failed ? 1 : 0;
+        }
+    std::fprintf(stderr,
+                 "[tstream-bench] fleet wrote %s: %zu benches, %zu "
+                 "cells (%zu failed), %zu/%zu workers survived, full "
+                 "cover\n",
+                 opts.out.c_str(), merged.size(), cells, failedCells,
+                 hosts.size() - dead, hosts.size());
     return 0;
 }
 
@@ -384,13 +688,26 @@ cmdMerge(int argc, char **argv)
         std::fprintf(stderr, "tstream-bench: %s\n", err.c_str());
         return 1;
     }
-    std::size_t cells = 0;
+    std::size_t cells = 0, failedCells = 0;
     for (const BenchDoc &doc : merged)
-        cells += doc.cells.size();
+        for (const BenchCell &c : doc.cells) {
+            ++cells;
+            failedCells += c.failed ? 1 : 0;
+        }
     std::fprintf(stderr,
                  "[tstream-bench] merged %zu input file(s) into %s "
-                 "(%zu benches, %zu cells, full cover)\n",
-                 inputs.size(), out.c_str(), merged.size(), cells);
+                 "(%zu benches, %zu cells, %zu failed, full cover)\n",
+                 inputs.size(), out.c_str(), merged.size(), cells,
+                 failedCells);
+    if (failedCells > 0)
+        for (const BenchDoc &doc : merged)
+            for (const BenchCell &c : doc.cells)
+                if (c.failed)
+                    std::fprintf(stderr,
+                                 "[tstream-bench]   failed: %s/%s "
+                                 "(cause=%s, attempts=%u)\n",
+                                 doc.bench.c_str(), c.id.c_str(),
+                                 c.failureCause.c_str(), c.attempts);
     return 0;
 }
 
@@ -489,6 +806,111 @@ cmdCompare(int argc, char **argv)
                 cmp.rows.size(), cmp.regressed, cmp.missing, cmp.fresh,
                 opts.maxRegress, cmp.pass ? "PASS" : "FAIL");
     return cmp.pass ? 0 : 1;
+}
+
+// ---- trend ------------------------------------------------------------------
+
+int
+cmdTrend(int argc, char **argv)
+{
+    double maxRegress = 0.0; // 0 = informational, no gate
+    std::vector<std::string> filter;
+    std::vector<std::string> paths;
+    for (int i = 0; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        auto value = [&](const char *what) -> const char * {
+            if (i + 1 >= argc) {
+                usage((std::string("missing value for ") + what)
+                          .c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--max-regress") {
+            const char *v = value("--max-regress");
+            char *end = nullptr;
+            maxRegress = std::strtod(v, &end);
+            if (!end || *end != '\0' || maxRegress <= 0.0)
+                return usage("--max-regress wants a positive ratio");
+        } else if (arg == "--series") {
+            filter.emplace_back(value("--series"));
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage(
+                ("unknown trend option: " + std::string(arg)).c_str());
+        } else {
+            paths.emplace_back(arg);
+        }
+    }
+    if (paths.size() < 2)
+        return usage("trend takes two or more reports, oldest first");
+
+    std::vector<std::vector<PerfSample>> series;
+    for (const std::string &path : paths) {
+        std::vector<PerfSample> samples;
+        std::string err;
+        if (!loadPerfSeries(path, samples, err)) {
+            std::fprintf(stderr, "tstream-bench: %s\n", err.c_str());
+            return 2;
+        }
+        series.push_back(std::move(samples));
+    }
+
+    const TrendTable table = computeTrend(paths, series, filter);
+
+    // A filtered name matching no report at all is a typo, not a
+    // quiet empty row.
+    bool pass = true;
+    for (const std::string &name : filter) {
+        bool found = false;
+        for (const TrendSeries &r : table.rows)
+            found = found || r.name == name;
+        if (!found) {
+            std::fprintf(stderr,
+                         "tstream-bench: series %s absent from every "
+                         "report\n",
+                         name.c_str());
+            pass = false;
+        }
+    }
+
+    std::size_t width = 6;
+    for (const TrendSeries &r : table.rows)
+        width = std::max(width, r.name.size());
+    std::printf("%-*s", static_cast<int>(width), "series");
+    for (std::size_t i = 0; i < table.labels.size(); ++i)
+        std::printf("  %12s", ("[" + std::to_string(i) + "]").c_str());
+    std::printf("  %10s\n", "last/first");
+    for (std::size_t i = 0; i < table.labels.size(); ++i)
+        std::printf("  [%zu] %s\n", i, table.labels[i].c_str());
+    for (const TrendSeries &r : table.rows) {
+        std::printf("%-*s", static_cast<int>(width), r.name.c_str());
+        for (double t : r.timesNs)
+            std::printf("  %12s", fmtTime(t).c_str());
+        char ratio[16];
+        if (r.lastVsFirst > 0)
+            std::snprintf(ratio, sizeof ratio, "%.3f", r.lastVsFirst);
+        else
+            std::snprintf(ratio, sizeof ratio, "--");
+        bool gatedFail = false;
+        if (maxRegress > 0) {
+            if (r.lastVsFirst > maxRegress)
+                gatedFail = true;
+            // A named series that vanished from the newest report is
+            // a gate failure too — missing must never pass silently.
+            for (const std::string &name : filter)
+                if (name == r.name && r.timesNs.back() <= 0)
+                    gatedFail = true;
+        }
+        std::printf("  %10s%s\n", ratio,
+                    gatedFail ? "  REGRESSED" : "");
+        pass = pass && !gatedFail;
+    }
+    std::printf("trend: %zu series over %zu reports%s\n",
+                table.rows.size(), table.labels.size(),
+                maxRegress > 0
+                    ? (pass ? ": PASS" : ": FAIL")
+                    : "");
+    return pass ? 0 : 1;
 }
 
 // ---- check-equal / check-stdout / print ------------------------------------
@@ -594,6 +1016,11 @@ cmdPrint(const std::string &path)
             std::printf(", shard %u/%u", doc.shard.index,
                         doc.shard.count);
         std::printf(") ==\n");
+        for (const BenchCell &cell : doc.cells)
+            if (cell.failed)
+                std::printf("!! FAILED cell %s: %s (attempts=%u)\n",
+                            cell.id.c_str(),
+                            cell.failureCause.c_str(), cell.attempts);
         // Rows grouped by table tag, cells in grid order inside each.
         std::vector<std::string> tables;
         for (const BenchCell &cell : doc.cells)
@@ -650,6 +1077,8 @@ main(int argc, char **argv)
     }
     if (cmd == "compare")
         return cmdCompare(argc - 2, argv + 2);
+    if (cmd == "trend")
+        return cmdTrend(argc - 2, argv + 2);
     if (cmd == "print") {
         if (argc != 3)
             return usage("print takes exactly one report");
