@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "obs/telemetry.hh"
 #include "util/logging.hh"
 
 namespace tstream
@@ -13,6 +14,7 @@ profileModules(const MissTrace &trace, const StreamStats &stats,
 {
     panicIf(stats.labels.size() != trace.misses.size(),
             "profileModules: stats do not match trace");
+    telemetry::Span span("analysis.modules", "analysis");
     ModuleProfile p;
     p.total = trace.misses.size();
     for (std::size_t i = 0; i < trace.misses.size(); ++i) {

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "core/sequitur.hh"
+#include "obs/telemetry.hh"
 #include "util/logging.hh"
 #include "util/work_pool.hh"
 
@@ -53,6 +54,13 @@ analyzeStreams(const MissTrace &trace, const StreamAnalysisConfig &cfg)
     out.strided.assign(trace.misses.size(), false);
     if (trace.misses.empty())
         return out;
+
+    // Phase spans nest under the driver's per-cell "analyze" span, so
+    // the trace timeline shows where analysis time actually goes.
+    telemetry::Span whole("analysis", "analysis");
+    if (whole.active())
+        whole.arg("misses",
+                  static_cast<std::int64_t>(trace.misses.size()));
 
     // ------------------------------------------------------------------
     // 1. Project the trace per CPU: group miss indices by CPU. Stride
@@ -121,17 +129,20 @@ analyzeStreams(const MissTrace &trace, const StreamAnalysisConfig &cfg)
         });
     }
 
-    const unsigned jobs = std::min<std::size_t>(
-        cfg.jobs > 0 ? cfg.jobs : WorkPool::defaultJobs(),
-        tasks.size());
-    if (jobs > 1) {
-        WorkPool pool(jobs);
-        for (auto &t : tasks)
-            pool.submit(std::move(t));
-        pool.wait();
-    } else {
-        for (auto &t : tasks)
-            t();
+    {
+        telemetry::Span span("analysis.stride_seq", "analysis");
+        const unsigned jobs = std::min<std::size_t>(
+            cfg.jobs > 0 ? cfg.jobs : WorkPool::defaultJobs(),
+            tasks.size());
+        if (jobs > 1) {
+            WorkPool pool(jobs);
+            for (auto &t : tasks)
+                pool.submit(std::move(t));
+            pool.wait();
+        } else {
+            for (auto &t : tasks)
+                t();
+        }
     }
 
     for (unsigned c = 0; c < ngroups; ++c)
@@ -172,10 +183,18 @@ analyzeStreams(const MissTrace &trace, const StreamAnalysisConfig &cfg)
     // 4. Grammar construction.
     // ------------------------------------------------------------------
     Sequitur g;
-    for (std::uint64_t v : input)
-        g.append(v);
+    {
+        telemetry::Span span("analysis.sequitur", "analysis");
+        if (span.active())
+            span.arg("symbols",
+                     static_cast<std::int64_t>(input.size()));
+        for (std::uint64_t v : input)
+            g.append(v);
+    }
     const std::vector<std::uint64_t> ruleLen = g.ruleLengths();
     out.grammarRules = g.ruleCount();
+    telemetry::observe("analysis.grammar_rules",
+                       static_cast<double>(out.grammarRules));
 
     // ------------------------------------------------------------------
     // 5. Derivation walk: enumerate root-level occurrences and each
@@ -189,42 +208,48 @@ analyzeStreams(const MissTrace &trace, const StreamAnalysisConfig &cfg)
     std::vector<std::uint64_t> firstExpansion(maxRule + 1, UINT64_MAX);
     std::vector<RootOcc> rootOccs;
 
-    // Cache rule bodies up front; the walk then never touches grammar
-    // internals.
-    std::vector<std::vector<Sequitur::GrammarSymbol>> bodies(maxRule + 1);
-    for (auto id : liveIds)
-        bodies[id] = g.ruleBody(id);
-
-    struct Frame
     {
-        std::uint32_t rule;
-        std::size_t idx;
-    };
-    std::vector<Frame> stack;
-    stack.push_back({Sequitur::kRootRule, 0});
-    std::uint64_t pos = 0;
+        telemetry::Span span("analysis.derivation_walk", "analysis");
 
-    while (!stack.empty()) {
-        Frame &f = stack.back();
-        const auto &body = bodies[f.rule];
-        if (f.idx >= body.size()) {
-            stack.pop_back();
-            continue;
+        // Cache rule bodies up front; the walk then never touches
+        // grammar internals.
+        std::vector<std::vector<Sequitur::GrammarSymbol>> bodies(
+            maxRule + 1);
+        for (auto id : liveIds)
+            bodies[id] = g.ruleBody(id);
+
+        struct Frame
+        {
+            std::uint32_t rule;
+            std::size_t idx;
+        };
+        std::vector<Frame> stack;
+        stack.push_back({Sequitur::kRootRule, 0});
+        std::uint64_t pos = 0;
+
+        while (!stack.empty()) {
+            Frame &f = stack.back();
+            const auto &body = bodies[f.rule];
+            if (f.idx >= body.size()) {
+                stack.pop_back();
+                continue;
+            }
+            const Sequitur::GrammarSymbol sym = body[f.idx++];
+            if (!sym.isRule) {
+                ++pos;
+                continue;
+            }
+            const std::uint32_t r =
+                static_cast<std::uint32_t>(sym.value);
+            if (firstExpansion[r] == UINT64_MAX)
+                firstExpansion[r] = pos;
+            if (stack.size() == 1)
+                rootOccs.push_back({r, pos, ruleLen[r]});
+            stack.push_back({r, 0});
         }
-        const Sequitur::GrammarSymbol sym = body[f.idx++];
-        if (!sym.isRule) {
-            ++pos;
-            continue;
-        }
-        const std::uint32_t r = static_cast<std::uint32_t>(sym.value);
-        if (firstExpansion[r] == UINT64_MAX)
-            firstExpansion[r] = pos;
-        if (stack.size() == 1)
-            rootOccs.push_back({r, pos, ruleLen[r]});
-        stack.push_back({r, 0});
+        panicIf(pos != input.size(),
+                "analyzeStreams: derivation length mismatch");
     }
-    panicIf(pos != input.size(), "analyzeStreams: derivation length "
-                                 "mismatch");
 
     // ------------------------------------------------------------------
     // 6. Label misses: inside a root-level occurrence -> New if this is
@@ -265,6 +290,7 @@ analyzeStreams(const MissTrace &trace, const StreamAnalysisConfig &cfg)
     //    root occurrence of a rule of length L contributes L misses.
     // ------------------------------------------------------------------
     {
+        telemetry::Span span("analysis.length_dist", "analysis");
         std::unordered_map<std::uint32_t, std::uint64_t> occCount;
         for (const RootOcc &occ : rootOccs)
             occCount[occ.rule]++;
@@ -278,6 +304,7 @@ analyzeStreams(const MissTrace &trace, const StreamAnalysisConfig &cfg)
     //    measured in intervening misses on the first occurrence's CPU.
     // ------------------------------------------------------------------
     {
+        telemetry::Span span("analysis.reuse_dist", "analysis");
         // Per-CPU prefix bookkeeping: for each position, which CPU and
         // which per-CPU ordinal. Positions are already grouped by CPU,
         // so a position's CPU and ordinal derive from section offsets.

@@ -1,0 +1,462 @@
+#include "obs/telemetry.hh"
+
+#include <unistd.h>
+
+#include <array>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "util/logging.hh"
+
+namespace tstream::telemetry
+{
+
+namespace detail
+{
+std::atomic<bool> gEnabled{false};
+} // namespace detail
+
+namespace
+{
+
+constexpr int kBuckets = 64;
+
+struct Histogram
+{
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::array<std::uint64_t, kBuckets> buckets{};
+};
+
+struct SpanEvent
+{
+    std::string name;
+    std::string cat;
+    int tid = 0;
+    int depth = 0;
+    std::int64_t tsUs = 0;
+    std::int64_t durUs = 0;
+    std::vector<std::pair<std::string, json::Value>> args;
+};
+
+// Heterogeneous (string_view) lookup without building a std::string
+// on the hit path; std::map keeps metrics output sorted, hence
+// deterministic and diffable.
+template <typename T>
+using NameMap = std::map<std::string, T, std::less<>>;
+
+struct State
+{
+    std::mutex mu;
+    NameMap<std::uint64_t> counters;
+    NameMap<std::int64_t> gauges;
+    NameMap<Histogram> hists;
+    std::vector<SpanEvent> spans;
+    std::string outPath;
+    bool atexitRegistered = false;
+};
+
+State &
+state()
+{
+    // Leaked on purpose: the atexit flush (and spans destroyed during
+    // static teardown) must never race a destructed registry.
+    static State *s = new State;
+    return *s;
+}
+
+// Log2 bucket index: bucket 0 holds values < 1 (and non-positive),
+// bucket k >= 1 holds [2^(k-1), 2^k).
+int
+bucketIndex(double v)
+{
+    if (!(v >= 1.0))
+        return 0;
+    int idx = 1;
+    std::uint64_t bound = 2; // exclusive upper bound of bucket idx
+    while (idx < kBuckets - 1 &&
+           v >= static_cast<double>(bound)) {
+        ++idx;
+        bound <<= 1;
+    }
+    return idx;
+}
+
+double
+bucketLowerBound(int idx)
+{
+    if (idx <= 0)
+        return 0.0;
+    return static_cast<double>(std::uint64_t{1} << (idx - 1));
+}
+
+int &
+threadDepth()
+{
+    thread_local int depth = 0;
+    return depth;
+}
+
+void
+flushAtExit()
+{
+    std::string path;
+    {
+        std::lock_guard<std::mutex> lk(state().mu);
+        path = state().outPath;
+    }
+    if (path.empty())
+        return;
+    std::string err;
+    if (!writeArtifacts(path, err))
+        logWarn("telemetry: " + err);
+}
+
+// Honor TSTREAM_TELEMETRY=FILE in any binary that links telemetry
+// (every bench, tool, and test pulls this TU in via the
+// instrumentation seams).
+const bool gEnvInit = [] {
+    if (const char *e = std::getenv("TSTREAM_TELEMETRY"); e && *e)
+        enable(e);
+    return true;
+}();
+
+} // namespace
+
+namespace detail
+{
+
+void
+countSlow(std::string_view name, std::uint64_t n)
+{
+    auto &s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    auto it = s.counters.find(name);
+    if (it == s.counters.end())
+        s.counters.emplace(std::string(name), n);
+    else
+        it->second += n;
+}
+
+void
+gaugeSetSlow(std::string_view name, std::int64_t v)
+{
+    auto &s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    auto it = s.gauges.find(name);
+    if (it == s.gauges.end())
+        s.gauges.emplace(std::string(name), v);
+    else
+        it->second = v;
+}
+
+void
+gaugeAddSlow(std::string_view name, std::int64_t delta)
+{
+    auto &s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    auto it = s.gauges.find(name);
+    if (it == s.gauges.end())
+        s.gauges.emplace(std::string(name), delta);
+    else
+        it->second += delta;
+}
+
+void
+observeSlow(std::string_view name, double value)
+{
+    auto &s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    auto it = s.hists.find(name);
+    if (it == s.hists.end())
+        it = s.hists.emplace(std::string(name), Histogram{}).first;
+    Histogram &h = it->second;
+    if (h.count == 0) {
+        h.min = value;
+        h.max = value;
+    } else {
+        if (value < h.min)
+            h.min = value;
+        if (value > h.max)
+            h.max = value;
+    }
+    ++h.count;
+    h.sum += value;
+    ++h.buckets[static_cast<std::size_t>(bucketIndex(value))];
+}
+
+} // namespace detail
+
+std::int64_t
+nowMicros()
+{
+    static const auto t0 = std::chrono::steady_clock::now();
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+void
+enable(const std::string &outPath)
+{
+    auto &s = state();
+    {
+        std::lock_guard<std::mutex> lk(s.mu);
+        s.outPath = outPath;
+        if (!outPath.empty() && !s.atexitRegistered) {
+            std::atexit(flushAtExit);
+            s.atexitRegistered = true;
+        }
+    }
+    nowMicros(); // pin the span epoch no later than enable time
+    detail::gEnabled.store(true, std::memory_order_release);
+}
+
+void
+disable()
+{
+    detail::gEnabled.store(false, std::memory_order_release);
+}
+
+void
+reset()
+{
+    auto &s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.counters.clear();
+    s.gauges.clear();
+    s.hists.clear();
+    s.spans.clear();
+}
+
+std::uint64_t
+counterValue(std::string_view name)
+{
+    auto &s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    auto it = s.counters.find(name);
+    return it == s.counters.end() ? 0 : it->second;
+}
+
+std::int64_t
+gaugeValue(std::string_view name)
+{
+    auto &s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    auto it = s.gauges.find(name);
+    return it == s.gauges.end() ? 0 : it->second;
+}
+
+std::uint64_t
+histogramCount(std::string_view name)
+{
+    auto &s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    auto it = s.hists.find(name);
+    return it == s.hists.end() ? 0 : it->second.count;
+}
+
+std::size_t
+spanCount()
+{
+    auto &s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    return s.spans.size();
+}
+
+Span::Span(std::string_view name, std::string_view cat)
+{
+    if (!enabled())
+        return;
+    active_ = true;
+    name_.assign(name.data(), name.size());
+    cat_.assign(cat.data(), cat.size());
+    depth_ = threadDepth()++;
+    startUs_ = nowMicros();
+}
+
+Span::~Span()
+{
+    if (!active_)
+        return;
+    const std::int64_t endUs = nowMicros();
+    --threadDepth();
+    SpanEvent ev;
+    ev.name = std::move(name_);
+    ev.cat = std::move(cat_);
+    ev.tid = logThreadId();
+    ev.depth = depth_;
+    ev.tsUs = startUs_;
+    ev.durUs = endUs - startUs_;
+    ev.args = std::move(args_);
+    auto &s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.spans.push_back(std::move(ev));
+}
+
+void
+Span::arg(std::string_view key, std::string_view value)
+{
+    if (!active_)
+        return;
+    args_.emplace_back(std::string(key), json::Value(value));
+}
+
+void
+Span::arg(std::string_view key, std::int64_t value)
+{
+    if (!active_)
+        return;
+    args_.emplace_back(std::string(key), json::Value(value));
+}
+
+void
+Span::arg(std::string_view key, double value)
+{
+    if (!active_)
+        return;
+    args_.emplace_back(std::string(key), json::Value(value));
+}
+
+void
+recordSpan(std::string_view name, std::string_view cat,
+           std::int64_t startUs, std::int64_t endUs,
+           std::string_view argKey, std::string_view argValue)
+{
+    if (!enabled())
+        return;
+    SpanEvent ev;
+    ev.name.assign(name.data(), name.size());
+    ev.cat.assign(cat.data(), cat.size());
+    ev.tid = logThreadId();
+    ev.depth = threadDepth();
+    ev.tsUs = startUs;
+    ev.durUs = endUs - startUs;
+    if (!argKey.empty())
+        ev.args.emplace_back(std::string(argKey),
+                             json::Value(argValue));
+    auto &s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.spans.push_back(std::move(ev));
+}
+
+json::Value
+metricsJson()
+{
+    auto &s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+
+    json::Value doc = json::Value::object();
+    doc["schema"] = "tstream-telemetry/v1";
+    doc["pid"] = static_cast<std::int64_t>(::getpid());
+
+    json::Value counters = json::Value::object();
+    for (const auto &[name, v] : s.counters)
+        counters[name] = v;
+    doc["counters"] = std::move(counters);
+
+    json::Value gauges = json::Value::object();
+    for (const auto &[name, v] : s.gauges)
+        gauges[name] = v;
+    doc["gauges"] = std::move(gauges);
+
+    json::Value hists = json::Value::object();
+    for (const auto &[name, h] : s.hists) {
+        json::Value hv = json::Value::object();
+        hv["count"] = h.count;
+        hv["sum"] = h.sum;
+        hv["min"] = h.min;
+        hv["max"] = h.max;
+        json::Value buckets = json::Value::array();
+        for (int i = 0; i < kBuckets; ++i) {
+            if (h.buckets[static_cast<std::size_t>(i)] == 0)
+                continue;
+            json::Value pair = json::Value::array();
+            pair.push(json::Value(bucketLowerBound(i)));
+            pair.push(json::Value(
+                h.buckets[static_cast<std::size_t>(i)]));
+            buckets.push(std::move(pair));
+        }
+        hv["buckets"] = std::move(buckets);
+        hists[name] = std::move(hv);
+    }
+    doc["histograms"] = std::move(hists);
+
+    // Span rollup: per-name count and total time, sorted by name.
+    NameMap<std::pair<std::uint64_t, std::int64_t>> rollup;
+    for (const SpanEvent &ev : s.spans) {
+        auto &agg = rollup[ev.name];
+        ++agg.first;
+        agg.second += ev.durUs;
+    }
+    json::Value spans = json::Value::object();
+    spans["count"] = static_cast<std::uint64_t>(s.spans.size());
+    json::Value byName = json::Value::object();
+    for (const auto &[name, agg] : rollup) {
+        json::Value sv = json::Value::object();
+        sv["count"] = agg.first;
+        sv["totalUs"] = agg.second;
+        byName[name] = std::move(sv);
+    }
+    spans["byName"] = std::move(byName);
+    doc["spans"] = std::move(spans);
+    return doc;
+}
+
+json::Value
+traceEventsJson()
+{
+    auto &s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+
+    const std::int64_t pid = static_cast<std::int64_t>(::getpid());
+    json::Value events = json::Value::array();
+    for (const SpanEvent &ev : s.spans) {
+        json::Value e = json::Value::object();
+        e["name"] = ev.name;
+        e["cat"] = ev.cat.empty() ? std::string("run") : ev.cat;
+        e["ph"] = "X";
+        e["ts"] = ev.tsUs;
+        e["dur"] = ev.durUs;
+        e["pid"] = pid;
+        e["tid"] = static_cast<std::int64_t>(ev.tid);
+        json::Value args = json::Value::object();
+        args["depth"] = static_cast<std::int64_t>(ev.depth);
+        for (const auto &[k, v] : ev.args)
+            args[k] = v;
+        e["args"] = std::move(args);
+        events.push(std::move(e));
+    }
+    json::Value doc = json::Value::object();
+    doc["traceEvents"] = std::move(events);
+    doc["displayTimeUnit"] = "ms";
+    return doc;
+}
+
+std::string
+tracePathFor(const std::string &metricsPath)
+{
+    const std::string suffix = ".json";
+    if (metricsPath.size() > suffix.size() &&
+        metricsPath.compare(metricsPath.size() - suffix.size(),
+                            suffix.size(), suffix) == 0)
+        return metricsPath.substr(0, metricsPath.size() -
+                                         suffix.size()) +
+               ".trace.json";
+    return metricsPath + ".trace.json";
+}
+
+bool
+writeArtifacts(const std::string &path, std::string &err)
+{
+    if (!json::writeFile(metricsJson(), path, err))
+        return false;
+    return json::writeFile(traceEventsJson(), tracePathFor(path),
+                           err);
+}
+
+} // namespace tstream::telemetry

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Run telemetry: a dependency-free, thread-safe registry of named
+ * counters, gauges, and log-scale histograms, plus nestable timing
+ * spans — the observability layer for the experiment fabric.
+ *
+ * Telemetry is disabled by default and near-zero cost while disabled:
+ * every recording entry point is an inline function whose first
+ * action is one relaxed atomic load, and no argument is materialized
+ * (all hot-path parameters are string_views) unless the flag is set.
+ * Enable it with `--telemetry-out FILE` on any bench (forwarded by
+ * `tstream-bench run`) or the `TSTREAM_TELEMETRY=FILE` environment
+ * variable; at process exit two artifacts are written:
+ *
+ *  - `FILE` — a metrics snapshot, schema `tstream-telemetry/v1`
+ *    (counters, gauges, histogram summaries, span rollups), emitted
+ *    through util/json so the document is ordered and diffable;
+ *  - the trace timeline next to it (`FILE` with its `.json` suffix
+ *    replaced by `.trace.json`) — Chrome trace-event format, loadable
+ *    in chrome://tracing or https://ui.perfetto.dev.
+ *
+ * Telemetry must never perturb results: it only appends to its own
+ * registries and writes its own files, so a run with telemetry on is
+ * bit-identical (tstream-bench check-equal) to one with it off —
+ * tools/CMakeLists.txt and CI prove this on every commit.
+ */
+
+#ifndef TSTREAM_OBS_TELEMETRY_HH
+#define TSTREAM_OBS_TELEMETRY_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/json.hh"
+
+namespace tstream::telemetry
+{
+
+namespace detail
+{
+extern std::atomic<bool> gEnabled;
+void countSlow(std::string_view name, std::uint64_t n);
+void gaugeSetSlow(std::string_view name, std::int64_t v);
+void gaugeAddSlow(std::string_view name, std::int64_t delta);
+void observeSlow(std::string_view name, double value);
+} // namespace detail
+
+/** True when telemetry is recording (one relaxed load). */
+inline bool
+enabled()
+{
+    return detail::gEnabled.load(std::memory_order_relaxed);
+}
+
+/** Add @p n to the counter @p name (creates it at zero). */
+inline void
+count(std::string_view name, std::uint64_t n = 1)
+{
+    if (enabled())
+        detail::countSlow(name, n);
+}
+
+/** Set the gauge @p name to @p v. */
+inline void
+gaugeSet(std::string_view name, std::int64_t v)
+{
+    if (enabled())
+        detail::gaugeSetSlow(name, v);
+}
+
+/** Add @p delta (may be negative) to the gauge @p name. */
+inline void
+gaugeAdd(std::string_view name, std::int64_t delta)
+{
+    if (enabled())
+        detail::gaugeAddSlow(name, delta);
+}
+
+/** Record @p value into the log-scale histogram @p name. */
+inline void
+observe(std::string_view name, double value)
+{
+    if (enabled())
+        detail::observeSlow(name, value);
+}
+
+/**
+ * Turn recording on. @p outPath is where the metrics artifact goes at
+ * process exit (the trace timeline lands next to it); pass "" for
+ * in-memory recording with no exit artifacts (tests). Idempotent; a
+ * later call may re-point the output path.
+ */
+void enable(const std::string &outPath);
+
+/** Stop recording (registries are kept; tests). */
+void disable();
+
+/** Drop all recorded counters/gauges/histograms/spans (tests). */
+void reset();
+
+/** Current value of a counter; 0 when absent. */
+std::uint64_t counterValue(std::string_view name);
+
+/** Current value of a gauge; 0 when absent. */
+std::int64_t gaugeValue(std::string_view name);
+
+/** Number of samples recorded into a histogram; 0 when absent. */
+std::uint64_t histogramCount(std::string_view name);
+
+/** Number of completed spans recorded so far. */
+std::size_t spanCount();
+
+/** Microseconds since the telemetry epoch (steady clock). */
+std::int64_t nowMicros();
+
+/**
+ * RAII timing span. Construction snapshots the clock and the
+ * per-thread nesting depth; destruction records one complete
+ * ("ph":"X") trace event. When telemetry is disabled the object is an
+ * inert shell: no clock read, no allocation, and arg() is a no-op.
+ *
+ * Spans nest naturally — a span created while another is live on the
+ * same thread records depth parent+1, and the trace viewer stacks
+ * them on the thread's track.
+ */
+class Span
+{
+  public:
+    Span(std::string_view name, std::string_view cat);
+    explicit Span(std::string_view name) : Span(name, "run") {}
+    ~Span();
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+    /** True when this span will record an event. Call sites that must
+     *  build an argument value (format a string, read a clock) should
+     *  guard on this so disabled telemetry stays allocation-free. */
+    bool active() const { return active_; }
+
+    void arg(std::string_view key, std::string_view value);
+    void arg(std::string_view key, std::int64_t value);
+    void arg(std::string_view key, double value);
+
+  private:
+    bool active_ = false;
+    int depth_ = 0;
+    std::int64_t startUs_ = 0;
+    std::string name_;
+    std::string cat_;
+    std::vector<std::pair<std::string, json::Value>> args_;
+};
+
+/**
+ * Record a complete span from explicit timestamps (both from
+ * nowMicros()) — for intervals whose endpoints are observed on
+ * different threads, e.g. queue wait between submit and dispatch,
+ * where an RAII Span cannot straddle the handoff. No-op when
+ * disabled. An optional single argument tags the event.
+ */
+void recordSpan(std::string_view name, std::string_view cat,
+                std::int64_t startUs, std::int64_t endUs,
+                std::string_view argKey = {},
+                std::string_view argValue = {});
+
+/** Metrics snapshot as a `tstream-telemetry/v1` document. */
+json::Value metricsJson();
+
+/** Completed spans as a Chrome trace-event document
+ *  (`{"traceEvents": [...]}`, all events "ph":"X"). */
+json::Value traceEventsJson();
+
+/**
+ * Write both artifacts: metrics to @p path, the span timeline to
+ * @p path with a trailing ".json" replaced by ".trace.json" (or
+ * ".trace.json" appended when @p path has another suffix). Returns
+ * false and sets @p err on the first failure.
+ */
+bool writeArtifacts(const std::string &path, std::string &err);
+
+/** The trace-timeline path derived from a metrics path. */
+std::string tracePathFor(const std::string &metricsPath);
+
+} // namespace tstream::telemetry
+
+#endif // TSTREAM_OBS_TELEMETRY_HH

@@ -17,8 +17,10 @@
 #include <thread>
 
 #include "gen/workload_config.hh"
+#include "obs/telemetry.hh"
 #include "trace/trace_io.hh"
 #include "util/claim_file.hh"
+#include "util/logging.hh"
 #include "util/work_pool.hh"
 
 namespace tstream
@@ -108,12 +110,20 @@ runCell(const Cell &cell, const DriverOptions &opts)
         res = std::move(*cached);
         out.cacheHit = true;
     } else {
+        telemetry::Span sim("simulate", "sim");
+        if (sim.active())
+            sim.arg("id", cell.id);
         res = runExperiment(cell.cfg);
         traceCacheStore(cell.cfg, res);
     }
     out.instructions = res.instructions;
 
     auto analyze = [&](MissTrace &&trace, TraceKind kind) {
+        telemetry::Span span("analyze", "analysis");
+        if (span.active()) {
+            span.arg("id", cell.id);
+            span.arg("kind", traceKindName(kind));
+        }
         RunOutput r;
         r.workload = cell.cfg.workload;
         r.kind = kind;
@@ -141,6 +151,10 @@ runCell(const Cell &cell, const DriverOptions &opts)
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       t0)
             .count();
+    telemetry::count("driver.cells");
+    telemetry::count(out.cacheHit ? "driver.cache_hit_cells"
+                                  : "driver.cache_miss_cells");
+    telemetry::observe("driver.cell_wall_ms", out.wallSeconds * 1e3);
     return out;
 }
 
@@ -167,6 +181,20 @@ AttemptOutcome
 attemptCell(const Cell &cell, const DriverOptions &opts,
             unsigned attempt)
 {
+    // One trace span per attempt: the whole cell — cache probe,
+    // simulation, analysis — with enough args to find it from the
+    // report row. Inner "simulate"/"analyze" spans nest under it.
+    telemetry::Span span("cell", "driver");
+    if (span.active()) {
+        span.arg("id", cell.id);
+        span.arg("workload", workloadName(cell.cfg.workload));
+        span.arg("context", contextName(cell.cfg.context));
+        span.arg("warmup", static_cast<std::int64_t>(
+                               cell.cfg.warmupInstructions));
+        span.arg("measure", static_cast<std::int64_t>(
+                                cell.cfg.measureInstructions));
+        span.arg("attempt", static_cast<std::int64_t>(attempt));
+    }
     AttemptOutcome out;
     try {
         if (opts.testCellHook)
@@ -177,6 +205,12 @@ attemptCell(const Cell &cell, const DriverOptions &opts,
         out.error = std::string("exception: ") + e.what();
     } catch (...) {
         out.error = "exception: unknown";
+    }
+    if (span.active()) {
+        span.arg("ok", static_cast<std::int64_t>(out.ok));
+        if (out.ok)
+            span.arg("cache_hit", static_cast<std::int64_t>(
+                                      out.result.cacheHit));
     }
     return out;
 }
@@ -249,11 +283,10 @@ runCellWithRetry(const Cell &cell, const DriverOptions &opts)
             out.result.attempts = retry.attempts();
             return out.result;
           case RetryState::Decision::Kind::RetryAt: {
-            std::fprintf(stderr,
-                         "[driver] cell %s attempt %u failed (%s); "
-                         "retrying\n",
-                         cell.id.c_str(), attempt,
-                         retry.failureCause().c_str());
+            logf(LogLevel::Warn,
+                 "driver: cell %s attempt %u failed (%s); retrying",
+                 cell.id.c_str(), attempt,
+                 retry.failureCause().c_str());
             const std::int64_t delay = d.retryAtMs - wallClockMs();
             if (delay > 0)
                 std::this_thread::sleep_for(
@@ -270,11 +303,11 @@ runCellWithRetry(const Cell &cell, const DriverOptions &opts)
                 std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - t0)
                     .count();
-            std::fprintf(stderr,
-                         "[driver] cell %s FAILED after %u attempts: "
-                         "%s\n",
-                         cell.id.c_str(), fail.attempts,
-                         fail.failureCause.c_str());
+            telemetry::count("driver.cell_failures");
+            logf(LogLevel::Error,
+                 "driver: cell %s FAILED after %u attempts: %s",
+                 cell.id.c_str(), fail.attempts,
+                 fail.failureCause.c_str());
             return fail;
           }
           case RetryState::Decision::Kind::None:
@@ -461,9 +494,25 @@ runCells(const std::vector<Cell> &grid, const DriverOptions &opts)
 
     std::vector<CellResult> out(mine.size());
     WorkPool pool(opts.jobs);
-    for (std::size_t i = 0; i < mine.size(); ++i)
-        pool.submit(
-            [&, i] { out[i] = runCellWithRetry(mine[i], opts); });
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+        const std::int64_t submitUs =
+            telemetry::enabled() ? telemetry::nowMicros() : 0;
+        pool.submit([&, i, submitUs] {
+            if (telemetry::enabled()) {
+                // Queue wait vs run time: the dead time between
+                // submit and dispatch, on the timeline and as a
+                // histogram.
+                const std::int64_t startUs = telemetry::nowMicros();
+                telemetry::recordSpan("cell-queue-wait", "driver",
+                                      submitUs, startUs, "id",
+                                      mine[i].id);
+                telemetry::observe(
+                    "driver.queue_wait_ms",
+                    static_cast<double>(startUs - submitUs) / 1e3);
+            }
+            out[i] = runCellWithRetry(mine[i], opts);
+        });
+    }
     pool.wait();
     return out;
 }
@@ -519,6 +568,12 @@ benchUsage(const char *benchName, const char *msg, int status)
         "                 attempts per cell before it becomes a\n"
         "                 failure row in the report (also:\n"
         "                 TSTREAM_CELL_RETRIES; default 3)\n"
+        "  --telemetry-out PATH\n"
+        "                 record run telemetry and write the metrics\n"
+        "                 JSON to PATH (and the Chrome trace-event\n"
+        "                 timeline to PATH's .trace.json sibling) at\n"
+        "                 exit (also: TSTREAM_TELEMETRY=PATH; see\n"
+        "                 docs/OBSERVABILITY.md)\n"
         "  --help         this message\n"
         "\n"
         "See docs/BENCHMARKING.md for sharded and fleet multi-process\n"
@@ -629,6 +684,8 @@ parseBenchArgs(int argc, char **argv, const char *benchName)
             opts.cellRetries = static_cast<unsigned>(
                 parsePositive(benchName, "--cell-retries",
                               value("--cell-retries"), false));
+        } else if (arg == "--telemetry-out") {
+            opts.telemetryOut = value("--telemetry-out");
         } else if (arg == "--help" || arg == "-h") {
             benchUsage(benchName, nullptr, 0);
         } else {
@@ -678,6 +735,8 @@ parseBenchArgs(int argc, char **argv, const char *benchName)
         opts.budgets.measure = kQuickBudgets.measureInstructions;
         opts.budgets.scale = kQuickBudgets.scale;
     }
+    if (!opts.telemetryOut.empty())
+        telemetry::enable(opts.telemetryOut);
     return opts;
 }
 
@@ -753,12 +812,16 @@ traceCacheLoad(const ExperimentConfig &cfg)
         return std::nullopt;
 
     auto reader = TraceReader::open(stem + ".off.tst");
-    if (!reader)
+    if (!reader) {
+        telemetry::count("trace_cache.misses");
         return std::nullopt;
+    }
     auto offChip = reader->readAll();
     auto registry = reader->functions();
-    if (!offChip || !registry)
+    if (!offChip || !registry) {
+        telemetry::count("trace_cache.misses");
         return std::nullopt;
+    }
 
     ExperimentResult res;
     res.offChip = std::move(*offChip);
@@ -766,13 +829,25 @@ traceCacheLoad(const ExperimentConfig &cfg)
     res.instructions = res.offChip.instructions;
     if (cfg.context == SystemContext::SingleChip) {
         auto intra = loadTrace(stem + ".l1.tst");
-        if (!intra)
+        if (!intra) {
+            telemetry::count("trace_cache.misses");
             return std::nullopt;
+        }
         res.intraChip = std::move(*intra);
     }
-    std::fprintf(stderr,
-                 "[trace-cache] hit %s (skipping simulation)\n",
-                 stem.c_str());
+    telemetry::count("trace_cache.hits");
+    if (telemetry::enabled()) {
+        std::error_code ec;
+        std::uint64_t bytes = 0;
+        for (const char *suffix : {".off.tst", ".l1.tst"}) {
+            const auto sz =
+                std::filesystem::file_size(stem + suffix, ec);
+            if (!ec)
+                bytes += sz;
+        }
+        telemetry::count("trace_cache.bytes_read", bytes);
+    }
+    logDebug("trace-cache: hit " + stem + " (skipping simulation)");
     return res;
 }
 
@@ -824,9 +899,8 @@ traceCacheStore(const ExperimentConfig &cfg,
     if (!dir.empty() && !std::filesystem::exists(dir, ec)) {
         std::filesystem::create_directories(dir, ec);
         if (ec) {
-            std::fprintf(stderr,
-                         "[trace-cache] cannot create %s: %s\n",
-                         dir.string().c_str(), ec.message().c_str());
+            logWarn("trace-cache: cannot create " + dir.string() +
+                    ": " + ec.message());
             return;
         }
     }
@@ -840,8 +914,24 @@ traceCacheStore(const ExperimentConfig &cfg,
         opts.kind = TraceContentKind::IntraChip;
         ok = saveTraceAtomic(res.intraChip, stem + ".l1.tst", opts);
     }
-    std::fprintf(stderr, "[trace-cache] %s %s\n",
-                 ok ? "saved" : "failed to save", stem.c_str());
+    if (ok) {
+        telemetry::count("trace_cache.stores");
+        if (telemetry::enabled()) {
+            std::error_code sec;
+            std::uint64_t bytes = 0;
+            for (const char *suffix : {".off.tst", ".l1.tst"}) {
+                const auto sz =
+                    std::filesystem::file_size(stem + suffix, sec);
+                if (!sec)
+                    bytes += sz;
+            }
+            telemetry::count("trace_cache.bytes_written", bytes);
+        }
+        logDebug("trace-cache: saved " + stem);
+    } else {
+        telemetry::count("trace_cache.store_failures");
+        logWarn("trace-cache: failed to save " + stem);
+    }
 }
 
 } // namespace tstream

@@ -244,6 +244,14 @@ struct BenchOptions
     std::int64_t heartbeatMs = 0;     ///< --heartbeat MS; 0 = ttl/3
     std::int64_t cellTimeoutMs = 0;   ///< --cell-timeout MS; 0 = none
     unsigned cellRetries = 3;         ///< --cell-retries N (attempts)
+    /**
+     * --telemetry-out PATH: record run telemetry (obs/telemetry.hh)
+     * and write the metrics JSON to PATH — plus the Chrome
+     * trace-event timeline next to it — at process exit. Also:
+     * TSTREAM_TELEMETRY=PATH. parseBenchArgs() enables telemetry as a
+     * side effect; recording never perturbs results.
+     */
+    std::string telemetryOut;
 
     /** The claim directory for this bench's sweep, or "" when
      *  claiming is off: `$TSTREAM_TRACE_CACHE/claims/<session>/<bench>`. */
@@ -271,7 +279,8 @@ struct BenchOptions
  * Strict bench argument parser: --quick, --jobs N, --shard k/N,
  * --json PATH, --resume, --workload FILE, --phases SPEC,
  * --claim-session ID, --claim-ttl MS, --heartbeat MS,
- * --cell-timeout MS, --cell-retries N, --help, plus the TSTREAM_QUICK
+ * --cell-timeout MS, --cell-retries N, --telemetry-out PATH, --help,
+ * plus the TSTREAM_QUICK
  * / TSTREAM_JOBS / TSTREAM_SHARD / TSTREAM_CLAIM_SESSION /
  * TSTREAM_CLAIM_TTL_MS / TSTREAM_HEARTBEAT_MS /
  * TSTREAM_CELL_TIMEOUT_MS / TSTREAM_CELL_RETRIES environment

@@ -10,6 +10,9 @@
 #include <filesystem>
 #include <thread>
 
+#include "obs/telemetry.hh"
+#include "util/logging.hh"
+
 namespace tstream
 {
 
@@ -138,6 +141,27 @@ ClaimDir::readClaim(const std::string &path, ClaimInfo &out)
 ClaimDir::Outcome
 ClaimDir::tryClaim(const std::string &key, std::string *why)
 {
+    const Outcome out = tryClaimImpl(key, why);
+    switch (out) {
+    case Outcome::Claimed:
+        telemetry::count("claim.wins");
+        break;
+    case Outcome::Held:
+        telemetry::count("claim.held");
+        break;
+    case Outcome::Done:
+        telemetry::count("claim.done_seen");
+        break;
+    case Outcome::Error:
+        telemetry::count("claim.errors");
+        break;
+    }
+    return out;
+}
+
+ClaimDir::Outcome
+ClaimDir::tryClaimImpl(const std::string &key, std::string *why)
+{
     const std::string claim = claimPath(key);
     if (done(key))
         return Outcome::Done;
@@ -166,6 +190,7 @@ ClaimDir::tryClaim(const std::string &key, std::string *why)
             // re-execute a finished cell.
             if (done(key)) {
                 ::unlink(claim.c_str());
+                telemetry::count("claim.done_recheck_races");
                 return Outcome::Done;
             }
             return Outcome::Claimed;
@@ -192,13 +217,21 @@ ClaimDir::tryClaim(const std::string &key, std::string *why)
         return Outcome::Held; // vanished (owner finished/released)
     if (info.owner == owner_)
         return Outcome::Held; // our own live claim (double tryClaim)
-    if (now_() - info.beatMs <= ttlMs_)
+    const std::int64_t beatAge = now_() - info.beatMs;
+    if (beatAge <= ttlMs_)
         return Outcome::Held;
 
     const std::string tomb = tempPath(key) + ".tomb";
     if (::rename(claim.c_str(), tomb.c_str()) != 0)
         return Outcome::Held; // another stealer won
     ::unlink(tomb.c_str());
+    telemetry::count("claim.steals");
+    logf(LogLevel::Info,
+         "claim %s: stole stale claim from %s (beat age %lldms > "
+         "ttl %lldms)",
+         key.c_str(), info.owner.c_str(),
+         static_cast<long long>(beatAge),
+         static_cast<long long>(ttlMs_));
     out = attempt();
     return out;
 }
@@ -208,8 +241,26 @@ ClaimDir::heartbeat(const std::string &key)
 {
     const std::string claim = claimPath(key);
     ClaimInfo info;
-    if (!readClaim(claim, info) || info.owner != owner_)
-        return false; // stolen or released — see header note
+    if (!readClaim(claim, info)) {
+        telemetry::count("claim.heartbeats_lost");
+        return false; // released, or done and unlinked
+    }
+    if (info.owner != owner_) {
+        // The documented resurrection hole, caught in the act: this
+        // worker held the claim, stalled past the TTL, and someone
+        // stole it — or our own earlier heartbeat resurrected a claim
+        // the new owner had stolen and they have since re-beaten it.
+        // Either way the cell is now (or was) running twice; merging
+        // stays correct because duplicate cells must be bit-identical.
+        telemetry::count("claim.resurrections");
+        logf(LogLevel::Warn,
+             "claim %s: owner changed to %s under us (our beat was "
+             "%lldms ago) — stale-owner resurrection race; this cell "
+             "may execute twice",
+             key.c_str(), info.owner.c_str(),
+             static_cast<long long>(now_() - info.beatMs));
+        return false;
+    }
     const std::string tmp = tempPath(key);
     if (!writeClaimFile(tmp, info.bornMs, now_()))
         return false;
@@ -217,26 +268,67 @@ ClaimDir::heartbeat(const std::string &key)
         ::unlink(tmp.c_str());
         return false;
     }
+    telemetry::count("claim.heartbeats");
     return true;
 }
 
 bool
 ClaimDir::markDone(const std::string &key, const std::string &status)
 {
+    const std::string dest = donePath(key);
+    DoneInfo prev;
+    if (readDone(dest, prev) && prev.owner != owner_) {
+        // Downstream symptom of the resurrection hole: two owners
+        // finished the same cell. Harmless for results (merge accepts
+        // only bit-identical duplicates) but worth counting — it is
+        // pure wasted work.
+        telemetry::count("claim.double_done");
+        logf(LogLevel::Warn,
+             "claim %s: done marker by %s already present when %s "
+             "finished — cell executed twice",
+             key.c_str(), prev.owner.c_str(), owner_.c_str());
+    }
     const std::string tmp = tempPath(key);
     std::FILE *f = std::fopen(tmp.c_str(), "wb");
     if (!f)
         return false;
-    std::fprintf(f, "owner=%s\nstatus=%s\n", owner_.c_str(),
-                 status.c_str());
+    std::fprintf(f, "owner=%s\nstatus=%s\nat=%lld\n", owner_.c_str(),
+                 status.c_str(),
+                 static_cast<long long>(now_()));
     std::fclose(f);
-    const std::string dest = donePath(key);
     if (::rename(tmp.c_str(), dest.c_str()) != 0) {
         ::unlink(tmp.c_str());
         return false;
     }
     ::unlink(claimPath(key).c_str());
+    telemetry::count("claim.done_marks");
     return true;
+}
+
+bool
+ClaimDir::readDone(const std::string &path, DoneInfo &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    out = DoneInfo{};
+    char line[512];
+    bool sawStatus = false;
+    while (std::fgets(line, sizeof line, f)) {
+        char *nl = std::strchr(line, '\n');
+        if (nl)
+            *nl = '\0';
+        if (std::strncmp(line, "owner=", 6) == 0) {
+            out.owner = line + 6;
+        } else if (std::strncmp(line, "status=", 7) == 0) {
+            out.status = line + 7;
+            sawStatus = true;
+        } else if (std::strncmp(line, "at=", 3) == 0) {
+            out.atMs = std::strtoll(line + 3, nullptr, 10);
+        }
+    }
+    std::fclose(f);
+    return sawStatus;
 }
 
 bool

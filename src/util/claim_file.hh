@@ -49,7 +49,11 @@
  * against that by construction — cells are deterministic and report
  * merging (sim/bench_report.hh) accepts duplicate cells only when
  * they are bit-identical — so the TTL bounds wasted work, not
- * correctness.
+ * correctness. The hole is no longer silent, though: heartbeat()
+ * detecting a foreign owner bumps the `claim.resurrections` telemetry
+ * counter and WARN-logs the collision, and markDone() over an
+ * existing marker (the downstream symptom — the cell really did run
+ * twice) bumps `claim.double_done` (docs/OBSERVABILITY.md).
  *
  * The clock is injectable so staleness/steal logic is unit-testable
  * without real sleeps.
@@ -73,6 +77,15 @@ struct ClaimInfo
     std::int64_t bornMs = 0; ///< claim creation (owner's clock)
     std::int64_t beatMs = 0; ///< last heartbeat (owner's clock)
     long pid = 0;
+};
+
+/** Parsed contents of a done marker. */
+struct DoneInfo
+{
+    std::string owner;
+    std::string status;     ///< "ok" or "failed:<cause>"
+    std::int64_t atMs = 0;  ///< completion time (owner's clock);
+                            ///< 0 in markers from older writers
 };
 
 /** Milliseconds on the system wall clock (the default claim clock). */
@@ -156,7 +169,12 @@ class ClaimDir
     /** Parse a claim file; false when absent or malformed. */
     static bool readClaim(const std::string &path, ClaimInfo &out);
 
+    /** Parse a done marker; false when absent or malformed. Used by
+     *  `tstream-bench status` to render completions with timestamps. */
+    static bool readDone(const std::string &path, DoneInfo &out);
+
   private:
+    Outcome tryClaimImpl(const std::string &key, std::string *why);
     std::string claimPath(const std::string &key) const;
     std::string donePath(const std::string &key) const;
     std::string tempPath(const std::string &key);

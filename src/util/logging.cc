@@ -1,0 +1,142 @@
+#include "util/logging.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdarg>
+
+namespace tstream
+{
+
+namespace
+{
+
+std::atomic<int> &
+thresholdCell()
+{
+    static std::atomic<int> cell{static_cast<int>([] {
+        if (const char *e = std::getenv("TSTREAM_LOG"); e && *e)
+            return logLevelFromName(e);
+        return LogLevel::Info;
+    }())};
+    return cell;
+}
+
+char
+levelChar(LogLevel level)
+{
+    switch (level) {
+    case LogLevel::Debug:
+        return 'D';
+    case LogLevel::Info:
+        return 'I';
+    case LogLevel::Warn:
+        return 'W';
+    case LogLevel::Error:
+        return 'E';
+    case LogLevel::Off:
+        break;
+    }
+    return '?';
+}
+
+std::int64_t
+nowWallMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+LogLevel
+logLevelFromName(std::string_view name)
+{
+    if (name == "debug")
+        return LogLevel::Debug;
+    if (name == "info")
+        return LogLevel::Info;
+    if (name == "warn" || name == "warning")
+        return LogLevel::Warn;
+    if (name == "error")
+        return LogLevel::Error;
+    if (name == "off" || name == "none")
+        return LogLevel::Off;
+    return LogLevel::Info;
+}
+
+LogLevel
+logThreshold()
+{
+    return static_cast<LogLevel>(
+        thresholdCell().load(std::memory_order_relaxed));
+}
+
+void
+setLogThreshold(LogLevel level)
+{
+    thresholdCell().store(static_cast<int>(level),
+                          std::memory_order_relaxed);
+}
+
+void
+logRefreshFromEnv()
+{
+    const char *e = std::getenv("TSTREAM_LOG");
+    setLogThreshold(e && *e ? logLevelFromName(e) : LogLevel::Info);
+}
+
+int
+logThreadId()
+{
+    static std::atomic<int> next{0};
+    thread_local const int id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+std::string
+formatLogLine(LogLevel level, std::string_view msg, int tid,
+              std::int64_t wallMs)
+{
+    // Time-of-day from the raw epoch milliseconds (UTC): pure
+    // arithmetic, no locale or TZ dependence.
+    std::int64_t ms = wallMs % 86'400'000;
+    if (ms < 0)
+        ms += 86'400'000;
+    const int h = static_cast<int>(ms / 3'600'000);
+    const int m = static_cast<int>(ms / 60'000 % 60);
+    const int s = static_cast<int>(ms / 1'000 % 60);
+    const int frac = static_cast<int>(ms % 1'000);
+    char head[48];
+    std::snprintf(head, sizeof head, "%02d:%02d:%02d.%03d %c t%02d ",
+                  h, m, s, frac, levelChar(level), tid);
+    std::string out(head);
+    out.append(msg.data(), msg.size());
+    return out;
+}
+
+void
+logMessage(LogLevel level, std::string_view msg)
+{
+    const std::string line =
+        formatLogLine(level, msg, logThreadId(), nowWallMs());
+    // One fprintf per line so concurrent threads interleave at line
+    // granularity.
+    std::fprintf(stderr, "%s\n", line.c_str());
+}
+
+void
+logf(LogLevel level, const char *fmt, ...)
+{
+    if (!logEnabled(level))
+        return;
+    char buf[1024];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof buf, fmt, ap);
+    va_end(ap);
+    logMessage(level, buf);
+}
+
+} // namespace tstream

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/telemetry.hh"
+
 namespace tstream
 {
 
@@ -15,6 +17,9 @@ RetryState::beginAttempt(std::int64_t nowMs)
         return attempts_;
     phase_ = Phase::Running;
     attemptStartMs_ = nowMs;
+    telemetry::count("retry.attempts");
+    if (attempts_ > 0)
+        telemetry::count("retry.retries");
     return ++attempts_;
 }
 
@@ -31,6 +36,7 @@ RetryState::onSuccess(std::int64_t)
     if (phase_ != Phase::Running)
         return Decision{}; // late completion of an abandoned attempt
     phase_ = Phase::Done;
+    telemetry::count("retry.successes");
     return Decision{Decision::Kind::Done, 0};
 }
 
@@ -38,8 +44,10 @@ RetryState::Decision
 RetryState::fail(std::string cause, std::int64_t nowMs)
 {
     cause_ = std::move(cause);
+    telemetry::count("retry.failures");
     if (attempts_ >= policy_.maxAttempts) {
         phase_ = Phase::Failed;
+        telemetry::count("retry.exhausted");
         return Decision{Decision::Kind::Failed, 0};
     }
     phase_ = Phase::Backoff;
@@ -60,6 +68,7 @@ RetryState::onTimeout(std::int64_t nowMs)
 {
     if (!attemptTimedOut(nowMs))
         return Decision{};
+    telemetry::count("retry.timeouts");
     return fail("timeout after " + std::to_string(policy_.timeoutMs) +
                     "ms",
                 nowMs);

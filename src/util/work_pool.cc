@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "obs/telemetry.hh"
+
 namespace tstream
 {
 
@@ -54,6 +56,9 @@ WorkPool::submit(std::function<void()> task)
         std::lock_guard<std::mutex> lk(m_);
         ++queued_;
         ++pending_;
+        telemetry::count("pool.submitted");
+        telemetry::gaugeSet("pool.queue_depth",
+                            static_cast<std::int64_t>(queued_));
     }
     cvWork_.notify_one();
 }
@@ -82,6 +87,8 @@ WorkPool::pop(Queue &q, bool back, std::function<void()> &out)
     }
     std::lock_guard<std::mutex> lk(m_);
     --queued_;
+    telemetry::gaugeSet("pool.queue_depth",
+                        static_cast<std::int64_t>(queued_));
     return true;
 }
 
@@ -94,8 +101,10 @@ WorkPool::take(unsigned self, std::function<void()> &out)
     // ... then steal the oldest task from a neighbour.
     for (std::size_t i = 1; i < queues_.size(); ++i) {
         const std::size_t victim = (self + i) % queues_.size();
-        if (pop(*queues_[victim], /*back=*/false, out))
+        if (pop(*queues_[victim], /*back=*/false, out)) {
+            telemetry::count("pool.steals");
             return true;
+        }
     }
     return false;
 }

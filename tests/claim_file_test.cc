@@ -35,6 +35,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/telemetry.hh"
 #include "util/claim_file.hh"
 
 namespace tstream
@@ -346,6 +347,107 @@ TEST(ClaimRaceTest, ProcessesCoverEveryKeyExactlyOnce)
     ClaimDir checker(o);
     for (const std::string &k : keys)
         EXPECT_TRUE(checker.done(k)) << k;
+}
+
+// ---- the resurrection hole, made visible -----------------------------------
+// An owner that stalls past the TTL and then heartbeats collides with
+// the thief. The protocol tolerates the double execution (merge
+// accepts bit-identical duplicates); telemetry must make it count.
+
+TEST(ClaimDirTest, ResurrectionRaceIsCountedNotSilent)
+{
+    telemetry::enable(""); // in-memory
+    telemetry::reset();
+
+    const std::string dir = freshDir("resurrect");
+    std::int64_t now = 0;
+    auto clock = [&now] { return now; };
+
+    ClaimDir::Options a;
+    a.dir = dir;
+    a.owner = "stalled-owner";
+    a.ttlMs = 1000;
+    a.now = clock;
+    ClaimDir da(a);
+    ClaimDir::Options b = a;
+    b.owner = "thief";
+    ClaimDir db(b);
+
+    ASSERT_EQ(da.tryClaim("cell-9"), ClaimDir::Outcome::Claimed);
+    EXPECT_EQ(telemetry::counterValue("claim.wins"), 1u);
+
+    // The owner stalls past the TTL; the thief steals the claim.
+    now += 1001;
+    ASSERT_EQ(db.tryClaim("cell-9"), ClaimDir::Outcome::Claimed);
+    EXPECT_EQ(telemetry::counterValue("claim.steals"), 1u);
+
+    // The stalled owner wakes and heartbeats: it must observe the
+    // loss (return false) and count the resurrection race.
+    EXPECT_FALSE(da.heartbeat("cell-9"));
+    EXPECT_EQ(telemetry::counterValue("claim.resurrections"), 1u);
+
+    // The thief's heartbeat still works — its ownership is intact.
+    EXPECT_TRUE(db.heartbeat("cell-9"));
+    EXPECT_GE(telemetry::counterValue("claim.heartbeats"), 1u);
+
+    telemetry::disable();
+}
+
+TEST(ClaimDirTest, DoubleDoneIsCounted)
+{
+    telemetry::enable("");
+    telemetry::reset();
+
+    const std::string dir = freshDir("doubledone");
+    std::int64_t now = 0;
+    auto clock = [&now] { return now; };
+
+    ClaimDir::Options a;
+    a.dir = dir;
+    a.owner = "stalled-owner";
+    a.ttlMs = 1000;
+    a.now = clock;
+    ClaimDir da(a);
+    ClaimDir::Options b = a;
+    b.owner = "thief";
+    ClaimDir db(b);
+
+    ASSERT_EQ(da.tryClaim("cell-2"), ClaimDir::Outcome::Claimed);
+    now += 1001;
+    ASSERT_EQ(db.tryClaim("cell-2"), ClaimDir::Outcome::Claimed);
+
+    // Both finish the cell: the thief first, then the resurrected
+    // owner overwrites the marker — the downstream symptom of the
+    // hole, counted as claim.double_done.
+    ASSERT_TRUE(db.markDone("cell-2", "ok"));
+    EXPECT_EQ(telemetry::counterValue("claim.double_done"), 0u);
+    ASSERT_TRUE(da.markDone("cell-2", "ok"));
+    EXPECT_EQ(telemetry::counterValue("claim.double_done"), 1u);
+
+    telemetry::disable();
+}
+
+TEST(ClaimDirTest, DoneMarkerCarriesCompletionStamp)
+{
+    const std::string dir = freshDir("doneat");
+    std::int64_t now = 123'456;
+    auto clock = [&now] { return now; };
+
+    ClaimDir::Options o;
+    o.dir = dir;
+    o.owner = "worker-a";
+    o.now = clock;
+    ClaimDir d(o);
+    ASSERT_EQ(d.tryClaim("k"), ClaimDir::Outcome::Claimed);
+    now = 130'000;
+    ASSERT_TRUE(d.markDone("k", "ok"));
+
+    DoneInfo info;
+    ASSERT_TRUE(ClaimDir::readDone(
+        dir + "/" + ClaimDir::sanitizeKey("k") + ".done", info));
+    EXPECT_EQ(info.owner, "worker-a");
+    EXPECT_EQ(info.status, "ok");
+    EXPECT_EQ(info.atMs, 130'000); // `tstream-bench status` ETA input
 }
 
 } // namespace

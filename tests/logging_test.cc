@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests for leveled logging (util/logging.hh): name -> level parsing,
+ * threshold gating, the exact formatted line shape (timestamp, level
+ * letter, thread tag), and thread-id stability. The formatter is pure
+ * (explicit tid + wall-clock params), so the expected strings are
+ * byte-exact without environment or timezone games.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/logging.hh"
+
+namespace tstream
+{
+namespace
+{
+
+TEST(LogLevelNames, ParseKnownAndUnknown)
+{
+    EXPECT_EQ(logLevelFromName("debug"), LogLevel::Debug);
+    EXPECT_EQ(logLevelFromName("info"), LogLevel::Info);
+    EXPECT_EQ(logLevelFromName("warn"), LogLevel::Warn);
+    EXPECT_EQ(logLevelFromName("warning"), LogLevel::Warn);
+    EXPECT_EQ(logLevelFromName("error"), LogLevel::Error);
+    EXPECT_EQ(logLevelFromName("off"), LogLevel::Off);
+    EXPECT_EQ(logLevelFromName("none"), LogLevel::Off);
+    // Unknown names fall back to the default, never to silence.
+    EXPECT_EQ(logLevelFromName("bogus"), LogLevel::Info);
+    EXPECT_EQ(logLevelFromName(""), LogLevel::Info);
+}
+
+TEST(LogThreshold, GatesBySeverity)
+{
+    const LogLevel saved = logThreshold();
+    setLogThreshold(LogLevel::Warn);
+    EXPECT_FALSE(logEnabled(LogLevel::Debug));
+    EXPECT_FALSE(logEnabled(LogLevel::Info));
+    EXPECT_TRUE(logEnabled(LogLevel::Warn));
+    EXPECT_TRUE(logEnabled(LogLevel::Error));
+    setLogThreshold(LogLevel::Off);
+    EXPECT_FALSE(logEnabled(LogLevel::Error));
+    setLogThreshold(LogLevel::Debug);
+    EXPECT_TRUE(logEnabled(LogLevel::Debug));
+    setLogThreshold(saved);
+}
+
+TEST(LogFormat, LineShapeIsExact)
+{
+    // 12:34:56.123 UTC == 45,296,123 ms into the day.
+    const std::int64_t wallMs = 45'296'123;
+    EXPECT_EQ(formatLogLine(LogLevel::Warn, "claim stolen", 7, wallMs),
+              "12:34:56.123 W t07 claim stolen");
+    EXPECT_EQ(formatLogLine(LogLevel::Debug, "x", 0, 0),
+              "00:00:00.000 D t00 x");
+    EXPECT_EQ(formatLogLine(LogLevel::Error, "boom", 123,
+                            86'399'999),
+              "23:59:59.999 E t123 boom");
+}
+
+TEST(LogFormat, DayWrapAndNegativeClockStayInRange)
+{
+    // Multi-day epochs reduce to time-of-day...
+    EXPECT_EQ(formatLogLine(LogLevel::Info, "m", 1,
+                            3 * 86'400'000LL + 1'000),
+              "00:00:01.000 I t01 m");
+    // ...and a (clock-skewed) negative stamp must not produce
+    // negative fields.
+    EXPECT_EQ(formatLogLine(LogLevel::Info, "m", 1, -1'000),
+              "23:59:59.000 I t01 m");
+}
+
+TEST(LogThreadId, StablePerThreadAndDistinctAcrossThreads)
+{
+    const int mine = logThreadId();
+    EXPECT_EQ(logThreadId(), mine); // stable within a thread
+    int other = -1;
+    std::thread t([&other] { other = logThreadId(); });
+    t.join();
+    EXPECT_NE(other, mine);
+    EXPECT_GE(other, 0);
+}
+
+} // namespace
+} // namespace tstream

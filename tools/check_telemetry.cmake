@@ -1,0 +1,33 @@
+# Validate a telemetry artifact pair written by --telemetry-out: the
+# metrics file must carry the tstream-telemetry/v1 schema marker and
+# the driver's cell counter, and the Chrome trace twin must hold at
+# least one *complete* span event ("ph": "X") so a truncated or
+# never-flushed trace fails here instead of passing silently.
+#
+# Usage:
+#   cmake -DMETRICS=<metrics.json> -DTRACE=<metrics.trace.json>
+#         -P check_telemetry.cmake
+if(NOT DEFINED METRICS OR NOT DEFINED TRACE)
+  message(FATAL_ERROR "check_telemetry.cmake needs -DMETRICS and -DTRACE")
+endif()
+if(NOT EXISTS ${METRICS})
+  message(FATAL_ERROR "telemetry metrics file missing: ${METRICS}")
+endif()
+if(NOT EXISTS ${TRACE})
+  message(FATAL_ERROR "telemetry trace file missing: ${TRACE}")
+endif()
+file(READ ${METRICS} metrics_text)
+if(NOT metrics_text MATCHES "tstream-telemetry/v1")
+  message(FATAL_ERROR
+    "${METRICS} lacks the tstream-telemetry/v1 schema marker")
+endif()
+if(NOT metrics_text MATCHES "driver\\.cells")
+  message(FATAL_ERROR "${METRICS} holds no driver.cells counter")
+endif()
+file(READ ${TRACE} trace_text)
+if(NOT trace_text MATCHES "\"ph\": \"X\"")
+  message(FATAL_ERROR "${TRACE} holds no complete span event")
+endif()
+if(NOT trace_text MATCHES "\"name\": \"cell\"")
+  message(FATAL_ERROR "${TRACE} holds no driver cell span")
+endif()

@@ -34,6 +34,12 @@
  *                archived reports (e.g. BENCH_perf.json artifacts
  *                across commits); informational unless --max-regress
  *                gates last-vs-first
+ *   status       read a live claim session's claim/heartbeat/done
+ *                files and render per-worker progress: cells held /
+ *                done / failed, last-heartbeat age (flagging stale
+ *                workers past the TTL), and an ETA from the done
+ *                markers' completion timestamps — works mid-run on
+ *                another machine sharing TSTREAM_TRACE_CACHE
  *   print        re-render the tables of a report from its rows
  *   list         show the known bench names
  *
@@ -43,9 +49,12 @@
 
 #include <unistd.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -55,6 +64,7 @@
 
 #include "sim/bench_report.hh"
 #include "util/claim_file.hh"
+#include "util/logging.hh"
 
 using namespace tstream;
 
@@ -94,7 +104,11 @@ usage(const char *msg)
         "                [--heartbeat MS] [--cell-timeout MS]\n"
         "                [--cell-retries N] [--fleet HOSTS.txt]\n"
         "                [--fleet-kill-after N] [--bench-dir DIR]\n"
+        "                [--telemetry-out BASE] [--slowest N]\n"
         "                -o OUT.json BENCH...\n"
+        "  tstream-bench status [--claim-dir DIR | --session ID\n"
+        "                [--bench BINARY]] [--grid N] [--ttl MS]\n"
+        "                [--now MS]\n"
         "  tstream-bench merge -o OUT.json IN.json...\n"
         "  tstream-bench check-equal [--subset] A.json B.json\n"
         "  tstream-bench check-stdout REPORT.json STDOUT.txt\n"
@@ -139,8 +153,21 @@ usage(const char *msg)
         "never gated. trend aligns the same series across an ordered\n"
         "report sequence and prints each one's trajectory; with\n"
         "--max-regress it fails when last/first exceeds R or a\n"
-        "--series name is absent from the newest report. Recipes:\n"
-        "docs/BENCHMARKING.md.\n");
+        "--series name is absent from the newest report. With\n"
+        "--telemetry-out BASE, run forwards --telemetry-out\n"
+        "BASE.<binary>.json to every bench (fleet workers get\n"
+        "BASE.workerK.<binary>.json), collecting per-process metrics\n"
+        "and Chrome trace files next to the reports; after every\n"
+        "sweep run prints the --slowest N cells by wall time (default\n"
+        "5, 0 disables). status scans a claim directory — by default\n"
+        "$TSTREAM_TRACE_CACHE/claims, or one session via --session ID\n"
+        "(plus --bench BINARY), or any directory via --claim-dir —\n"
+        "and prints per-worker held/done/failed counts with\n"
+        "last-heartbeat ages (stale when older than --ttl MS, default\n"
+        "30000) and, given the grid size via --grid N, an ETA from\n"
+        "the done markers' completion stamps; --now MS pins the clock\n"
+        "(tests). Recipes: docs/BENCHMARKING.md and\n"
+        "docs/OBSERVABILITY.md.\n");
     return 2;
 }
 
@@ -197,6 +224,8 @@ struct RunOptions
     std::string fleetFile;
     long fleetKillAfter = 0;
     std::string benchDir;
+    std::string telemetryOut; ///< per-bench files BASE.<binary>.json
+    long slowest = 5;         ///< top-N slowest cells; 0 = off
     std::string out;
     std::vector<std::string> names;
 };
@@ -228,6 +257,45 @@ forwardedFlags(const RunOptions &o)
 }
 
 int runFleet(const RunOptions &opts, const char *argv0);
+
+/**
+ * Print the top-@p n cells by wall time across @p docs (stderr, after
+ * every sweep) — the quick answer to "where did that sweep spend its
+ * time" without opening the telemetry trace.
+ */
+void
+printSlowestCells(const std::vector<BenchDoc> &docs, long n)
+{
+    if (n <= 0)
+        return;
+    struct SlowCell
+    {
+        double wallSeconds;
+        const BenchDoc *doc;
+        const BenchCell *cell;
+    };
+    std::vector<SlowCell> all;
+    for (const BenchDoc &doc : docs)
+        for (const BenchCell &cell : doc.cells)
+            all.push_back({cell.wallSeconds, &doc, &cell});
+    if (all.empty())
+        return;
+    std::stable_sort(all.begin(), all.end(),
+                     [](const SlowCell &a, const SlowCell &b) {
+                         return a.wallSeconds > b.wallSeconds;
+                     });
+    const std::size_t top =
+        std::min(all.size(), static_cast<std::size_t>(n));
+    logf(LogLevel::Info, "[tstream-bench] slowest %zu of %zu cells:",
+         top, all.size());
+    for (std::size_t i = 0; i < top; ++i) {
+        const SlowCell &s = all[i];
+        logf(LogLevel::Info, "[tstream-bench]   %6.2fs  %s/%s%s%s",
+             s.wallSeconds, s.doc->bench.c_str(), s.cell->id.c_str(),
+             s.cell->cacheHit ? "  (cache hit)" : "",
+             s.cell->failed ? "  (FAILED)" : "");
+    }
+}
 
 int
 cmdRun(int argc, char **argv, const char *argv0)
@@ -288,6 +356,10 @@ cmdRun(int argc, char **argv, const char *argv0)
             o.fleetKillAfter = number("--fleet-kill-after", 1);
         } else if (arg == "--bench-dir") {
             o.benchDir = value("--bench-dir");
+        } else if (arg == "--telemetry-out") {
+            o.telemetryOut = value("--telemetry-out");
+        } else if (arg == "--slowest") {
+            o.slowest = number("--slowest", 0);
         } else if (arg == "-o" || arg == "--output") {
             o.out = value("-o");
         } else if (!arg.empty() && arg[0] == '-') {
@@ -382,6 +454,9 @@ cmdRun(int argc, char **argv, const char *argv0)
         cmd += forwardedFlags(o);
         if (!o.claimSession.empty())
             cmd += " --claim-session " + shellQuote(o.claimSession);
+        if (!o.telemetryOut.empty())
+            cmd += " --telemetry-out " +
+                   shellQuote(o.telemetryOut + "." + binary + ".json");
         cmd += " --json " + shellQuote(part);
         if (resume) {
             for (const BenchDoc &doc : priorDocs)
@@ -397,7 +472,7 @@ cmdRun(int argc, char **argv, const char *argv0)
                 }
         }
 
-        std::fprintf(stderr, "[tstream-bench] %s\n", cmd.c_str());
+        logf(LogLevel::Info, "[tstream-bench] %s", cmd.c_str());
         const int rc = std::system(cmd.c_str());
         if (rc != 0) {
             std::fprintf(stderr,
@@ -440,8 +515,9 @@ cmdRun(int argc, char **argv, const char *argv0)
         lastWritten = flat.size();
     }
 
-    std::fprintf(stderr, "[tstream-bench] wrote %s (%zu benches)\n",
-                 out.c_str(), lastWritten);
+    printSlowestCells(docs, o.slowest);
+    logf(LogLevel::Info, "[tstream-bench] wrote %s (%zu benches)",
+         out.c_str(), lastWritten);
     return 0;
 }
 
@@ -508,9 +584,9 @@ runFleet(const RunOptions &opts, const char *argv0)
     for (const std::string &name : opts.names)
         inner += " " + shellQuote(name);
 
-    std::fprintf(stderr,
-                 "[tstream-bench] fleet: %zu worker(s), session %s\n",
-                 hosts.size(), session.c_str());
+    logf(LogLevel::Info,
+         "[tstream-bench] fleet: %zu worker(s), session %s",
+         hosts.size(), session.c_str());
 
     std::vector<int> rcs(hosts.size(), -1);
     std::vector<std::string> parts(hosts.size()), logs(hosts.size());
@@ -525,8 +601,15 @@ runFleet(const RunOptions &opts, const char *argv0)
             envs += " TSTREAM_CLAIM_DIE_AFTER=" +
                     std::to_string(opts.fleetKillAfter);
 
-        const std::string worker =
-            self + " " + inner + " -o " + shellQuote(parts[i]);
+        // Each worker gets its own telemetry base so the per-process
+        // metric/trace files never collide on the shared filesystem.
+        std::string workerFlags;
+        if (!opts.telemetryOut.empty())
+            workerFlags = " --telemetry-out " +
+                          shellQuote(opts.telemetryOut + ".worker" +
+                                     std::to_string(i));
+        const std::string worker = self + " " + inner + workerFlags +
+                                   " -o " + shellQuote(parts[i]);
         std::string full;
         if (hosts[i] == "local" || hosts[i] == "localhost") {
             full = envs.empty() ? worker : "env" + envs + " " + worker;
@@ -539,8 +622,8 @@ runFleet(const RunOptions &opts, const char *argv0)
         }
         full += " > " + shellQuote(logs[i]) + " 2>&1";
 
-        std::fprintf(stderr, "[tstream-bench] worker %zu (%s): %s\n",
-                     i, hosts[i].c_str(), full.c_str());
+        logf(LogLevel::Info, "[tstream-bench] worker %zu (%s): %s", i,
+             hosts[i].c_str(), full.c_str());
         threads.emplace_back(
             [i, full, &rcs] { rcs[i] = std::system(full.c_str()); });
     }
@@ -552,28 +635,25 @@ runFleet(const RunOptions &opts, const char *argv0)
     for (std::size_t i = 0; i < hosts.size(); ++i) {
         if (rcs[i] != 0) {
             ++dead;
-            std::fprintf(stderr,
-                         "[tstream-bench] worker %zu (%s) exited "
-                         "with status %d (log: %s) — its cells were "
-                         "reclaimed if the merge below covers the "
-                         "grid\n",
-                         i, hosts[i].c_str(), rcs[i],
-                         logs[i].c_str());
+            logf(LogLevel::Warn,
+                 "[tstream-bench] worker %zu (%s) exited with status "
+                 "%d (log: %s) — its cells were reclaimed if the "
+                 "merge below covers the grid",
+                 i, hosts[i].c_str(), rcs[i], logs[i].c_str());
         }
         std::FILE *f = std::fopen(parts[i].c_str(), "rb");
         if (!f) {
-            std::fprintf(stderr,
-                         "[tstream-bench] worker %zu left no report "
-                         "(%s)\n",
-                         i, parts[i].c_str());
+            logf(LogLevel::Warn,
+                 "[tstream-bench] worker %zu left no report (%s)", i,
+                 parts[i].c_str());
             continue;
         }
         std::fclose(f);
         std::string err;
         if (!readBenchDocs(parts[i], docs, err))
-            std::fprintf(stderr, "[tstream-bench] worker %zu report "
-                                 "unreadable: %s\n",
-                         i, err.c_str());
+            logf(LogLevel::Warn,
+                 "[tstream-bench] worker %zu report unreadable: %s", i,
+                 err.c_str());
     }
     if (docs.empty()) {
         std::fprintf(stderr,
@@ -610,12 +690,12 @@ runFleet(const RunOptions &opts, const char *argv0)
             ++cells;
             failedCells += c.failed ? 1 : 0;
         }
-    std::fprintf(stderr,
-                 "[tstream-bench] fleet wrote %s: %zu benches, %zu "
-                 "cells (%zu failed), %zu/%zu workers survived, full "
-                 "cover\n",
-                 opts.out.c_str(), merged.size(), cells, failedCells,
-                 hosts.size() - dead, hosts.size());
+    printSlowestCells(merged, opts.slowest);
+    logf(LogLevel::Info,
+         "[tstream-bench] fleet wrote %s: %zu benches, %zu cells "
+         "(%zu failed), %zu/%zu workers survived, full cover",
+         opts.out.c_str(), merged.size(), cells, failedCells,
+         hosts.size() - dead, hosts.size());
     return 0;
 }
 
@@ -913,6 +993,240 @@ cmdTrend(int argc, char **argv)
     return pass ? 0 : 1;
 }
 
+// ---- status -----------------------------------------------------------------
+
+/** Aggregated per-worker progress inside one claim directory. */
+struct WorkerProgress
+{
+    std::size_t held = 0;
+    std::size_t doneOk = 0;
+    std::size_t doneFailed = 0;
+    std::int64_t lastBeatMs = -1; ///< newest heartbeat; -1 = none
+    std::int64_t lastDoneMs = -1; ///< newest done at=; -1 = none
+};
+
+/**
+ * Render the live progress of claim sessions: scan @p root for claim
+ * and done files (one leaf directory per bench binary), aggregate
+ * them per worker, and print held/done/failed counts, heartbeat ages
+ * (STALE past the TTL — a candidate for stealing), and an ETA from
+ * the done markers' `at=` completion stamps. Read-only: status never
+ * writes into the claim directory, so it is safe to point at a
+ * session other workers are racing over.
+ */
+int
+cmdStatus(int argc, char **argv)
+{
+    namespace fs = std::filesystem;
+    std::string claimDir, session, bench;
+    long grid = 0;
+    long long ttlMs = 30'000;
+    long long nowOverride = -1;
+    for (int i = 0; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        auto value = [&](const char *what) -> const char * {
+            if (i + 1 >= argc) {
+                usage((std::string("missing value for ") + what)
+                          .c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        auto number = [&](const char *what, long long lo) -> long long {
+            const char *v = value(what);
+            char *end = nullptr;
+            const long long n = std::strtoll(v, &end, 10);
+            if (!end || *end != '\0' || n < lo) {
+                usage((std::string(what) + " wants an integer >= " +
+                       std::to_string(lo))
+                          .c_str());
+                std::exit(2);
+            }
+            return n;
+        };
+        if (arg == "--claim-dir") {
+            claimDir = value("--claim-dir");
+        } else if (arg == "--session") {
+            session = value("--session");
+        } else if (arg == "--bench") {
+            bench = value("--bench");
+        } else if (arg == "--grid") {
+            grid = static_cast<long>(number("--grid", 1));
+        } else if (arg == "--ttl") {
+            ttlMs = number("--ttl", 1);
+        } else if (arg == "--now") {
+            nowOverride = number("--now", 0);
+        } else {
+            return usage(
+                ("unknown status option: " + std::string(arg))
+                    .c_str());
+        }
+    }
+    if (!claimDir.empty() && !session.empty())
+        return usage("--claim-dir and --session are mutually "
+                     "exclusive");
+    if (!bench.empty() && session.empty())
+        return usage("--bench needs --session");
+
+    std::string root = claimDir;
+    if (root.empty()) {
+        const char *cache = std::getenv("TSTREAM_TRACE_CACHE");
+        if (!cache || !*cache)
+            return usage("status needs --claim-dir or "
+                         "TSTREAM_TRACE_CACHE set (claim sessions "
+                         "live in the shared cache)");
+        root = std::string(cache) + "/claims";
+        if (!session.empty()) {
+            root += "/" + session;
+            if (!bench.empty())
+                root += "/" + bench;
+        }
+    }
+
+    std::error_code ec;
+    if (!fs::is_directory(root, ec)) {
+        std::fprintf(stderr,
+                     "tstream-bench: no claim directory at %s\n",
+                     root.c_str());
+        return 1;
+    }
+
+    const std::int64_t now = nowOverride >= 0
+                                 ? static_cast<std::int64_t>(
+                                       nowOverride)
+                                 : wallClockMs();
+
+    // Group claim/done files by containing directory — in a fleet
+    // session that is one leaf per bench binary. Paths are printed
+    // relative to the scan root so output is location-independent.
+    std::map<std::string, std::vector<fs::path>> leaves;
+    for (fs::recursive_directory_iterator it(root, ec), end;
+         !ec && it != end; it.increment(ec)) {
+        std::error_code fec;
+        if (!it->is_regular_file(fec))
+            continue;
+        const fs::path p = it->path();
+        const std::string ext = p.extension().string();
+        if (ext != ".claim" && ext != ".done")
+            continue;
+        std::string rel =
+            fs::relative(p.parent_path(), root, fec).generic_string();
+        if (fec || rel.empty())
+            rel = ".";
+        leaves[rel].push_back(p);
+    }
+    if (leaves.empty()) {
+        std::fprintf(stderr,
+                     "tstream-bench: no claim or done files under "
+                     "%s\n",
+                     root.c_str());
+        return 1;
+    }
+
+    for (auto &[rel, files] : leaves) {
+        std::sort(files.begin(), files.end());
+        std::map<std::string, WorkerProgress> workers;
+        std::size_t held = 0, doneOk = 0, doneFailed = 0;
+        std::vector<std::int64_t> doneAts;
+        for (const fs::path &p : files) {
+            if (p.extension() == ".claim") {
+                ClaimInfo info;
+                // A claim released or marked done between the scan
+                // and this read simply drops out of the snapshot.
+                if (!ClaimDir::readClaim(p.string(), info))
+                    continue;
+                WorkerProgress &w = workers[info.owner];
+                ++w.held;
+                ++held;
+                w.lastBeatMs = std::max(w.lastBeatMs, info.beatMs);
+            } else {
+                DoneInfo info;
+                if (!ClaimDir::readDone(p.string(), info))
+                    continue;
+                WorkerProgress &w = workers[info.owner];
+                if (info.status.rfind("failed", 0) == 0) {
+                    ++w.doneFailed;
+                    ++doneFailed;
+                } else {
+                    ++w.doneOk;
+                    ++doneOk;
+                }
+                if (info.atMs > 0) {
+                    w.lastDoneMs = std::max(w.lastDoneMs, info.atMs);
+                    doneAts.push_back(info.atMs);
+                }
+            }
+        }
+
+        std::printf("== %s ==\n", rel.c_str());
+        const std::size_t done = doneOk + doneFailed;
+        std::printf("  cells: %zu done", done);
+        if (doneFailed > 0)
+            std::printf(" (%zu failed)", doneFailed);
+        std::printf(", %zu held", held);
+        std::size_t remaining = 0;
+        if (grid > 0) {
+            remaining = static_cast<std::size_t>(grid) > done
+                            ? static_cast<std::size_t>(grid) - done
+                            : 0;
+            std::printf(", grid %ld -> %zu remaining", grid,
+                        remaining);
+        }
+        std::printf("\n");
+
+        for (const auto &[owner, w] : workers) {
+            std::printf("  worker %s: held %zu, done %zu",
+                        owner.c_str(), w.held, w.doneOk + w.doneFailed);
+            if (w.doneFailed > 0)
+                std::printf(" (%zu failed)", w.doneFailed);
+            if (w.lastBeatMs >= 0) {
+                std::printf(", last beat %.1fs ago",
+                            static_cast<double>(now - w.lastBeatMs) /
+                                1000.0);
+                if (w.held > 0 && now - w.lastBeatMs > ttlMs)
+                    std::printf(" [STALE]");
+            } else if (w.lastDoneMs > 0) {
+                std::printf(", last done %.1fs ago",
+                            static_cast<double>(now - w.lastDoneMs) /
+                                1000.0);
+            } else {
+                std::printf(", no heartbeat");
+            }
+            std::printf("\n");
+        }
+
+        if (grid > 0) {
+            if (remaining == 0) {
+                std::printf("  eta: complete\n");
+            } else if (doneAts.size() >= 2) {
+                const auto [mn, mx] = std::minmax_element(
+                    doneAts.begin(), doneAts.end());
+                const double spanMs =
+                    static_cast<double>(*mx - *mn);
+                if (spanMs > 0) {
+                    const double perCellMs =
+                        spanMs /
+                        static_cast<double>(doneAts.size() - 1);
+                    std::printf(
+                        "  eta: ~%.1fs (%.2f cells/s over %zu "
+                        "timestamped completions, %zu remaining)\n",
+                        static_cast<double>(remaining) * perCellMs /
+                            1000.0,
+                        1000.0 / perCellMs, doneAts.size(),
+                        remaining);
+                } else {
+                    std::printf("  eta: unknown (completions share "
+                                "one timestamp)\n");
+                }
+            } else {
+                std::printf("  eta: unknown (need >= 2 timestamped "
+                            "completions)\n");
+            }
+        }
+    }
+    return 0;
+}
+
 // ---- check-equal / check-stdout / print ------------------------------------
 
 int
@@ -1079,6 +1393,8 @@ main(int argc, char **argv)
         return cmdCompare(argc - 2, argv + 2);
     if (cmd == "trend")
         return cmdTrend(argc - 2, argv + 2);
+    if (cmd == "status")
+        return cmdStatus(argc - 2, argv + 2);
     if (cmd == "print") {
         if (argc != 3)
             return usage("print takes exactly one report");
