@@ -5,11 +5,25 @@
  * should track Figure 2's in-stream fractions (web/OLTP multi-chip
  * high, DSS low), and a replay-depth sweep shows why the paper argues
  * against fixed-depth policies (Section 4.4).
+ *
+ * Every evaluation routes through the prefetch-policy registry
+ * (core/prefetch_policy.hh). On top of the classic depth-sweep table:
+ *
+ *  - --policy NAME[,NAME...] scores the named policies (fixed,
+ *    adaptive, stride, hybrid) per trace in a "prefetcher_policy"
+ *    table with storage/coverage/accuracy columns;
+ *  - --budget-sweep adds the paper's Section 4.5 storage-budget sweep
+ *    ("prefetcher_budget"): CMOB entries x coverage/accuracy, so the
+ *    coverage-vs-storage trade-off is one table per workload;
+ *  - --replay-depth N sets the replay depth those tables use.
+ *
+ * The default (flagless) output is byte-identical to the
+ * pre-policy-API bench.
  */
 
 #include "common.hh"
 
-#include "core/ts_prefetcher.hh"
+#include "core/prefetch_policy.hh"
 
 using namespace tstream;
 using namespace tstream::bench;
@@ -17,28 +31,125 @@ using namespace tstream::bench;
 namespace
 {
 
+/** The --policy / --budget-sweep / --replay-depth extension flags. */
+struct ExtOptions
+{
+    std::vector<std::string> policies; ///< --policy, in given order
+    bool budgetSweep = false;          ///< --budget-sweep
+    std::string replayDepthArg;        ///< --replay-depth (raw)
+    unsigned replayDepth = 8;          ///< validated value
+};
+
+/** CMOB budget points of the Section 4.5 sweep (entries per CPU). */
+constexpr std::uint32_t kBudgetPoints[] = {1u << 12, 1u << 14,
+                                           1u << 16, 1u << 18};
+
+const char *const kExtraUsage =
+    "  --policy NAMES comma-separated prefetch policies (fixed,\n"
+    "                 adaptive, stride, hybrid — see\n"
+    "                 core/prefetch_policy.hh), each scored per trace\n"
+    "                 in an extra 'prefetcher_policy' table\n"
+    "  --budget-sweep add the Section 4.5 storage-budget sweep table\n"
+    "                 ('prefetcher_budget'): CMOB entries x coverage /\n"
+    "                 accuracy per workload\n"
+    "  --replay-depth N\n"
+    "                 replay depth for the --policy / --budget-sweep\n"
+    "                 tables (default 8; needs one of those modes)\n";
+
+std::vector<std::string>
+splitPolicies(const char *arg)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (const char *p = arg;; ++p) {
+        if (*p == ',' || *p == '\0') {
+            out.push_back(cur);
+            cur.clear();
+            if (*p == '\0')
+                break;
+        } else {
+            cur += *p;
+        }
+    }
+    return out;
+}
+
+/** Validate the extension flags; "" when fine. */
+std::string
+validateExt(ExtOptions &ext, const BenchOptions &opts)
+{
+    for (const std::string &name : ext.policies) {
+        bool known = false;
+        for (const std::string &k : prefetchPolicyNames())
+            known = known || k == name;
+        if (!known) {
+            std::string diag = "--policy: unknown policy '" + name +
+                               "' (known:";
+            for (const std::string &k : prefetchPolicyNames())
+                diag += " " + k;
+            return diag + ")";
+        }
+    }
+    if (!ext.replayDepthArg.empty()) {
+        char *end = nullptr;
+        const long n =
+            std::strtol(ext.replayDepthArg.c_str(), &end, 10);
+        if (!end || *end != '\0' || n <= 0 || n > 1024)
+            return "--replay-depth wants a positive integer (<= 1024)";
+        if (ext.policies.empty() && !ext.budgetSweep)
+            return "--replay-depth needs --policy or --budget-sweep "
+                   "(the default depth-sweep columns are fixed)";
+        ext.replayDepth = static_cast<unsigned>(n);
+    }
+    if ((!ext.policies.empty() || ext.budgetSweep) && opts.resume)
+        return "--policy/--budget-sweep and --resume are mutually "
+               "exclusive (a stored report may lack the policy "
+               "tables)";
+    return "";
+}
+
+/** Policy-table and budget-sweep evaluation at @p depth. */
+TsPrefetcherStats
+scorePolicy(const MissTrace &trace, const std::string &name,
+            unsigned depth, std::uint32_t historyEntries,
+            std::uint64_t &storageBytes)
+{
+    PrefetchPolicyParams params;
+    params.ts.replayDepth = depth;
+    params.ts.historyEntries = historyEntries;
+    auto policy = makePrefetchPolicy(name, params);
+    const TsPrefetcherStats st =
+        evaluatePolicy(trace, *policy, params.ts.bufferBlocks);
+    storageBytes = policy->storageBytes();
+    return st;
+}
+
 std::vector<BenchRow>
-buildRows(const CellResult &res)
+buildRows(const CellResult &res, const ExtOptions &ext)
 {
     std::vector<BenchRow> rows;
     for (const RunOutput &r : res.runs) {
+        const std::string wl(workloadName(r.workload));
+        const std::string kind(traceKindName(r.kind));
+
+        // The classic depth-sweep table, now routed through the
+        // policy registry (previously an inline TsPrefetcher loop —
+        // numbers are bit-identical).
         BenchRow row;
         row.table = "prefetcher";
-        row.trace = std::string(traceKindName(r.kind));
-        row.text = strprintf(
-            "%-10s %-12s %9.1f%% |       ",
-            std::string(workloadName(r.workload)).c_str(),
-            std::string(traceKindName(r.kind)).c_str(),
-            100.0 * r.streams.inStreamFraction());
+        row.trace = kind;
+        row.text = strprintf("%-10s %-12s %9.1f%% |       ",
+                             wl.c_str(), kind.c_str(),
+                             100.0 * r.streams.inStreamFraction());
         row.metrics = {
             {"in_streams_pct", 100.0 * r.streams.inStreamFraction()},
         };
         double acc8 = 0.0;
         for (unsigned d : {1u, 4u, 8u, 16u, 32u}) {
-            TsPrefetcherConfig cfg;
-            cfg.replayDepth = d;
-            TsPrefetcher pf(cfg);
-            const TsPrefetcherStats st = pf.evaluate(r.trace);
+            std::uint64_t storage = 0;
+            const TsPrefetcherStats st = scorePolicy(
+                r.trace, "fixed", d, TsPrefetcherConfig{}.historyEntries,
+                storage);
             row.text += strprintf(" %6.1f%%", 100.0 * st.coverage());
             row.metrics.emplace_back(
                 strprintf("coverage_depth_%u_pct", d),
@@ -47,17 +158,76 @@ buildRows(const CellResult &res)
                 acc8 = st.accuracy();
         }
         // The paper's Section 4.3 synergy: add a stride engine.
-        TsPrefetcherConfig hc;
-        hc.replayDepth = 8;
-        TsPrefetcher hybrid(hc);
-        const TsPrefetcherStats hs = hybrid.evaluateHybrid(r.trace);
+        std::uint64_t storage = 0;
+        const TsPrefetcherStats hs = scorePolicy(
+            r.trace, "hybrid", 8, TsPrefetcherConfig{}.historyEntries,
+            storage);
         row.text += strprintf(" %6.1f%% %7.1f%%", 100.0 * acc8,
                               100.0 * hs.coverage());
-        row.metrics.emplace_back("accuracy_depth_8_pct",
-                                 100.0 * acc8);
+        row.metrics.emplace_back("accuracy_depth_8_pct", 100.0 * acc8);
         row.metrics.emplace_back("hybrid_coverage_depth_8_pct",
                                  100.0 * hs.coverage());
         rows.push_back(std::move(row));
+
+        // --policy: one row per named policy.
+        for (const std::string &name : ext.policies) {
+            std::uint64_t bytes = 0;
+            const TsPrefetcherStats st = scorePolicy(
+                r.trace, name, ext.replayDepth,
+                TsPrefetcherConfig{}.historyEntries, bytes);
+            BenchRow pr;
+            pr.table = "prefetcher_policy";
+            pr.trace = kind;
+            pr.policy = name;
+            pr.text = strprintf(
+                "%-10s %-12s %-9s %9.0fKB %7.1f%% %7.1f%%", wl.c_str(),
+                kind.c_str(), name.c_str(),
+                static_cast<double>(bytes) / 1024.0,
+                100.0 * st.coverage(), 100.0 * st.accuracy());
+            pr.metrics = {
+                {"storage_bytes", static_cast<double>(bytes)},
+                {"coverage_pct", 100.0 * st.coverage()},
+                {"accuracy_pct", 100.0 * st.accuracy()},
+            };
+            rows.push_back(std::move(pr));
+        }
+
+        // --budget-sweep: coverage/accuracy per CMOB budget point
+        // (Section 4.5). The stride policy has no CMOB, so it is
+        // skipped — its storage does not move along this axis.
+        if (ext.budgetSweep) {
+            std::vector<std::string> sweep = ext.policies;
+            if (sweep.empty())
+                sweep.push_back("fixed");
+            for (const std::string &name : sweep) {
+                if (name == "stride")
+                    continue;
+                for (const std::uint32_t entries : kBudgetPoints) {
+                    std::uint64_t bytes = 0;
+                    const TsPrefetcherStats st =
+                        scorePolicy(r.trace, name, ext.replayDepth,
+                                    entries, bytes);
+                    BenchRow br;
+                    br.table = "prefetcher_budget";
+                    br.trace = kind;
+                    br.policy = name;
+                    br.label = strprintf("%u", entries);
+                    br.text = strprintf(
+                        "%-10s %-12s %-9s %8u %9.0fKB %7.1f%% %7.1f%%",
+                        wl.c_str(), kind.c_str(), name.c_str(),
+                        entries, static_cast<double>(bytes) / 1024.0,
+                        100.0 * st.coverage(), 100.0 * st.accuracy());
+                    br.metrics = {
+                        {"cmob_entries",
+                         static_cast<double>(entries)},
+                        {"storage_bytes", static_cast<double>(bytes)},
+                        {"coverage_pct", 100.0 * st.coverage()},
+                        {"accuracy_pct", 100.0 * st.accuracy()},
+                    };
+                    rows.push_back(std::move(br));
+                }
+            }
+        }
     }
     return rows;
 }
@@ -67,12 +237,36 @@ buildRows(const CellResult &res)
 int
 main(int argc, char **argv)
 {
+    ExtOptions ext;
+    BenchExtraArgs extra;
+    extra.usage = kExtraUsage;
+    extra.handler = [&ext](std::string_view arg,
+                           const std::function<const char *(
+                               const char *)> &take) {
+        if (arg == "--policy") {
+            ext.policies = splitPolicies(take("--policy"));
+            return true;
+        }
+        if (arg == "--budget-sweep") {
+            ext.budgetSweep = true;
+            return true;
+        }
+        if (arg == "--replay-depth") {
+            ext.replayDepthArg = take("--replay-depth");
+            return true;
+        }
+        return false;
+    };
+    extra.validate = [&ext](const BenchOptions &opts) {
+        return validateExt(ext, opts);
+    };
+
     const BenchOptions opts =
-        parseBenchArgs(argc, argv, "ext_prefetcher");
+        parseBenchArgs(argc, argv, "ext_prefetcher", &extra);
     const auto grid = benchGrid(kAllWorkloads, opts);
     const auto cells = runBenchCells(
         grid, opts, opts.driver(),
-        [](const CellResult &res) { return buildRows(res); });
+        [&ext](const CellResult &res) { return buildRows(res, ext); });
 
     std::printf("Extension: temporal-streaming prefetcher coverage / "
                 "accuracy\n");
@@ -84,6 +278,28 @@ main(int argc, char **argv)
     std::printf("  acc@8  hybrid@8\n");
     rule();
     printTable(cells, "prefetcher");
+
+    if (!ext.policies.empty()) {
+        std::printf("\nPolicy comparison (replay depth %u)\n",
+                    ext.replayDepth);
+        rule();
+        std::printf("%-10s %-12s %-9s %11s %8s %8s\n", "app",
+                    "context", "policy", "storage", "cov", "acc");
+        rule();
+        printTable(cells, "prefetcher_policy");
+    }
+
+    if (ext.budgetSweep) {
+        std::printf("\nStorage-budget sweep (Section 4.5; replay "
+                    "depth %u)\n",
+                    ext.replayDepth);
+        rule();
+        std::printf("%-10s %-12s %-9s %8s %11s %8s %8s\n", "app",
+                    "context", "policy", "entries", "storage", "cov",
+                    "acc");
+        rule();
+        printTable(cells, "prefetcher_budget");
+    }
 
     std::printf("\nReading: coverage tracks the in-stream fraction and "
                 "grows with replay depth\nwhere streams are long "

@@ -1,6 +1,6 @@
 #include "core/ts_prefetcher.hh"
 
-#include "core/stride.hh"
+#include "core/prefetch_policy.hh"
 #include "util/logging.hh"
 
 namespace tstream
@@ -13,158 +13,19 @@ TsPrefetcher::TsPrefetcher(const TsPrefetcherConfig &cfg)
     panicIf(cfg.bufferBlocks == 0, "TsPrefetcher: empty buffer");
 }
 
-void
-TsPrefetcher::append(unsigned cpu, BlockId blk)
+TsPrefetcherStats
+TsPrefetcher::evaluate(const MissTrace &trace)
 {
-    History &h = history_[cpu];
-    h.ring[static_cast<std::size_t>(h.head % cfg_.historyEntries)] = blk;
-    index_[blk] = HistoryPos{static_cast<std::uint32_t>(cpu), h.head};
-    h.head++;
-}
-
-void
-TsPrefetcher::insertPrefetch(Buffer &buf, BlockId blk,
-                             TsPrefetcherStats &stats)
-{
-    stats.issued++;
-    buf.fifo.push_back(blk);
-    buf.present[blk]++;
-    // FIFO displacement.
-    if (buf.fifo.size() > cfg_.bufferBlocks) {
-        const BlockId victim = buf.fifo.front();
-        buf.fifo.erase(buf.fifo.begin());
-        auto it = buf.present.find(victim);
-        if (it != buf.present.end() && --it->second == 0)
-            buf.present.erase(it);
-    }
-}
-
-void
-TsPrefetcher::replay(unsigned cpu, const HistoryPos &pos,
-                     TsPrefetcherStats &stats, Buffer &buf)
-{
-    (void)cpu;
-    const History &h = history_[pos.cpu];
-    // The located occurrence must still be inside the ring.
-    if (h.head - pos.pos > cfg_.historyEntries)
-        return;
-    stats.streamLookups++;
-    // Replay the addresses that followed it, up to the depth, staying
-    // within what has actually been recorded.
-    for (std::uint32_t k = 1; k <= cfg_.replayDepth; ++k) {
-        const std::uint64_t next = pos.pos + k;
-        if (next >= h.head)
-            break;
-        const BlockId blk =
-            h.ring[static_cast<std::size_t>(next % cfg_.historyEntries)];
-        insertPrefetch(buf, blk, stats);
-    }
+    FixedDepthPolicy policy(cfg_);
+    return evaluatePolicy(trace, policy, cfg_.bufferBlocks);
 }
 
 TsPrefetcherStats
 TsPrefetcher::evaluateHybrid(const MissTrace &trace,
                              unsigned stride_degree)
 {
-    TsPrefetcherStats stats;
-    const unsigned ncpu = std::max(1u, trace.numCpus);
-    history_.assign(ncpu, History{});
-    for (auto &h : history_)
-        h.ring.assign(cfg_.historyEntries, 0);
-    index_.clear();
-    std::vector<Buffer> buffers(ncpu);
-    StrideDetector stride;
-    // Per-CPU last block, to compute the confirmed stride's delta.
-    std::vector<std::int64_t> last(ncpu, -1);
-
-    for (const MissRecord &m : trace.misses) {
-        const unsigned cpu = m.cpu < ncpu ? m.cpu : 0;
-        Buffer &buf = buffers[cpu];
-        stats.misses++;
-
-        auto hit = buf.present.find(m.block);
-        if (hit != buf.present.end()) {
-            stats.covered++;
-            stats.useful += hit->second;
-            for (auto it = buf.fifo.begin(); it != buf.fifo.end();) {
-                if (*it == m.block)
-                    it = buf.fifo.erase(it);
-                else
-                    ++it;
-            }
-            buf.present.erase(hit);
-        }
-
-        // Temporal engine.
-        auto found = index_.find(m.block);
-        if (found != index_.end() &&
-            (cfg_.crossCpu || found->second.cpu == cpu)) {
-            replay(cpu, found->second, stats, buf);
-        }
-
-        // Stride engine: on a confirmed run, fetch ahead.
-        const bool strided = stride.observe(m.cpu, m.block);
-        if (strided && last[cpu] >= 0) {
-            const std::int64_t delta =
-                static_cast<std::int64_t>(m.block) - last[cpu];
-            if (delta != 0) {
-                for (unsigned k = 1; k <= stride_degree; ++k)
-                    insertPrefetch(
-                        buf,
-                        static_cast<BlockId>(
-                            static_cast<std::int64_t>(m.block) +
-                            delta * static_cast<std::int64_t>(k)),
-                        stats);
-            }
-        }
-        last[cpu] = static_cast<std::int64_t>(m.block);
-
-        append(cpu, m.block);
-    }
-    return stats;
-}
-
-TsPrefetcherStats
-TsPrefetcher::evaluate(const MissTrace &trace)
-{
-    TsPrefetcherStats stats;
-    const unsigned ncpu = std::max(1u, trace.numCpus);
-    history_.assign(ncpu, History{});
-    for (auto &h : history_)
-        h.ring.assign(cfg_.historyEntries, 0);
-    index_.clear();
-    std::vector<Buffer> buffers(ncpu);
-
-    for (const MissRecord &m : trace.misses) {
-        const unsigned cpu = m.cpu < ncpu ? m.cpu : 0;
-        Buffer &buf = buffers[cpu];
-        stats.misses++;
-
-        // Demand check against the prefetch buffer.
-        auto hit = buf.present.find(m.block);
-        if (hit != buf.present.end()) {
-            stats.covered++;
-            stats.useful += hit->second;
-            // Consume the entry.
-            for (auto it = buf.fifo.begin(); it != buf.fifo.end();) {
-                if (*it == m.block)
-                    it = buf.fifo.erase(it);
-                else
-                    ++it;
-            }
-            buf.present.erase(hit);
-        }
-
-        // Stream lookup: where did this block last appear?
-        auto found = index_.find(m.block);
-        if (found != index_.end() &&
-            (cfg_.crossCpu || found->second.cpu == cpu)) {
-            replay(cpu, found->second, stats, buf);
-        }
-
-        // Record the miss in this CPU's history.
-        append(cpu, m.block);
-    }
-    return stats;
+    auto policy = HybridPolicy::temporalPlusStride(cfg_, stride_degree);
+    return evaluatePolicy(trace, *policy, cfg_.bufferBlocks);
 }
 
 } // namespace tstream

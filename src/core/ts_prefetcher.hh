@@ -1,31 +1,30 @@
 /**
  * @file
- * A temporal-streaming prefetcher model (extension).
+ * Temporal-streaming prefetcher: shared config/stats types plus the
+ * deprecated pre-policy-API entry points.
  *
  * The paper is the characterization behind the temporal-streaming
  * prefetcher line (TSE [25], STEMS, and successors): record the miss
  * sequence in a history buffer, locate the previous occurrence of a
- * missing address, and replay the addresses that followed it. This
- * model evaluates exactly that policy over a collected miss trace and
- * reports the standard figures of merit:
+ * missing address, and replay the addresses that followed it. The
+ * model reports the standard figures of merit:
  *
  *  - coverage: fraction of misses eliminated by an earlier prefetch;
  *  - accuracy: fraction of issued prefetches that were useful;
  *  - timeliness is not modeled (the traces are timing-free), matching
  *    the paper's hardware-independent stance.
  *
- * The predictor state follows the classic design: a circular history
- * buffer of miss addresses per CPU, a global index from block to its
- * most recent history position, a fixed replay depth, and a per-CPU
- * prefetch buffer of limited capacity.
+ * The mechanism itself now lives behind the pluggable policy API in
+ * core/prefetch_policy.hh (FixedDepthPolicy + evaluatePolicy() is the
+ * bit-identical successor of TsPrefetcher::evaluate). This header
+ * keeps the shared TsPrefetcherConfig / TsPrefetcherStats types and
+ * the old TsPrefetcher class as a thin compatibility wrapper.
  */
 
 #ifndef TSTREAM_CORE_TS_PREFETCHER_HH
 #define TSTREAM_CORE_TS_PREFETCHER_HH
 
 #include <cstdint>
-#include <unordered_map>
-#include <vector>
 
 #include "trace/record.hh"
 
@@ -48,13 +47,14 @@ struct TsPrefetcherConfig
     bool crossCpu = true;
 };
 
-/** Result of evaluating the prefetcher over one trace. */
+/** Result of evaluating a prefetch policy over one trace. */
 struct TsPrefetcherStats
 {
     std::uint64_t misses = 0;        ///< demand misses observed
     std::uint64_t covered = 0;       ///< eliminated by a prefetch
     std::uint64_t issued = 0;        ///< prefetches issued
     std::uint64_t useful = 0;        ///< prefetches that were hit
+    std::uint64_t evictions = 0;     ///< buffer entries displaced unused
     std::uint64_t streamLookups = 0; ///< index hits that replayed
 
     double
@@ -76,15 +76,22 @@ struct TsPrefetcherStats
     }
 };
 
-/** Trace-driven temporal-streaming prefetcher. */
+/**
+ * Trace-driven temporal-streaming prefetcher — compatibility wrapper.
+ *
+ * @deprecated Superseded by the policy API (core/prefetch_policy.hh):
+ * use makePrefetchPolicy() + evaluatePolicy() instead. Kept as a thin
+ * forwarder for one release; both methods reproduce the pre-API
+ * results bit-identically.
+ */
 class TsPrefetcher
 {
   public:
     explicit TsPrefetcher(const TsPrefetcherConfig &cfg = {});
 
     /**
-     * Evaluate the prefetcher over @p trace (in global order; per-CPU
-     * histories and buffers are maintained internally).
+     * Evaluate the fixed-depth policy over @p trace.
+     * @deprecated Equivalent to evaluatePolicy() on FixedDepthPolicy.
      */
     TsPrefetcherStats evaluate(const MissTrace &trace);
 
@@ -92,44 +99,15 @@ class TsPrefetcher
      * Evaluate a hybrid of temporal streaming and a stride engine
      * (paper Section 4.3: coherence misses are repetitive but not
      * strided, DSS copies are strided but not repetitive — the two
-     * mechanisms are complementary). On each miss, a per-CPU stride
-     * detector additionally prefetches the next @p stride_degree
-     * blocks of a confirmed arithmetic run into the same buffer.
+     * mechanisms are complementary).
+     * @deprecated Equivalent to evaluatePolicy() on
+     * HybridPolicy::temporalPlusStride().
      */
     TsPrefetcherStats evaluateHybrid(const MissTrace &trace,
                                      unsigned stride_degree = 2);
 
   private:
-    struct HistoryPos
-    {
-        std::uint32_t cpu;
-        std::uint64_t pos; ///< absolute append index into the history
-    };
-
-    /** Per-CPU circular history of miss blocks. */
-    struct History
-    {
-        std::vector<BlockId> ring;
-        std::uint64_t head = 0; ///< total appended
-    };
-
-    /** Per-CPU prefetch buffer: FIFO set of predicted blocks. */
-    struct Buffer
-    {
-        std::vector<BlockId> fifo;
-        std::unordered_map<BlockId, std::uint32_t> present; // -> count
-        std::uint64_t inserted = 0;
-    };
-
-    void append(unsigned cpu, BlockId blk);
-    void replay(unsigned cpu, const HistoryPos &pos,
-                TsPrefetcherStats &stats, Buffer &buf);
-    void insertPrefetch(Buffer &buf, BlockId blk,
-                        TsPrefetcherStats &stats);
-
     TsPrefetcherConfig cfg_;
-    std::vector<History> history_;
-    std::unordered_map<BlockId, HistoryPos> index_;
 };
 
 } // namespace tstream

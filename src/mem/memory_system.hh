@@ -23,6 +23,30 @@
 namespace tstream
 {
 
+/**
+ * Prefetcher-in-the-loop hook (core/prefetch_policy.hh). When
+ * installed, a concrete model consults it on every off-chip read miss
+ * *before* recording the miss: a true return means a previously
+ * issued prefetch covers the access (a prefetch buffer at the chip
+ * edge absorbs it), and the record is dropped from the trace — so
+ * coverage changes the observed miss stream instead of being scored
+ * offline. The cache fill itself proceeds either way, keeping the
+ * run's cache behaviour identical to the un-hooked run: the recorded
+ * trace is exactly the uncovered subsequence of the baseline trace.
+ */
+class PrefetchLoopHook
+{
+  public:
+    virtual ~PrefetchLoopHook() = default;
+
+    /**
+     * Observe the off-chip read miss @p m (called for every miss,
+     * warm-up included; @p traced says whether it would be recorded).
+     * @return true when a buffered prefetch covers it.
+     */
+    virtual bool coverOffChipMiss(const MissRecord &m, bool traced) = 0;
+};
+
 /** Base class for the two hierarchy models. */
 class MemorySystem
 {
@@ -94,6 +118,10 @@ class MemorySystem
     /** Enable or disable trace collection (disabled during warmup). */
     void setTracing(bool on) { tracing_ = on; }
 
+    /** Install (or clear, with nullptr) the prefetcher-in-the-loop
+     *  hook; the caller keeps ownership and must outlive the run. */
+    void setPrefetchHook(PrefetchLoopHook *hook) { prefetchHook_ = hook; }
+
     bool tracing() const { return tracing_; }
 
     /** Off-chip read-miss trace (MissRecord::cls holds a MissClass). */
@@ -111,13 +139,6 @@ class MemorySystem
     /** Block-expansion chunk size of accessRun(). */
     static constexpr std::size_t kRunBlocks = 128;
 
-    /** Next global sequence number for the off-chip trace. */
-    std::uint64_t
-    nextOffChipSeq()
-    {
-        return offChipSeq_++;
-    }
-
     /** Next global sequence number for the intra-chip trace. */
     std::uint64_t
     nextIntraSeq()
@@ -125,7 +146,27 @@ class MemorySystem
         return intraSeq_++;
     }
 
+    /**
+     * Record one off-chip read miss, first giving the in-the-loop
+     * prefetcher (if any) the chance to cover it. Concrete models call
+     * this at their off-chip miss point; without a hook it appends the
+     * record exactly as before.
+     */
+    void
+    recordOffChipMiss(BlockId blk, CpuId cpu, std::uint8_t cls, FnId fn)
+    {
+        const MissRecord rec{offChipSeq_, blk, cpu, cls, fn};
+        const bool covered =
+            prefetchHook_ &&
+            prefetchHook_->coverOffChipMiss(rec, tracing_);
+        if (tracing_ && !covered) {
+            offChip_.misses.push_back(rec);
+            offChipSeq_++;
+        }
+    }
+
     bool tracing_ = false;
+    PrefetchLoopHook *prefetchHook_ = nullptr;
     MissTrace offChip_;
     MissTrace intraChip_;
     std::uint64_t offChipSeq_ = 0;

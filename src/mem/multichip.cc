@@ -107,13 +107,11 @@ MultiChipSystem::handleRead(const Access &acc, BlockId blk)
         return;
     }
 
-    // Off-chip read miss: classify, trace, and fetch.
+    // Off-chip read miss: classify, trace (unless an in-the-loop
+    // prefetch covers it), and fetch.
     const MissClass cls = tracker_.classifyRead(blk, node);
-    if (tracing_) {
-        offChip_.misses.push_back(MissRecord{
-            nextOffChipSeq(), blk, static_cast<CpuId>(node),
-            static_cast<std::uint8_t>(cls), acc.fn});
-    }
+    recordOffChipMiss(blk, static_cast<CpuId>(node),
+                      static_cast<std::uint8_t>(cls), acc.fn);
 
     DirEntry &de = dir_[blk];
     if (de.owner >= 0 && de.owner != static_cast<int>(node)) {

@@ -43,11 +43,8 @@ void
 SingleChipSystem::offChipFill(const Access &acc, BlockId blk)
 {
     const MissClass cls = chipTracker_.classifyRead(blk, 0);
-    if (tracing_) {
-        offChip_.misses.push_back(MissRecord{
-            nextOffChipSeq(), blk, acc.cpu,
-            static_cast<std::uint8_t>(cls), acc.fn});
-    }
+    recordOffChipMiss(blk, acc.cpu, static_cast<std::uint8_t>(cls),
+                      acc.fn);
     l2_.insert(blk, CohState::Shared);
 }
 

@@ -182,6 +182,8 @@ benchDocToJson(const BenchDoc &doc)
             jr["trace"] = json::Value(r.trace);
             if (!r.label.empty())
                 jr["label"] = json::Value(r.label);
+            if (!r.policy.empty())
+                jr["policy"] = json::Value(r.policy);
             jr["text"] = json::Value(r.text);
             json::Value metrics = json::Value::object();
             for (const auto &[name, value] : r.metrics)
@@ -301,6 +303,8 @@ benchDocFromJson(const json::Value &v, BenchDoc &out, std::string &err)
                 r.trace = f->asString();
             if (const json::Value *f = jr.find("label"))
                 r.label = f->asString();
+            if (const json::Value *f = jr.find("policy"))
+                r.policy = f->asString();
             const json::Value *text = need(jr, "text", err);
             if (!text)
                 return false;
@@ -455,7 +459,7 @@ bool
 rowsEqual(const BenchRow &a, const BenchRow &b, std::string &why)
 {
     if (a.table != b.table || a.trace != b.trace ||
-        a.label != b.label) {
+        a.label != b.label || a.policy != b.policy) {
         why = "row keys differ (" + a.table + "/" + a.trace + " vs " +
               b.table + "/" + b.trace + ")";
         return false;

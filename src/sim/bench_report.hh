@@ -63,6 +63,11 @@ struct BenchRow
     std::string table; ///< which printed table/panel the row is in
     std::string trace; ///< trace kind or sweep key ("multi-chip", "4MB")
     std::string label; ///< optional sub-key (e.g. origin category)
+    /** Optional prefetch-policy name (core/prefetch_policy.hh) for
+     *  rows produced under a named policy (ext_prefetcher --policy /
+     *  --budget-sweep); serialized only when non-empty, so documents
+     *  without policy rows are byte-identical to pre-field reports. */
+    std::string policy;
     std::string text;  ///< the exact printed line (no trailing newline)
     std::vector<std::pair<std::string, double>> metrics;
 };

@@ -523,7 +523,8 @@ namespace
 {
 
 [[noreturn]] void
-benchUsage(const char *benchName, const char *msg, int status)
+benchUsage(const char *benchName, const char *msg, int status,
+           const char *extraUsage = nullptr)
 {
     std::FILE *to = status == 0 ? stdout : stderr;
     if (msg)
@@ -574,11 +575,15 @@ benchUsage(const char *benchName, const char *msg, int status)
         "                 timeline to PATH's .trace.json sibling) at\n"
         "                 exit (also: TSTREAM_TELEMETRY=PATH; see\n"
         "                 docs/OBSERVABILITY.md)\n"
-        "  --help         this message\n"
+        "  --help         this message\n",
+        benchName);
+    if (extraUsage)
+        std::fputs(extraUsage, to);
+    std::fputs(
         "\n"
         "See docs/BENCHMARKING.md for sharded and fleet multi-process\n"
         "recipes and the trace cache (TSTREAM_TRACE_CACHE).\n",
-        benchName);
+        to);
     std::exit(status);
 }
 
@@ -614,8 +619,10 @@ BenchOptions::claimDir() const
 }
 
 BenchOptions
-parseBenchArgs(int argc, char **argv, const char *benchName)
+parseBenchArgs(int argc, char **argv, const char *benchName,
+               const BenchExtraArgs *extra)
 {
+    const char *extraUsage = extra ? extra->usage : nullptr;
     BenchOptions opts;
     opts.benchName = benchName;
     opts.quick = std::getenv("TSTREAM_QUICK") != nullptr;
@@ -644,7 +651,7 @@ parseBenchArgs(int argc, char **argv, const char *benchName)
                 benchUsage(benchName,
                            (std::string("missing value for ") + what)
                                .c_str(),
-                           2);
+                           2, extraUsage);
             return argv[++i];
         };
         if (arg == "--quick") {
@@ -687,7 +694,10 @@ parseBenchArgs(int argc, char **argv, const char *benchName)
         } else if (arg == "--telemetry-out") {
             opts.telemetryOut = value("--telemetry-out");
         } else if (arg == "--help" || arg == "-h") {
-            benchUsage(benchName, nullptr, 0);
+            benchUsage(benchName, nullptr, 0, extraUsage);
+        } else if (extra && extra->handler &&
+                   extra->handler(arg, value)) {
+            // Consumed by the bench's extension flags.
         } else {
             // Reject anything unrecognized: a typo like --qiuck must
             // not silently run at paper scale for hours.
@@ -695,7 +705,7 @@ parseBenchArgs(int argc, char **argv, const char *benchName)
                        (std::string("unknown option: ") +
                         std::string(arg))
                            .c_str(),
-                       2);
+                       2, extraUsage);
         }
     }
 
@@ -728,6 +738,12 @@ parseBenchArgs(int argc, char **argv, const char *benchName)
                        "exclusive (claiming workers skip done cells "
                        "via the claim directory instead)",
                        2);
+    }
+
+    if (extra && extra->validate) {
+        const std::string diag = extra->validate(opts);
+        if (!diag.empty())
+            benchUsage(benchName, diag.c_str(), 2, extraUsage);
     }
 
     if (opts.quick) {

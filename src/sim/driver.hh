@@ -276,6 +276,37 @@ struct BenchOptions
 };
 
 /**
+ * Bench-specific CLI extension for parseBenchArgs(). The shared flag
+ * set stays strict: an extension can only *add* flags (consumed by
+ * @c handler before the unknown-flag rejection) plus their usage text
+ * and cross-flag validation — it cannot loosen the rejection of
+ * anything neither side recognizes.
+ */
+struct BenchExtraArgs
+{
+    /** Extra usage lines, appended under "options:" (each line
+     *  terminated with '\n'). */
+    const char *usage = nullptr;
+
+    /**
+     * Try to consume @p arg. @p take("--flag") returns the flag's
+     * value argument, or prints usage and exits 2 when it is missing.
+     * Return true when the flag was consumed.
+     */
+    std::function<bool(
+        std::string_view arg,
+        const std::function<const char *(const char *)> &take)>
+        handler;
+
+    /**
+     * Post-parse validation across shared and extension flags (e.g.
+     * "--budget-sweep excludes --resume"); return a non-empty
+     * diagnostic to reject with usage and exit 2.
+     */
+    std::function<std::string(const BenchOptions &opts)> validate;
+};
+
+/**
  * Strict bench argument parser: --quick, --jobs N, --shard k/N,
  * --json PATH, --resume, --workload FILE, --phases SPEC,
  * --claim-session ID, --claim-ttl MS, --heartbeat MS,
@@ -289,10 +320,12 @@ struct BenchOptions
  * silently run at paper scale for hours); --help exits 0. --resume
  * requires --json; --workload and --phases are mutually exclusive;
  * --claim-session requires TSTREAM_TRACE_CACHE and excludes --shard
- * and --resume.
+ * and --resume. @p extra (optional) adds bench-specific flags and
+ * validation without loosening the unknown-flag rejection.
  */
 BenchOptions parseBenchArgs(int argc, char **argv,
-                            const char *benchName);
+                            const char *benchName,
+                            const BenchExtraArgs *extra = nullptr);
 
 /**
  * The bench's grid after applying any --workload / --phases override:

@@ -2,8 +2,10 @@
 
 #include <cstring>
 
+#include "core/prefetch_policy.hh"
 #include "kernel/kernel.hh"
 #include "sim/engine.hh"
+#include "util/logging.hh"
 
 namespace tstream
 {
@@ -103,6 +105,21 @@ configHash(const ExperimentConfig &cfg)
         h = mixCache(h, cfg.singleChip.l1);
         h = mixCache(h, cfg.singleChip.l2);
     }
+    if (cfg.prefetchLoop.enabled) {
+        // In-the-loop prefetching thins the recorded trace, so every
+        // knob that can change coverage is trace-affecting. Mixed only
+        // when enabled: the default (offline) hash — and with it the
+        // trace cache and all pre-existing provenance — is untouched.
+        h = mix(h, 0x50464C31ULL); // "PFL1"
+        for (const char c : cfg.prefetchLoop.policy)
+            h = mix(h, static_cast<std::uint64_t>(
+                           static_cast<unsigned char>(c)));
+        h = mix(h, cfg.prefetchLoop.ts.historyEntries);
+        h = mix(h, cfg.prefetchLoop.ts.replayDepth);
+        h = mix(h, cfg.prefetchLoop.ts.bufferBlocks);
+        h = mix(h, cfg.prefetchLoop.ts.crossCpu ? 1 : 0);
+        h = mix(h, cfg.prefetchLoop.strideDegree);
+    }
     return h;
 }
 
@@ -117,6 +134,22 @@ runExperiment(const ExperimentConfig &cfg)
 
     Engine eng(std::move(sys), cfg.seed);
     Kernel kern(eng);
+
+    // Prefetcher-in-the-loop: install the hook before warm-up so the
+    // predictor trains alongside the caches (warm-up misses are
+    // observed but never recorded either way).
+    std::unique_ptr<PrefetchLoopEngine> loop;
+    if (cfg.prefetchLoop.enabled) {
+        PrefetchPolicyParams params;
+        params.ts = cfg.prefetchLoop.ts;
+        params.strideDegree = cfg.prefetchLoop.strideDegree;
+        auto policy = makePrefetchPolicy(cfg.prefetchLoop.policy, params);
+        panicIf(!policy, "runExperiment: unknown prefetch policy '" +
+                             cfg.prefetchLoop.policy + "'");
+        loop = std::make_unique<PrefetchLoopEngine>(
+            std::move(policy), cfg.prefetchLoop.ts.bufferBlocks);
+        loop->attach(eng.memory());
+    }
 
     WorkloadSpec spec;
     spec.kind = cfg.workload;
@@ -141,6 +174,11 @@ runExperiment(const ExperimentConfig &cfg)
     res.intraChip = std::move(eng.memory().intraChipTrace());
     res.registry = eng.registry();
     res.instructions = eng.totalInstructions();
+    if (loop) {
+        res.prefetchEnabled = true;
+        res.prefetch = loop->stats();
+        res.prefetchCoveredTraced = loop->coveredTraced();
+    }
     return res;
 }
 

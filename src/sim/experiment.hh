@@ -13,6 +13,7 @@
 #include <memory>
 #include <string>
 
+#include "core/ts_prefetcher.hh"
 #include "mem/multichip.hh"
 #include "mem/singlechip.hh"
 #include "sim/workload.hh"
@@ -61,6 +62,27 @@ struct ExperimentConfig
     MultiChipConfig multiChip{};
     SingleChipConfig singleChip{};
 
+    /**
+     * Prefetcher-in-the-loop (core/prefetch_policy.hh): when enabled,
+     * the named policy runs against the off-chip miss stream *during*
+     * the simulation and covered misses are dropped from the recorded
+     * trace. Off by default — and deliberately excluded from
+     * configHash() while disabled, so every pre-existing hash, cached
+     * trace and offline result is untouched.
+     */
+    struct PrefetchLoopConfig
+    {
+        bool enabled = false;
+        /** Registry name: fixed | adaptive | stride | hybrid. */
+        std::string policy = "fixed";
+        /** History/depth/buffer geometry (bufferBlocks sizes the
+         *  chip-edge prefetch buffer). */
+        TsPrefetcherConfig ts;
+        /** Stride engine degree (stride / hybrid policies). */
+        unsigned strideDegree = 2;
+    };
+    PrefetchLoopConfig prefetchLoop;
+
     /** Shrink budgets and footprints for fast unit tests. */
     static ExperimentConfig
     quick(WorkloadKind w, SystemContext c)
@@ -102,6 +124,14 @@ struct ExperimentResult
     MissTrace intraChip; ///< empty for MultiChip context
     FunctionRegistry registry;
     std::uint64_t instructions = 0;
+
+    /** In-the-loop prefetcher diagnostics (prefetchLoop.enabled runs
+     *  only): stats over every observed miss, warm-up included. */
+    bool prefetchEnabled = false;
+    TsPrefetcherStats prefetch;
+    /** Covered misses dropped from the off-chip trace (i.e. covered
+     *  while tracing was on). */
+    std::uint64_t prefetchCoveredTraced = 0;
 
     /** Intra-chip trace filtered to on-chip-satisfied misses (the
      *  paper's context (3): hits in shared on-chip caches). */

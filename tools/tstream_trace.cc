@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "core/module_profile.hh"
+#include "core/prefetch_policy.hh"
 #include "core/stream_analysis.hh"
 #include "gen/workload_config.hh"
 #include "sim/bench_report.hh"
@@ -81,6 +82,12 @@ usage(const char *msg)
         "  --seed N           RNG seed (default 42)\n"
         "  --codec NAME       lz4 (default) | none\n"
         "  --chunk-records N  records per chunk (default 65536)\n"
+        "  --prefetch-policy NAME\n"
+        "                     run with an in-the-loop prefetcher\n"
+        "                     (fixed|adaptive|stride|hybrid); covered\n"
+        "                     misses vanish from the recorded trace\n"
+        "  --prefetch-depth N replay depth for --prefetch-policy\n"
+        "                     (default 8)\n"
         "  --v1               write the legacy v1 format\n"
         "  -o FILE            output path (required)\n"
         "\n"
@@ -180,6 +187,7 @@ cmdRecord(int argc, char **argv)
     std::string out;
     std::string traceSel = "off-chip";
     std::string phasesSpec;
+    bool prefetchDepthSet = false;
     TraceWriteOptions opts;
 
     for (int i = 0; i < argc; ++i) {
@@ -255,6 +263,32 @@ cmdRecord(int argc, char **argv)
                 return usage("missing --chunk-records value");
             opts.chunkRecords =
                 static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+        } else if (arg == "--prefetch-policy") {
+            if (!(v = value()))
+                return usage("missing --prefetch-policy value");
+            bool known = false;
+            for (const std::string &k : prefetchPolicyNames())
+                known = known || k == v;
+            if (!known) {
+                std::string diag = "--prefetch-policy: unknown policy '" +
+                                   std::string(v) + "' (known:";
+                for (const std::string &k : prefetchPolicyNames())
+                    diag += " " + k;
+                return usage((diag + ")").c_str());
+            }
+            cfg.prefetchLoop.enabled = true;
+            cfg.prefetchLoop.policy = v;
+        } else if (arg == "--prefetch-depth") {
+            if (!(v = value()))
+                return usage("missing --prefetch-depth value");
+            char *end = nullptr;
+            const long n = std::strtol(v, &end, 10);
+            if (!end || *end != '\0' || n <= 0 || n > 1024)
+                return usage("--prefetch-depth wants a positive "
+                             "integer (<= 1024)");
+            cfg.prefetchLoop.ts.replayDepth =
+                static_cast<unsigned>(n);
+            prefetchDepthSet = true;
         } else if (arg == "--v1") {
             opts.version = 1;
         } else if (arg == "-o" || arg == "--output") {
@@ -268,6 +302,8 @@ cmdRecord(int argc, char **argv)
     }
     if (!haveWorkload || !haveContext || out.empty())
         return usage("record needs --workload, --context and -o");
+    if (prefetchDepthSet && !cfg.prefetchLoop.enabled)
+        return usage("--prefetch-depth needs --prefetch-policy");
     if (traceSel != "off-chip" &&
         cfg.context != SystemContext::SingleChip)
         return usage("intra-chip traces exist only in the single-chip "
@@ -296,6 +332,15 @@ cmdRecord(int argc, char **argv)
                  cfg.warmupInstructions, cfg.measureInstructions,
                  cfg.scale);
     ExperimentResult res = runExperiment(cfg);
+    if (res.prefetchEnabled)
+        std::fprintf(stderr,
+                     "prefetch loop (%s): %" PRIu64 " issued, %.1f%% "
+                     "coverage, %.1f%% accuracy; %" PRIu64
+                     " covered misses removed from the trace\n",
+                     cfg.prefetchLoop.policy.c_str(),
+                     res.prefetch.issued, 100.0 * res.prefetch.coverage(),
+                     100.0 * res.prefetch.accuracy(),
+                     res.prefetchCoveredTraced);
 
     MissTrace trace;
     if (traceSel == "off-chip") {
